@@ -1,0 +1,245 @@
+(* ddreplay: command-line driver for the debug-determinism library.
+
+   Subcommands:
+     list        enumerate applications and determinism models
+     run         execute one production run and judge it
+     find        scan seeds for a failing production run
+     record      record a production run under a model, show the log
+     replay      replay a previously saved log under its model
+     debug       full record/replay/assess experiment
+     classify    train and show the control/data-plane classification
+     invariants  train and show the dynamic invariants                *)
+
+open Cmdliner
+open Ddet
+open Ddet_apps
+
+let apps () =
+  [
+    Adder.app (); Bufover.app (); Msg_server.app (); Miniht.app ();
+    Cloudstore.app ();
+  ]
+
+let find_app name =
+  match List.find_opt (fun a -> String.equal a.App.name name) (apps ()) with
+  | Some a -> Ok a
+  | None ->
+    Error
+      (Printf.sprintf "unknown app %S (expected one of: %s)" name
+         (String.concat ", " (List.map (fun a -> a.App.name) (apps ()))))
+
+(* ------------------------------------------------------------------ *)
+(* arguments *)
+
+let app_conv =
+  Arg.conv
+    ( (fun s -> find_app s |> Result.map_error (fun e -> `Msg e)),
+      fun ppf a -> Format.pp_print_string ppf a.App.name )
+
+let app_arg =
+  Arg.(required & opt (some app_conv) None & info [ "a"; "app" ] ~docv:"APP"
+         ~doc:"Application: adder, bufover, msg_server, miniht or cloudstore.")
+
+let model_conv =
+  Arg.conv
+    ( (fun s -> Model.of_string s |> Result.map_error (fun e -> `Msg e)),
+      fun ppf m -> Format.pp_print_string ppf (Model.name m) )
+
+let model_arg =
+  Arg.(required & opt (some model_conv) None & info [ "m"; "model" ] ~docv:"MODEL"
+         ~doc:(Printf.sprintf "Determinism model: %s."
+                 (String.concat ", " Model.all_names)))
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED"
+         ~doc:"Production-run seed (schedule and input randomness).")
+
+let cause_arg =
+  Arg.(value & opt (some string) None & info [ "cause" ] ~docv:"ID"
+         ~doc:"Require the primary root cause to be this catalog id.")
+
+let exclusive_arg =
+  Arg.(value & flag & info [ "exclusive" ]
+         ~doc:"Require the failing run to exhibit exactly one root cause.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every log entry.")
+
+let replays_arg =
+  Arg.(value & opt int 5 & info [ "replays" ] ~docv:"K"
+         ~doc:"Independent replay searches averaged by the assessment.")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+         ~doc:"Also save the recording to $(docv).")
+
+let in_arg =
+  Arg.(required & opt (some string) None & info [ "i"; "in" ] ~docv:"FILE"
+         ~doc:"Log file previously saved by record --out.")
+
+(* ------------------------------------------------------------------ *)
+(* command bodies *)
+
+let describe_run (app : App.t) (r : Mvm.Interp.result) =
+  Printf.printf "status:  %s\n" (Mvm.Interp.status_to_string r.Mvm.Interp.status);
+  Printf.printf "steps:   %d\n" r.Mvm.Interp.steps;
+  List.iter
+    (fun (chan, vs) ->
+      Printf.printf "output %s: %s\n" chan
+        (String.concat ", " (List.map Mvm.Value.to_string vs)))
+    r.Mvm.Interp.outputs;
+  (match r.Mvm.Interp.failure with
+  | Some f -> Printf.printf "failure: %s\n" (Mvm.Failure.to_string f)
+  | None -> Printf.printf "failure: none\n");
+  match Ddet_metrics.Root_cause.observed app.App.catalog r with
+  | [] -> ()
+  | causes ->
+    Printf.printf "root causes: %s\n"
+      (String.concat ", "
+         (List.map (fun c -> c.Ddet_metrics.Root_cause.id) causes))
+
+let cmd_list () =
+  Printf.printf "applications:\n";
+  List.iter (fun a -> Printf.printf "  %-12s %s\n" a.App.name a.App.descr) (apps ());
+  Printf.printf "\ndeterminism models:\n";
+  List.iter
+    (fun name ->
+      match Model.of_string name with
+      | Ok m -> Printf.printf "  %-14s (%s)\n" name (Model.reference m)
+      | Error _ -> ())
+    Model.all_names;
+  0
+
+let cmd_run app seed =
+  describe_run app (App.production_run app ~seed);
+  0
+
+let cmd_find app cause exclusive =
+  match Workload.find_failing_seed ?cause ~exclusive app with
+  | Some (seed, r) ->
+    Printf.printf "seed %d fails:\n" seed;
+    describe_run app r;
+    0
+  | None ->
+    Printf.eprintf "no failing seed found in the scanned range\n";
+    1
+
+let cmd_record app model seed verbose out =
+  let prepared = Session.prepare model app in
+  let original, log = Session.record prepared ~seed in
+  describe_run app original;
+  Printf.printf "\nlog: %d entries, %d payload bytes, modeled overhead %.2fx\n"
+    (Ddet_record.Log.entry_count log)
+    (Ddet_record.Log.payload_bytes log)
+    (Ddet_record.Cost_model.overhead Ddet_record.Cost_model.default log);
+  if verbose then Format.printf "%a@." Ddet_record.Log.pp log;
+  (match out with
+  | Some path ->
+    Ddet_record.Log_io.save path log;
+    Printf.printf "saved to %s\n" path
+  | None -> ());
+  0
+
+let cmd_replay app model file =
+  match Ddet_record.Log_io.load file with
+  | Error msg ->
+    Printf.eprintf "cannot load %s: %s\n" file msg;
+    1
+  | Ok log ->
+    let prepared = Session.prepare model app in
+    let outcome = Session.replay prepared log in
+    Format.printf "%a@." Ddet_replay.Replayer.pp_outcome outcome;
+    (match outcome.Ddet_replay.Replayer.result with
+    | Some r ->
+      print_newline ();
+      describe_run app r;
+      0
+    | None -> 1)
+
+let cmd_debug app model seed replays =
+  let a = Session.experiment_ensemble ~replays model app ~seed in
+  Format.printf "%a@." Ddet_metrics.Utility.pp a;
+  0
+
+let cmd_classify app =
+  let prepared = Session.prepare (Model.Rcse Model.Code_based) app in
+  let training = Session.training_runs Config.default app in
+  Format.printf "taint profile (%d training runs):@.%a@."
+    (List.length training)
+    Ddet_analysis.Taint_profile.pp
+    (Ddet_analysis.Taint_profile.of_results training);
+  (match prepared.Session.plane_map with
+  | Some map ->
+    Printf.printf "classification (threshold %.1f B/step):\n"
+      Config.default.Config.plane_threshold;
+    List.iter
+      (fun (fname, plane) ->
+        Printf.printf "  %-24s %s\n" fname (Ddet_analysis.Plane.to_string plane))
+      (Ddet_analysis.Plane.to_assoc map)
+  | None -> ());
+  (match app.App.control_plane with
+  | [] -> ()
+  | truth ->
+    Printf.printf "ground truth control plane: %s\n" (String.concat ", " truth));
+  0
+
+let cmd_invariants app =
+  let training = Session.training_runs Config.default app in
+  let inv = Ddet_analysis.Invariants.infer training in
+  Format.printf "invariants from %d passing training runs:@.%a@."
+    (List.length training) Ddet_analysis.Invariants.pp inv;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* command wiring *)
+
+let exits = Cmd.Exit.defaults
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~exits ~doc:"List applications and models.")
+    Term.(const cmd_list $ const ())
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~exits ~doc:"Execute and judge one production run.")
+    Term.(const cmd_run $ app_arg $ seed_arg)
+
+let find_cmd =
+  Cmd.v (Cmd.info "find" ~exits ~doc:"Scan seeds for a failing production run.")
+    Term.(const cmd_find $ app_arg $ cause_arg $ exclusive_arg)
+
+let record_cmd =
+  Cmd.v (Cmd.info "record" ~exits ~doc:"Record a production run under a model.")
+    Term.(const cmd_record $ app_arg $ model_arg $ seed_arg $ verbose_arg $ out_arg)
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay" ~exits ~doc:"Replay a saved log under its model.")
+    Term.(const cmd_replay $ app_arg $ model_arg $ in_arg)
+
+let debug_cmd =
+  Cmd.v
+    (Cmd.info "debug" ~exits
+       ~doc:"Record, replay and assess: overhead, DF, DE, DU.")
+    Term.(const cmd_debug $ app_arg $ model_arg $ seed_arg $ replays_arg)
+
+let classify_cmd =
+  Cmd.v
+    (Cmd.info "classify" ~exits
+       ~doc:"Train and show the control/data-plane classification.")
+    Term.(const cmd_classify $ app_arg)
+
+let invariants_cmd =
+  Cmd.v
+    (Cmd.info "invariants" ~exits ~doc:"Train and show dynamic invariants.")
+    Term.(const cmd_invariants $ app_arg)
+
+let () =
+  let info =
+    Cmd.info "ddreplay" ~version:"1.0.0"
+      ~doc:"Replay-based debugging with selectable determinism models."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; run_cmd; find_cmd; record_cmd; replay_cmd; debug_cmd;
+            classify_cmd; invariants_cmd ]))

@@ -1,0 +1,1 @@
+examples/hypertable_debug.ml: Ddet Ddet_analysis Ddet_apps Ddet_metrics Format Interp List Miniht Model Mvm Printf Session Trace Value Workload

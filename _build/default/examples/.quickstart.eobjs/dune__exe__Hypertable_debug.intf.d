@@ -1,0 +1,1 @@
+examples/hypertable_debug.mli:

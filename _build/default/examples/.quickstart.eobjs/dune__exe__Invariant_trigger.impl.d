@@ -1,0 +1,1 @@
+examples/invariant_trigger.ml: Bufover Config Ddet Ddet_analysis Ddet_apps Ddet_metrics Ddet_record Format Interp List Log Model Mvm Printf Session String Workload

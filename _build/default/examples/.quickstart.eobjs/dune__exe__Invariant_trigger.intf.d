@@ -1,0 +1,1 @@
+examples/invariant_trigger.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ddet_metrics Ddet_record Ddet_replay Failure Format Interp List Mvm Printf Spec Trace Value World

@@ -1,0 +1,1 @@
+examples/race_trigger.ml: Ddet Ddet_analysis Ddet_apps Ddet_metrics Ddet_record Format Interp List Log Model Msg_server Mvm Printf Session Trace Value Workload

@@ -1,0 +1,67 @@
+(* The paper's Sec. 4 case study, end to end: debug the mini-Hypertable
+   data-loss race under value determinism, failure determinism and RCSE
+   with control-plane selection — the three points of Fig. 2.
+
+   Run with: dune exec examples/hypertable_debug.exe *)
+
+open Mvm
+open Ddet
+open Ddet_apps
+
+let () =
+  let app = Miniht.app () in
+
+  (* 1. The failure: a production run where the dump loses rows and the
+     only live root cause is the migration/commit race. *)
+  let seed, original =
+    match
+      Workload.find_failing_seed ~cause:Miniht.rc_race ~exclusive:true app
+    with
+    | Some (s, r) -> (s, r)
+    | None -> failwith "no race-only production seed in range"
+  in
+  let out chan =
+    match Trace.outputs_on original.Interp.trace chan with
+    | [ v ] -> Value.to_string v
+    | _ -> "?"
+  in
+  Printf.printf
+    "production seed %d: loaded %s rows, dump returned %s — no error was\n\
+     reported anywhere; several rows are simply missing (Hypertable issue 63).\n\n"
+    seed (out "loaded") (out "dumped");
+
+  (* 2. The control-plane classification RCSE depends on, learned from
+     passing training runs by taint data-rate profiling. *)
+  let prepared = Session.prepare (Model.Rcse Model.Code_based) app in
+  (match prepared.Session.plane_map with
+  | Some map ->
+    print_endline "taint-rate classification (control plane is recorded):";
+    List.iter
+      (fun (fname, plane) ->
+        Printf.printf "  %-14s %s\n" fname (Ddet_analysis.Plane.to_string plane))
+      (Ddet_analysis.Plane.to_assoc map)
+  | None -> ());
+  print_newline ();
+
+  (* 3. Record/replay/assess under the three Fig. 2 models. *)
+  List.iter
+    (fun model ->
+      let a = Session.experiment_ensemble ~replays:5 model app ~seed in
+      Printf.printf "%s\n" (Format.asprintf "%a" Ddet_metrics.Utility.pp a))
+    [ Model.Value; Model.Failure_det; Model.Rcse Model.Code_based ];
+
+  print_newline ();
+  print_endline
+    "Reading the numbers against the paper's Fig. 2:\n\
+     - value determinism logs every read (heavy: the data plane moves\n\
+     256-byte rows) and reproduces failure and root cause — DF 1 at the\n\
+     highest overhead;\n\
+     - failure determinism records nothing and synthesizes an execution\n\
+     with the same missing-rows failure — but the failure has three\n\
+     possible root causes (the race, a server crash after upload, a dump\n\
+     client OOM), and the synthesis usually finds a fault path first:\n\
+     DF 1/3;\n\
+     - RCSE records the control plane precisely (routing decisions, the\n\
+     ownership-map update, fault handling) and searches only data-plane\n\
+     timing: DF 1 at a fraction of value determinism's cost — the debug\n\
+     determinism sweet spot."

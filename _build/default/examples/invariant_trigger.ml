@@ -1,0 +1,58 @@
+(* Data-based selection (Sec. 3.1.2): train Daikon-style invariants on
+   passing runs, then record at low fidelity until production violates one
+   — here, a request size outside the trained range — and dial up from
+   that point, capturing the buffer-overflow root cause.
+
+   Run with: dune exec examples/invariant_trigger.exe *)
+
+open Mvm
+open Ddet
+open Ddet_apps
+open Ddet_record
+
+let () =
+  let app = Bufover.app () in
+
+  (* 1. Train invariants on passing runs (pre-release testing). *)
+  let training = Session.training_runs Config.default app in
+  let inv = Ddet_analysis.Invariants.infer training in
+  Printf.printf "invariants inferred from %d passing runs:\n%s\n"
+    (List.length training)
+    (Format.asprintf "%a" Ddet_analysis.Invariants.pp inv);
+
+  (* 2. A production run with an oversized request crashes the copy. *)
+  let seed, original =
+    match Workload.find_failing_seed app with
+    | Some (s, r) -> (s, r)
+    | None -> failwith "no failing seed"
+  in
+  Printf.printf "production seed %d crashes: %s\n\n" seed
+    (match original.Interp.failure with
+    | Some f -> Mvm.Failure.to_string f
+    | None -> "?");
+
+  (* 3. Record under data-based RCSE and inspect the dial-up. *)
+  let prepared = Session.prepare (Model.Rcse Model.Data_based) app in
+  let recorded, log = Session.record prepared ~seed in
+  let marks =
+    List.filter_map
+      (function Log.Mark m -> Some m | _ -> None)
+      log.Log.entries
+  in
+  Printf.printf
+    "recording: %d entries, fidelity transitions: [%s]\n\
+     (low fidelity until the out-of-range input violated the trained\n\
+     invariant; everything from that event on is recorded)\n\n"
+    (Log.entry_count log)
+    (String.concat "; " marks);
+
+  (* 4. Replay and assess. *)
+  let outcome = Session.replay prepared log in
+  let a = Session.assess prepared ~original:recorded ~log outcome in
+  Printf.printf "%s\n\n" (Format.asprintf "%a" Ddet_metrics.Utility.pp a);
+  print_endline
+    "The violated invariant marked the execution as \"likely on an error\n\
+     path\" (Sec. 3.1.2) exactly when the oversized input arrived, so the\n\
+     recording contains the input and the crash — replay is immediate and\n\
+     the bounds-check root cause is preserved, at a recording cost that\n\
+     stays near zero for the healthy majority of runs."

@@ -1,0 +1,73 @@
+(* Combined code/data triggers (Sec. 3.1.3): a sampling race detector —
+   DataCollider-style, the paper's own example of a "potential-bug
+   detector" — dials recording fidelity up the moment two threads collide
+   on the message buffer's cursor. Code-based selection alone misfires
+   here: the racing code is data-plane.
+
+   Run with: dune exec examples/race_trigger.exe *)
+
+open Mvm
+open Ddet
+open Ddet_apps
+open Ddet_record
+
+let () =
+  let app = Msg_server.app () in
+
+  (* 1. A production run where messages vanish because of the cursor race
+     (no network congestion involved). *)
+  let seed, original =
+    match
+      Workload.find_failing_seed ~cause:"buffer-race" ~exclusive:true app
+    with
+    | Some (s, r) -> (s, r)
+    | None -> failwith "no race-only seed"
+  in
+  let out chan =
+    match Trace.outputs_on original.Interp.trace chan with
+    | [ v ] -> Value.to_string v
+    | _ -> "?"
+  in
+  Printf.printf
+    "production seed %d: sent %s messages, delivered %s — the drop rate is\n\
+     higher than expected (the paper's Sec. 2 server).\n\n"
+    seed (out "sent") (out "delivered");
+
+  (* 2. Show the race detector seeing the collision on this run. *)
+  let detector =
+    Ddet_analysis.Race_detector.create Ddet_analysis.Race_detector.default_config
+  in
+  Trace.iter
+    (fun e -> ignore (Ddet_analysis.Race_detector.observe detector e))
+    original.Interp.trace;
+  (match Ddet_analysis.Race_detector.reports detector with
+  | [] -> print_endline "race detector: no races observed (unexpected!)"
+  | r :: _ as all ->
+    Printf.printf "race detector: %d conflicting access pairs; first: %s\n\n"
+      (List.length all)
+      (Format.asprintf "%a" Ddet_analysis.Race_detector.pp_report r));
+
+  (* 3. Compare code-based selection (misfires: the race is data-plane)
+     with trigger-based selection (the detector dials fidelity up). *)
+  List.iter
+    (fun model ->
+      let prepared = Session.prepare model app in
+      let _, log = Session.record prepared ~seed in
+      let a = Session.experiment_ensemble ~replays:5 model app ~seed in
+      Printf.printf "%-14s log %4d entries  %s\n" (Model.name model)
+        (Log.entry_count log)
+        (Format.asprintf "%a" Ddet_metrics.Utility.pp a))
+    [ Model.Rcse Model.Code_based; Model.Rcse Model.Trigger_based ];
+
+  print_newline ();
+  print_endline
+    "Code-based selection records almost nothing here (main is the only\n\
+     control-plane function, and the bug never passes through it), so its\n\
+     replay may reproduce the drop via network congestion instead — the\n\
+     misfire case the paper acknowledges. The trigger-based recorder\n\
+     notices the collision at runtime, flushes its flight ring (the\n\
+     inputs leading up to the race) and records everything from that\n\
+     point: the replay consistently reproduces the lost update.\n\
+     Data-corruption bugs announce themselves through races — the paper's\n\
+     argument for dynamic triggers (Sec. 3.1.3); see bench 'flight' for\n\
+     the ring-capacity ablation."

@@ -1,0 +1,1 @@
+lib/analysis/hb_detector.ml: Array Event Hashtbl List Mvm Queue Race_detector Trigger Vec

@@ -1,0 +1,1 @@
+lib/analysis/hb_detector.mli: Event Mvm Race_detector Trigger

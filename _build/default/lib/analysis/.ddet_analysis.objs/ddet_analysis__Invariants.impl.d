@@ -1,0 +1,1 @@
+lib/analysis/invariants.ml: Ddet_record Event Format Hashtbl Interp List Mvm Printf String Trace Value

@@ -1,0 +1,1 @@
+lib/analysis/invariants.mli: Ddet_record Event Format Interp Mvm

@@ -1,0 +1,1 @@
+lib/analysis/plane.ml: Ddet_record List String Taint_profile

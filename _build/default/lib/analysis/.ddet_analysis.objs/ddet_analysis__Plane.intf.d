@@ -1,0 +1,1 @@
+lib/analysis/plane.mli: Ddet_record Taint_profile

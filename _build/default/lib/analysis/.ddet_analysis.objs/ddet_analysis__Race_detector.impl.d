@@ -1,0 +1,1 @@
+lib/analysis/race_detector.ml: Event Format Hashtbl Mvm Printf Prng Vec

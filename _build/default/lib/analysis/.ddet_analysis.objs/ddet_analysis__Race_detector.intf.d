@@ -1,0 +1,1 @@
+lib/analysis/race_detector.mli: Event Format Mvm

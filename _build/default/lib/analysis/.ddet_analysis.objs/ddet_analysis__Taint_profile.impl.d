@@ -1,0 +1,1 @@
+lib/analysis/taint_profile.ml: Event Format Hashtbl Interp List Mvm Option String Trace

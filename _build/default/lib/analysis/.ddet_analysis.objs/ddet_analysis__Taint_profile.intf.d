@@ -1,0 +1,1 @@
+lib/analysis/taint_profile.mli: Format Interp Mvm

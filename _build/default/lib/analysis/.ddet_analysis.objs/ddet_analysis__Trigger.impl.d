@@ -1,0 +1,1 @@
+lib/analysis/trigger.ml: Ddet_record Event Invariants List Mvm Printf Race_detector String Value

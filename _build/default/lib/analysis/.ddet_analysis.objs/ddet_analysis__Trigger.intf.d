@@ -1,0 +1,1 @@
+lib/analysis/trigger.mli: Ddet_record Event Invariants Mvm Race_detector

@@ -1,0 +1,30 @@
+(** Dynamic invariant inference, Daikon-style (Ernst et al.), for data-based
+    selection (§3.1.2).
+
+    Training runs (before release) yield likely invariants — ranges of
+    shared scalars and of input values. In production, the RCSE recorder
+    monitors them; the first violation is the signal that the execution is
+    likely on an error path, and recording dials up from that point. *)
+
+open Mvm
+
+type bound = { lo : int; hi : int }
+
+type t = {
+  scalar_bounds : (string * bound) list;  (** per shared scalar region *)
+  input_bounds : (string * bound) list;  (** per input channel *)
+}
+
+(** [infer rs] learns bounds from training runs (integer-valued writes and
+    inputs only; other value shapes are ignored). *)
+val infer : Interp.result list -> t
+
+(** [violation t e] names the violated invariant, if [e] breaks one. *)
+val violation : t -> Event.t -> string option
+
+(** [selector t] is the data-based RCSE selector: low fidelity until the
+    first violation, high fidelity from that event onward (the invariant
+    telling us the root cause may be live from here). *)
+val selector : t -> Ddet_record.Fidelity_level.selector
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+type t = Control | Data
+
+let to_string = function Control -> "control" | Data -> "data"
+let equal a b = match a, b with Control, Control | Data, Data -> true | _ -> false
+
+type map = (string * t) list
+
+let classify profile ~threshold =
+  List.map
+    (fun (r : Taint_profile.row) ->
+      (r.fname, if r.rate > threshold then Data else Control))
+    profile
+
+let of_assoc l = l
+
+let plane_of map fname =
+  match List.assoc_opt fname map with Some p -> p | None -> Control
+
+let to_assoc map = List.sort (fun (a, _) (b, _) -> String.compare a b) map
+
+let selector map =
+  Ddet_record.Fidelity_level.by_function ~name:"code-based" (fun fname ->
+      match plane_of map fname with
+      | Control -> Ddet_record.Fidelity_level.High
+      | Data -> Ddet_record.Fidelity_level.Low)

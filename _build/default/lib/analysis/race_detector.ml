@@ -1,0 +1,76 @@
+open Mvm
+
+type config = { sample_rate : float; window : int; seed : int }
+
+let default_config = { sample_rate = 1.0; window = 50; seed = 1 }
+
+type report = {
+  region : string;
+  index : int option;
+  sid_first : int;
+  sid_second : int;
+  tid_first : int;
+  tid_second : int;
+  step : int;
+}
+
+type last = { l_step : int; l_tid : int; l_sid : int; l_write : bool }
+
+type t = {
+  config : config;
+  rng : Prng.t;
+  last_access : (string * int option, last) Hashtbl.t;
+  found : report Vec.t;
+}
+
+let create config =
+  {
+    config;
+    rng = Prng.create config.seed;
+    last_access = Hashtbl.create 64;
+    found = Vec.create ();
+  }
+
+let observe t (e : Event.t) =
+  let access =
+    match e.kind with
+    | Event.Read a -> Some (a, false)
+    | Event.Write a -> Some (a, true)
+    | _ -> None
+  in
+  match access with
+  | None -> None
+  | Some (a, is_write) ->
+    let key = (a.region, a.index) in
+    let report =
+      match Hashtbl.find_opt t.last_access key with
+      | Some l
+        when l.l_tid <> e.tid
+             && e.step - l.l_step <= t.config.window
+             && (is_write || l.l_write)
+             && Prng.float t.rng < t.config.sample_rate ->
+        let r =
+          {
+            region = a.region;
+            index = a.index;
+            sid_first = l.l_sid;
+            sid_second = e.sid;
+            tid_first = l.l_tid;
+            tid_second = e.tid;
+            step = e.step;
+          }
+        in
+        Vec.push t.found r;
+        Some r
+      | _ -> None
+    in
+    Hashtbl.replace t.last_access key
+      { l_step = e.step; l_tid = e.tid; l_sid = e.sid; l_write = is_write };
+    report
+
+let reports t = Vec.to_list t.found
+
+let pp_report ppf r =
+  Format.fprintf ppf "race on %s%s: t%d@s%d vs t%d@s%d at step %d" r.region
+    (match r.index with Some i -> Printf.sprintf "[%d]" i | None -> "")
+    r.tid_first r.sid_first r.tid_second r.sid_second r.step

@@ -1,0 +1,47 @@
+open Mvm
+
+type row = { fname : string; steps : int; data_bytes : int; rate : float }
+
+type t = row list
+
+let of_results results =
+  let steps_tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let bytes_tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let bump tbl key n =
+    Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  List.iter
+    (fun (r : Interp.result) ->
+      Trace.iter
+        (fun (e : Event.t) ->
+          (match e.kind with Event.Step -> bump steps_tbl e.fname 1 | _ -> ());
+          let b = Event.data_bytes e in
+          if b > 0 then bump bytes_tbl e.fname b)
+        r.trace)
+    results;
+  let fnames =
+    List.sort_uniq String.compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) steps_tbl []
+      @ Hashtbl.fold (fun k _ acc -> k :: acc) bytes_tbl [])
+  in
+  List.map
+    (fun fname ->
+      let steps = Option.value ~default:0 (Hashtbl.find_opt steps_tbl fname) in
+      let data_bytes = Option.value ~default:0 (Hashtbl.find_opt bytes_tbl fname) in
+      { fname; steps; data_bytes; rate = float_of_int data_bytes /. float_of_int (max 1 steps) })
+    fnames
+  |> List.sort (fun a b -> compare b.rate a.rate)
+
+let rate t fname =
+  match List.find_opt (fun r -> String.equal r.fname fname) t with
+  | Some r -> r.rate
+  | None -> 0.
+
+let total_bytes t = List.fold_left (fun acc r -> acc + r.data_bytes) 0 t
+
+let pp ppf t =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-24s %8d steps %10d bytes %8.2f B/step@." r.fname
+        r.steps r.data_bytes r.rate)
+    t

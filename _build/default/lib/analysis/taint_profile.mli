@@ -1,0 +1,30 @@
+(** Per-function data-rate profiling (the measurement behind control-plane /
+    data-plane classification, after Altekar & Stoica, HotDep'10).
+
+    Values in the VM carry taint naming the input channels they derive from;
+    an event's {!Mvm.Event.data_bytes} is the input-derived payload it
+    moves. Profiling training runs gives each function a data rate —
+    input-derived bytes moved per step executed in that function. *)
+
+open Mvm
+
+type row = {
+  fname : string;
+  steps : int;  (** scheduler steps spent in the function *)
+  data_bytes : int;  (** input-derived bytes moved by its events *)
+  rate : float;  (** [data_bytes / max 1 steps] *)
+}
+
+type t = row list
+
+(** [of_results rs] profiles one or more (training) runs; rows are sorted by
+    descending rate. *)
+val of_results : Interp.result list -> t
+
+(** [rate t fname] is the measured rate, or [0.] for an unseen function. *)
+val rate : t -> string -> float
+
+(** [total_bytes t] is the input-derived bytes across all functions. *)
+val total_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

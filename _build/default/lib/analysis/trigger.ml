@@ -1,0 +1,44 @@
+open Mvm
+
+type t = {
+  name : string;
+  fired : Event.t -> bool;
+}
+
+let manual ~name fired = { name; fired }
+
+let of_race_detector rd =
+  { name = "race-detector"; fired = (fun e -> Race_detector.observe rd e <> None) }
+
+let of_invariants inv =
+  { name = "invariants"; fired = (fun e -> Invariants.violation inv e <> None) }
+
+let large_input ~chan ~threshold =
+  {
+    name = Printf.sprintf "large-input(%s>%d)" chan threshold;
+    fired =
+      (fun (e : Event.t) ->
+        match e.kind with
+        | Event.In io when String.equal io.chan chan -> (
+          match io.value.Value.v with
+          | Value.Vint n -> n > threshold
+          | Value.Vstr s -> String.length s > threshold
+          | Value.Vbool _ | Value.Vunit -> false)
+        | _ -> false);
+  }
+
+let selector ?(sticky = false) ?(window = 500) triggers =
+  let high_until = ref (-1) in
+  let name =
+    "triggers(" ^ String.concat "," (List.map (fun t -> t.name) triggers) ^ ")"
+  in
+  {
+    Ddet_record.Fidelity_level.name;
+    level =
+      (fun (e : Event.t) ->
+        let fired = List.exists (fun t -> t.fired e) triggers in
+        if fired then
+          high_until := if sticky then max_int else max !high_until (e.step + window);
+        if e.step <= !high_until then Ddet_record.Fidelity_level.High
+        else Ddet_record.Fidelity_level.Low);
+  }

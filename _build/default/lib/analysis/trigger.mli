@@ -1,0 +1,39 @@
+(** Dynamic triggers (§3.1.3): runtime predicates over code and data that
+    dial recording fidelity up, with a dial-down policy when they stay
+    quiet.
+
+    A trigger fires on events ("a race was just detected", "an invariant
+    was just violated", "a request larger than the threshold arrived");
+    {!selector} turns a set of triggers into an RCSE fidelity selector:
+    every firing opens (or extends) a high-fidelity window of [window]
+    steps; [sticky] keeps fidelity high forever after the first firing
+    ("increase the determinism guarantees onward from the point of
+    detection"). *)
+
+open Mvm
+
+type t = {
+  name : string;
+  fired : Event.t -> bool;  (** stateful; called on every event in order *)
+}
+
+(** [manual ~name f] wraps a predicate. *)
+val manual : name:string -> (Event.t -> bool) -> t
+
+(** [of_race_detector rd] fires whenever the sampling race detector reports
+    a race at the current event. *)
+val of_race_detector : Race_detector.t -> t
+
+(** [of_invariants inv] fires on the events that violate a trained
+    invariant. *)
+val of_invariants : Invariants.t -> t
+
+(** [large_input ~chan ~threshold] is the paper's data-based example: fire
+    when an input on [chan] is an integer above [threshold] or a string
+    longer than [threshold]. *)
+val large_input : chan:string -> threshold:int -> t
+
+(** [selector ?sticky ?window triggers] builds the combined selector.
+    Default [window] is 500 steps; default [sticky] is [false]. *)
+val selector :
+  ?sticky:bool -> ?window:int -> t list -> Ddet_record.Fidelity_level.selector

@@ -1,0 +1,1 @@
+lib/apps/adder.ml: App Ddet_metrics Interp List Mvm Root_cause Spec Trace Value

@@ -1,0 +1,1 @@
+lib/apps/adder.mli: App

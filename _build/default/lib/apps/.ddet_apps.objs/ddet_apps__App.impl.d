@@ -1,0 +1,1 @@
+lib/apps/app.ml: Ddet_metrics Interp Label Mvm Spec World

@@ -1,0 +1,1 @@
+lib/apps/bufover.ml: App Ddet_metrics Interp List Mvm Root_cause Spec String Trace Value

@@ -1,0 +1,1 @@
+lib/apps/bufover.mli: App

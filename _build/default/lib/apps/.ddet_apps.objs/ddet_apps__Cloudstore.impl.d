@@ -1,0 +1,1 @@
+lib/apps/cloudstore.ml: App Ddet_metrics Event Interp List Mvm Printf Root_cause Spec String Trace Value

@@ -1,0 +1,1 @@
+lib/apps/cloudstore.mli: App

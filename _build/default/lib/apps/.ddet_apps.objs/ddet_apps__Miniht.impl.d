@@ -1,0 +1,1 @@
+lib/apps/miniht.ml: App Ddet_metrics Interp List Mvm Printf Root_cause Spec String Trace Value

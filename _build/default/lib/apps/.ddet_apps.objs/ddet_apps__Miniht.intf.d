@@ -1,0 +1,1 @@
+lib/apps/miniht.mli: App

@@ -1,0 +1,1 @@
+lib/apps/msg_server.ml: App Ddet_metrics Interp List Mvm Printf Root_cause Spec String Trace Value

@@ -1,0 +1,1 @@
+lib/apps/msg_server.mli: App

@@ -1,0 +1,1 @@
+lib/apps/workload.ml: App Ddet_metrics Interp List Mvm Root_cause String

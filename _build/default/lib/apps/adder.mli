@@ -1,0 +1,12 @@
+(** The paper's §2 arithmetic example: a program that outputs the sum of two
+    inputs, except that a defect (modelling an array-indexing bug) makes it
+    output 5 for the inputs (2, 2).
+
+    This is the canonical demonstration that output determinism
+    under-constrains replay: an output-deterministic replayer may produce
+    the output 5 from inputs like (1, 4) or (0, 5) — a correct sum, hence
+    no failure at all, hence debugging fidelity 0. *)
+
+(** [app ()] builds the application. Inputs are drawn from channels ["a"]
+    and ["b"] with domain 0..9; the sum is emitted on channel ["sum"]. *)
+val app : unit -> App.t

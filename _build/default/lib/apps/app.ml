@@ -1,0 +1,16 @@
+open Mvm
+
+type t = {
+  name : string;
+  descr : string;
+  labeled : Label.labeled;
+  spec : Spec.t;
+  catalog : Ddet_metrics.Root_cause.catalog;
+  control_plane : string list;
+}
+
+let run ?max_steps app world =
+  Spec.apply app.spec (Interp.run ?max_steps app.labeled world)
+
+let production_run ?max_steps app ~seed =
+  run ?max_steps app (World.random ~seed)

@@ -1,0 +1,25 @@
+(** The common shape of a workload application: a program, its I/O
+    specification, its root-cause catalog, and the ground-truth
+    control-plane function list used to validate automatic
+    classification. *)
+
+open Mvm
+
+type t = {
+  name : string;
+  descr : string;
+  labeled : Label.labeled;
+  spec : Spec.t;
+  catalog : Ddet_metrics.Root_cause.catalog;
+  control_plane : string list;
+      (** ground truth: function names that are control-plane (everything
+          else is data-plane); empty when the app has no meaningful split *)
+}
+
+(** [run ?max_steps app world] executes the app and judges it with its own
+    specification. *)
+val run : ?max_steps:int -> t -> World.t -> Interp.result
+
+(** [production_run app ~seed] is [run] under a seeded random world — the
+    model of an uncontrolled production environment. *)
+val production_run : ?max_steps:int -> t -> seed:int -> Interp.result

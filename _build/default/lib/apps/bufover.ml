@@ -1,0 +1,50 @@
+open Mvm
+open Mvm.Dsl
+open Ddet_metrics
+
+let buffer_len = 8
+
+let program () =
+  program ~name:"bufover"
+    ~regions:[ array "buf" buffer_len (Value.int 0) ]
+    ~inputs:[ ("len", List.init 16 Value.int) ]
+    ~main:"main"
+    [
+      func "main" []
+        [
+          input "n" "len";
+          (* the defect: no check of n against the buffer length *)
+          for_ "k" (i 0) (v "n") [ store "buf" (v "k") (i 1) ];
+          output "copied" (v "n");
+        ];
+    ]
+
+let missing_check =
+  Root_cause.make ~id:"missing-bounds-check"
+    ~descr:"copy loop writes past the buffer because the input size is unchecked"
+    (fun r ->
+      match Trace.inputs_on r.Interp.trace "len" with
+      | (_, _, Value.Vint n) :: _ -> n > buffer_len
+      | _ -> false)
+
+let catalog =
+  {
+    Root_cause.app = "bufover";
+    failure_sig =
+      (function
+        | Mvm.Failure.Crash { msg; _ } ->
+          (* any out-of-bounds crash on the copy *)
+          String.length msg >= 9 && String.sub msg 0 9 = "array buf"
+        | _ -> false);
+    causes = [ missing_check ];
+  }
+
+let app () =
+  {
+    App.name = "bufover";
+    descr = "unchecked copy into a fixed buffer — the paper's Sec. 3 crash example";
+    labeled = program ();
+    spec = Spec.accept_all;
+    catalog;
+    control_plane = [];
+  }

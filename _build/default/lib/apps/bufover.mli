@@ -1,0 +1,10 @@
+(** The paper's §3 example: a buffer overflow that crashes the program
+    because a length check is missing before a copy. The fix — "add a check
+    on the input size" — is the predicate whose negation is the root cause.
+    A single-cause catalog: failure determinism scores full fidelity here,
+    which keeps the benchmark honest (ultra-relaxed models are not always
+    bad). *)
+
+(** [app ()] builds the application. The input channel ["len"] (domain
+    0..15) drives a copy into an 8-cell buffer. *)
+val app : unit -> App.t

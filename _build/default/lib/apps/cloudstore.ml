@@ -1,0 +1,277 @@
+open Mvm
+open Mvm.Dsl
+open Ddet_metrics
+
+type params = {
+  n_writers : int;
+  blocks_per_writer : int;
+  payload_len : int;
+}
+
+let default_params = { n_writers = 2; blocks_per_writer = 4; payload_len = 256 }
+
+let rc_race = "early-ack-race"
+let rc_drop = "replication-drop"
+let rc_disk = "disk-fault"
+
+let ack_chan w = Printf.sprintf "ack_%d" w
+let resp_chan w = Printf.sprintf "resp_%d" w
+let writer_name w = Printf.sprintf "writer%d" w
+
+let fault_domain = [ 0; 0; 0; 0; 0; 0; 0; 1 ] |> List.map Value.int
+
+let payload_domain p =
+  [ 'p'; 'q'; 'r' ] |> List.map (fun c -> Value.str (String.make p.payload_len c))
+
+(* Route a response or acknowledgement to the writer owning block [idv]:
+   writer w owns ids [w*B, (w+1)*B). *)
+let route_by_id p idv chan_of =
+  let rec chain w =
+    if w = p.n_writers - 1 then [ send (chan_of w) (v "r") ]
+    else
+      [
+        if_
+          (v idv <: i ((w + 1) * p.blocks_per_writer))
+          [ send (chan_of w) (v "r") ]
+          (chain (w + 1));
+      ]
+  in
+  match chain 0 with [ s ] -> s | ss -> if_ (b true) ss []
+
+(* Control-plane helpers: fault handling and routing decisions live in
+   their own low-data-rate functions, as in miniht. *)
+let startup_p_func =
+  func "startup_p" [] [ input "f" "fault_net"; return (v "f") ]
+
+let startup_s_func =
+  func "startup_s" [] [ input "f" "fault_disk"; return (v "f") ]
+
+let pick_verify_func =
+  func "pick_verify" [] [ input "b" "verify_block"; return (v "b") ]
+
+let pick_replica_func =
+  func "pick_replica" [] [ input "c" "replica_choice"; return (v "c") ]
+
+(* The primary chunkserver: stores writes, ACKNOWLEDGES BEFORE FORWARDING
+   the replication (the early-ack defect), serves reads from disk_0 and
+   drops exactly one replication when the forwarding-link fault fires. *)
+let primary_func p =
+  let poll =
+    [
+      try_recv "okw" "bid" "write_0";
+      when_ (v "okw")
+        [
+          recv "m" "write_0";
+          store "disk_0" (v "bid") (i 1);
+          store_g "bytes_p" (g "bytes_p" +: str_len (v "m"));
+          assign "r" (i 1);
+          route_by_id p "bid" ack_chan;
+          if_
+            ((v "fnet" =: i 1) &&: (v "dropped" =: i 0))
+            [ assign "dropped" (i 1) ]
+            [ send "repl" (v "bid"); send "repl" (v "m") ];
+        ];
+      try_recv "okr" "rb" "read_0";
+      when_ (v "okr")
+        [ assign "r" (idx "disk_0" (v "rb")); route_by_id p "rb" resp_chan ];
+    ]
+  in
+  func "primary" []
+    ([
+       call ~dest:"fnet" "startup_p" [];
+       assign "dropped" (i 0);
+       assign "stopped" (i 0);
+       while_ (v "stopped" =: i 0)
+         (poll
+         @ [
+             try_recv "okc" "cm" "ctl_p";
+             when_ (v "okc") [ assign "stopped" (i 1) ];
+             yield;
+           ]);
+     ]
+    @ [
+        assign "more" (b true);
+        while_ (v "more") (poll @ [ assign "more" (v "okw" ||: v "okr") ]);
+        send "ack_p" (i 1);
+      ])
+
+(* The secondary chunkserver: applies replications (unless its disk
+   faulted) and serves reads from disk_1. *)
+let secondary_func p =
+  let poll =
+    [
+      try_recv "okr2" "rid" "repl";
+      when_ (v "okr2")
+        [
+          recv "m" "repl";
+          when_ (v "fdisk" =: i 0)
+            [
+              store "disk_1" (v "rid") (i 1);
+              store_g "bytes_s" (g "bytes_s" +: str_len (v "m"));
+            ];
+        ];
+      try_recv "okq" "rb" "read_1";
+      when_ (v "okq")
+        [ assign "r" (idx "disk_1" (v "rb")); route_by_id p "rb" resp_chan ];
+    ]
+  in
+  func "secondary" []
+    ([
+       call ~dest:"fdisk" "startup_s" [];
+       assign "stopped" (i 0);
+       while_ (v "stopped" =: i 0)
+         (poll
+         @ [
+             try_recv "okc" "cm" "ctl_s";
+             when_ (v "okc") [ assign "stopped" (i 1) ];
+             yield;
+           ]);
+     ]
+    @ [
+        assign "more" (b true);
+        while_ (v "more") (poll @ [ assign "more" (v "okr2" ||: v "okq") ]);
+        send "ack_s" (i 1);
+      ])
+
+let writer_func p w =
+  func (writer_name w) []
+    [
+      for_ "k" (i 0)
+        (i p.blocks_per_writer)
+        [
+          input "m" "blk_data";
+          (* one upload per connection: the id/payload pair is serialised *)
+          lock "wl";
+          send "write_0" (i (w * p.blocks_per_writer) +: v "k");
+          send "write_0" (v "m");
+          unlock "wl";
+          recv "a" (ack_chan w);
+        ];
+      (* verify one of our blocks through a load-balanced replica *)
+      call ~dest:"vb" "pick_verify" [];
+      assign "b" (i (w * p.blocks_per_writer) +: v "vb");
+      call ~dest:"rep" "pick_replica" [];
+      if_ (v "rep" =: i 0)
+        [ send "read_0" (v "b") ]
+        [ send "read_1" (v "b") ];
+      recv "res" (resp_chan w);
+      if_ (v "res" =: i 0)
+        [ send "wdone" (i 1) ]
+        [ send "wdone" (i 0) ];
+    ]
+
+let main_func p =
+  func "main" []
+    ([ spawn "primary" []; spawn "secondary" [] ]
+    @ List.init p.n_writers (fun w -> spawn (writer_name w) [])
+    @ [
+        assign "stales" (i 0);
+        for_ "c" (i 0) (i p.n_writers)
+          [ recv "d" "wdone"; assign "stales" (v "stales" +: v "d") ];
+        send "ctl_p" (i 2);
+        recv "ap" "ack_p";
+        send "ctl_s" (i 2);
+        recv "as_" "ack_s";
+        output "reads" (i p.n_writers);
+        output "stales" (v "stales");
+      ])
+
+let program p =
+  let total = p.n_writers * p.blocks_per_writer in
+  program ~name:"cloudstore"
+    ~regions:
+      [
+        array "disk_0" total (Value.int 0);
+        array "disk_1" total (Value.int 0);
+        scalar "bytes_p" (Value.int 0);
+        scalar "bytes_s" (Value.int 0);
+      ]
+    ~inputs:
+      [
+        ("blk_data", payload_domain p);
+        ("verify_block", List.init p.blocks_per_writer Value.int);
+        ("replica_choice", [ Value.int 0; Value.int 1 ]);
+        ("fault_net", fault_domain);
+        ("fault_disk", fault_domain);
+      ]
+    ~main:"main"
+    ([
+       main_func p;
+       primary_func p;
+       secondary_func p;
+       startup_p_func;
+       startup_s_func;
+       pick_verify_func;
+       pick_replica_func;
+     ]
+    @ List.init p.n_writers (writer_func p))
+
+let spec =
+  Spec.make "acked-blocks-readable" (fun r ->
+      match Trace.outputs_on r.Interp.trace "stales" with
+      | [ Value.Vint 0 ] -> Ok ()
+      | [ Value.Vint n ] when n > 0 -> Error "stale-read"
+      | _ -> Error "malformed-io")
+
+(* The transient signature of the race: a read observed 0 in a cell that
+   holds 1 by the end of the run — the replication arrived after the
+   read. Dropped or disk-faulted replications leave the cell at 0. *)
+let race_cause p =
+  Root_cause.make ~id:rc_race
+    ~descr:
+      "a load-balanced read reached the secondary before the replication of \
+       an already-acknowledged block"
+    (fun r ->
+      let t = r.Interp.trace in
+      let total = p.n_writers * p.blocks_per_writer in
+      let stale_then_present b =
+        Trace.exists
+          (fun (e : Event.t) ->
+            match e.Event.kind with
+            | Event.Read { region = "disk_1"; index = Some i; value }
+              when i = b ->
+              Value.equal value.Value.v (Value.int 0)
+            | _ -> false)
+          t
+        && Value.equal
+             (Trace.array_cell_at t "disk_1" ~index:b ~init:(Value.int 0)
+                ~step:max_int)
+             (Value.int 1)
+      in
+      List.exists stale_then_present (List.init total (fun b -> b)))
+
+let fault_fired trace chan =
+  List.exists
+    (fun (_, _, v) -> Value.equal v (Value.int 1))
+    (Trace.inputs_on trace chan)
+
+let drop_cause =
+  Root_cause.make ~id:rc_drop
+    ~descr:"the forwarding link dropped a replication; the block never arrives"
+    (fun r -> fault_fired r.Interp.trace "fault_net")
+
+let disk_cause =
+  Root_cause.make ~id:rc_disk
+    ~descr:"the secondary's disk rejected writes"
+    (fun r -> fault_fired r.Interp.trace "fault_disk")
+
+let catalog p =
+  {
+    Root_cause.app = "cloudstore";
+    failure_sig =
+      (function Mvm.Failure.Spec_violation "stale-read" -> true | _ -> false);
+    causes = [ race_cause p; drop_cause; disk_cause ];
+  }
+
+let app ?(params = default_params) () =
+  {
+    App.name = "cloudstore";
+    descr =
+      "replicated block store: early acks race load-balanced reads against \
+       the replication pipeline";
+    labeled = program params;
+    spec;
+    catalog = catalog params;
+    control_plane =
+      [ "main"; "startup_p"; "startup_s"; "pick_verify"; "pick_replica" ];
+  }

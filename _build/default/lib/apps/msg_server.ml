@@ -1,0 +1,128 @@
+open Mvm
+open Mvm.Dsl
+open Ddet_metrics
+
+type params = {
+  messages_per_producer : int;
+  payload_len : int;
+  stagger : int;
+      (** idle iterations producer 1 performs before starting: arrivals are
+          bursty, so the producers only overlap at the burst boundary and
+          the lost-update race is rare — hard to reproduce, like the
+          paper's failures *)
+}
+
+let default_params = { messages_per_producer = 6; payload_len = 128; stagger = 18 }
+
+let drop_marker = "DROP"
+
+let net_domain p =
+  let payload c = Value.str (String.make p.payload_len c) in
+  (* one in eight messages is lost to congestion *)
+  [
+    payload 'a'; payload 'b'; payload 'c'; payload 'd';
+    payload 'e'; payload 'f'; payload 'g';
+    Value.str drop_marker;
+  ]
+
+let producer_name p = Printf.sprintf "producer%d" p
+
+(* Enqueue without synchronisation: read the cursor, get preempted, write —
+   the classic lost-update race that overwrites a peer's slot. *)
+let producer p params =
+  func (producer_name p) []
+    [
+      (* stagger the second producer's burst *)
+      for_ "w" (i 0) (i (p * params.stagger)) [ skip ];
+      assign "sent" (i 0);
+      for_ "k" (i 0)
+        (i params.messages_per_producer)
+        [
+          input "m" "net";
+          if_
+            (v "m" =: s drop_marker)
+            [ (* dropped in the network; the producer still counts it *) skip ]
+            [
+              assign "idx" (g "cursor");
+              yield;
+              store "buf" (v "idx") (v "m");
+              store_g "cursor" (v "idx" +: i 1);
+            ];
+          assign "sent" (v "sent" +: i 1);
+        ];
+      send (Printf.sprintf "done%d" p) (v "sent");
+    ]
+
+let program params =
+  let cap = 2 * params.messages_per_producer * 2 in
+  program ~name:"msg_server"
+    ~regions:
+      [ scalar "cursor" (Value.int 0); array "buf" cap (Value.str "") ]
+    ~inputs:[ ("net", net_domain params) ]
+    ~main:"main"
+    [
+      func "main" []
+        [
+          spawn (producer_name 0) [];
+          spawn (producer_name 1) [];
+          recv "c0" "done0";
+          recv "c1" "done1";
+          output "sent" (v "c0" +: v "c1");
+          output "delivered" (g "cursor");
+        ];
+      producer 0 params;
+      producer 1 params;
+    ]
+
+let spec =
+  Spec.make "all-sent-delivered" (fun r ->
+      match
+        ( Trace.outputs_on r.Interp.trace "sent",
+          Trace.outputs_on r.Interp.trace "delivered" )
+      with
+      | [ Value.Vint sent ], [ Value.Vint delivered ] ->
+        if delivered < sent then Error "dropped-messages"
+        else if delivered > sent then Error "phantom-messages"
+        else Ok ()
+      | _ -> Error "malformed-io")
+
+let buffer_race =
+  Root_cause.make ~id:"buffer-race"
+    ~descr:"unsynchronised cursor update loses a slot when producers interleave"
+    (fun r ->
+      let writes = Trace.writes_to_scalar r.Interp.trace "cursor" in
+      List.exists
+        (fun (_, tid1, v1) ->
+          List.exists
+            (fun (_, tid2, v2) -> tid1 <> tid2 && Value.equal v1 v2)
+            writes)
+        writes)
+
+let congestion =
+  Root_cause.make ~id:"network-congestion"
+    ~descr:"the network dropped a message before it reached the server"
+    (fun r ->
+      List.exists
+        (fun (_, _, v) -> Value.equal v (Value.str drop_marker))
+        (Trace.inputs_on r.Interp.trace "net"))
+
+let catalog =
+  {
+    Root_cause.app = "msg_server";
+    failure_sig =
+      (function
+        | Mvm.Failure.Spec_violation "dropped-messages" -> true | _ -> false);
+    causes = [ buffer_race; congestion ];
+  }
+
+let app ?(params = default_params) () =
+  {
+    App.name = "msg_server";
+    descr =
+      "server dropping messages: buffer race vs. network congestion — the \
+       paper's Sec. 2 multi-root-cause example";
+    labeled = program params;
+    spec;
+    catalog;
+    control_plane = [ "main" ];
+  }

@@ -1,0 +1,28 @@
+(** Workload drivers: finding production runs with the failure (and root
+    cause) an experiment needs, and training runs for the analyses. *)
+
+open Mvm
+
+(** [find_failing_seed ?cause ?exclusive ?from ?max_seeds app] scans seeds
+    for a production run whose failure matches the app's catalog. With
+    [cause], the primary observed root cause must be that id; with
+    [exclusive] (default false), it must be the *only* observed cause —
+    clean attribution for the original execution of an experiment. Returns
+    the seed and the judged run. *)
+val find_failing_seed :
+  ?cause:string ->
+  ?exclusive:bool ->
+  ?from:int ->
+  ?max_seeds:int ->
+  App.t ->
+  (int * Interp.result) option
+
+(** [training_runs ?n ?from app] is [n] (default 5) seeded production runs
+    — input for invariant inference and plane classification. Training
+    runs are not filtered: like pre-release testing, they may or may not
+    contain failures. *)
+val training_runs : ?n:int -> ?from:int -> App.t -> Interp.result list
+
+(** [failure_rate ?n ?from app] is the fraction of seeds whose run fails —
+    workload characterisation for reports. *)
+val failure_rate : ?n:int -> ?from:int -> App.t -> float

@@ -1,0 +1,1 @@
+lib/core/config.mli: Cost_model Ddet_analysis Ddet_record Ddet_replay Search

@@ -1,0 +1,1 @@
+lib/core/explore.mli: App Config Ddet_apps Ddet_record Ddet_replay Experiment Interp Mvm

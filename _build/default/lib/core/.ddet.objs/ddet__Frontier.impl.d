@@ -1,0 +1,1 @@
+lib/core/frontier.ml: Adder App Ast Ddet_apps Ddet_metrics Ddet_replay Event Experiment Fun Interp Label List Miniht Model Mvm Printf Report Session String Trace Value Workload

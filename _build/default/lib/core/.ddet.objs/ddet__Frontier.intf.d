@@ -1,0 +1,1 @@
+lib/core/frontier.mli: Ast Config Experiment Interp Mvm

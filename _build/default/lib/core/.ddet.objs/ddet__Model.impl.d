@@ -1,0 +1,1 @@
+lib/core/model.ml: List Printf String

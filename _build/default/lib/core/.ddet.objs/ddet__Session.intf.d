@@ -1,0 +1,1 @@
+lib/core/session.mli: App Config Ddet_analysis Ddet_apps Ddet_metrics Ddet_record Ddet_replay Interp Invariants Log Model Mvm Plane Recorder

@@ -1,0 +1,143 @@
+open Mvm
+open Ddet_apps
+open Ddet_metrics
+
+let input_channels (r : Interp.result) =
+  Trace.fold
+    (fun acc (e : Event.t) ->
+      match e.Event.kind with
+      | Event.In io -> if List.mem io.Event.chan acc then acc else io.Event.chan :: acc
+      | _ -> acc)
+    [] r.Interp.trace
+
+let inputs_values r chan =
+  List.map (fun (_, _, v) -> v) (Trace.inputs_on r.Interp.trace chan)
+
+let forensic_fidelity ~(original : Interp.result) ~(replay : Interp.result) =
+  let in_chans =
+    List.sort_uniq String.compare (input_channels original @ input_channels replay)
+  in
+  let out_chans =
+    List.sort_uniq String.compare
+      (List.map fst original.Interp.outputs @ List.map fst replay.Interp.outputs)
+  in
+  let seq_eq a b = List.length a = List.length b && List.for_all2 Value.equal a b in
+  let checks =
+    List.map
+      (fun c -> seq_eq (inputs_values original c) (inputs_values replay c))
+      in_chans
+    @ List.map
+        (fun c ->
+          seq_eq
+            (Trace.outputs_on original.Interp.trace c)
+            (Trace.outputs_on replay.Interp.trace c))
+        out_chans
+  in
+  match checks with
+  | [] -> 1.0
+  | _ ->
+    float_of_int (List.length (List.filter Fun.id checks))
+    /. float_of_int (List.length checks)
+
+let state_divergence ~regions ~(original : Interp.result) ~(replay : Interp.result) =
+  let diff = ref 0 and total = ref 0 in
+  let check final_a final_b =
+    incr total;
+    if not (Value.equal final_a final_b) then incr diff
+  in
+  List.iter
+    (function
+      | Ast.Scalar_decl (r, init) ->
+        check
+          (Trace.scalar_at original.Interp.trace r ~init ~step:max_int)
+          (Trace.scalar_at replay.Interp.trace r ~init ~step:max_int)
+      | Ast.Array_decl (r, n, init) ->
+        for index = 0 to n - 1 do
+          check
+            (Trace.array_cell_at original.Interp.trace r ~index ~init ~step:max_int)
+            (Trace.array_cell_at replay.Interp.trace r ~index ~init ~step:max_int)
+        done)
+    regions;
+  if !total = 0 then 0.0 else float_of_int !diff /. float_of_int !total
+
+let frontier_models =
+  [
+    Model.Perfect; Model.Value; Model.Sync; Model.Output; Model.Failure_det;
+    Model.Rcse Model.Code_based;
+  ]
+
+let experiment ?config () =
+  (* forensic analysis: the adder audit *)
+  let adder = Adder.app () in
+  let adder_seed, _ =
+    match Workload.find_failing_seed adder with
+    | Some (s, r) -> (s, r)
+    | None -> invalid_arg "no adder seed"
+  in
+  let forensic_rows =
+    List.map
+      (fun model ->
+        let prepared = Session.prepare ?config model adder in
+        let original, log = Session.record prepared ~seed:adder_seed in
+        let outcome = Session.replay prepared log in
+        match outcome.Ddet_replay.Replayer.result with
+        | None -> [ Model.name model; "-"; "(not replayed)" ]
+        | Some replay ->
+          let ff = forensic_fidelity ~original ~replay in
+          let show chan =
+            match inputs_values replay chan with
+            | [ v ] -> Value.to_string v
+            | _ -> "?"
+          in
+          [
+            Model.name model;
+            Report.fx ff;
+            Printf.sprintf "replayed inputs a=%s b=%s" (show "a") (show "b");
+          ])
+      frontier_models
+  in
+  (* fault tolerance: replica state agreement on miniht *)
+  let miniht = Miniht.app () in
+  let ht_seed, _ =
+    match
+      Workload.find_failing_seed ~cause:Miniht.rc_race ~exclusive:true miniht
+    with
+    | Some (s, r) -> (s, r)
+    | None -> invalid_arg "no miniht seed"
+  in
+  let regions = miniht.App.labeled.Label.prog.Ast.regions in
+  let ft_rows =
+    List.map
+      (fun model ->
+        let prepared = Session.prepare ?config model miniht in
+        let original, log = Session.record prepared ~seed:ht_seed in
+        let outcome = Session.replay prepared log in
+        match outcome.Ddet_replay.Replayer.result with
+        | None -> [ Model.name model; "-" ]
+        | Some replay ->
+          [ Model.name model; Report.fx (state_divergence ~regions ~original ~replay) ])
+      frontier_models
+  in
+  let body =
+    "Forensic analysis (adder, original inputs a=2 b=2 -> 5): an audit\n\
+     must reproduce the exact I/O history, scored as the fraction of\n\
+     channels whose input/output sequences match:\n\n"
+    ^ Report.table
+        ~headers:[ "model"; "forensic fidelity"; "evidence the audit would see" ]
+        forensic_rows
+    ^ "\n\nFault tolerance (miniht): a backup replayed from the log must end\n\
+       in the same state; the table shows the fraction of shared cells\n\
+       whose final value differs from the original:\n\n"
+    ^ Report.table ~headers:[ "model"; "state divergence" ] ft_rows
+    ^ "\n\nReading: output determinism is forensically unsound — it forges the\n\
+       inputs behind the recorded output, so the audit blames the wrong\n\
+       request. For fault tolerance, models that pin per-thread values or\n\
+       sync order reach the zero divergence a backup needs, while the\n\
+       ultra-relaxed models reach *a* failure state, not *the* state. The\n\
+       sweet spot depends on the domain — exactly the paper's closing\n\
+       question.\n"
+  in
+  {
+    Experiment.title = "OPEN-DOMAINS forensic analysis and fault tolerance";
+    body;
+  }

@@ -1,0 +1,47 @@
+type rcse_mode = Code_based | Data_based | Trigger_based | Combined
+
+type t =
+  | Perfect
+  | Value
+  | Sync
+  | Output
+  | Failure_det
+  | Rcse of rcse_mode
+
+let fig1_sequence =
+  [ Perfect; Value; Sync; Output; Failure_det; Rcse Combined ]
+
+let name = function
+  | Perfect -> "perfect"
+  | Value -> "value"
+  | Sync -> "sync"
+  | Output -> "output"
+  | Failure_det -> "failure"
+  | Rcse Code_based -> "rcse-code"
+  | Rcse Data_based -> "rcse-data"
+  | Rcse Trigger_based -> "rcse-trigger"
+  | Rcse Combined -> "rcse"
+
+let reference = function
+  | Perfect -> "ideal"
+  | Value -> "iDNA"
+  | Sync -> "ODR (inputs+sync)"
+  | Output -> "ODR (outputs only)"
+  | Failure_det -> "ESD"
+  | Rcse _ -> "this paper"
+
+let all =
+  [
+    Perfect; Value; Sync; Output; Failure_det;
+    Rcse Code_based; Rcse Data_based; Rcse Trigger_based; Rcse Combined;
+  ]
+
+let all_names = List.map name all
+
+let of_string s =
+  match List.find_opt (fun m -> String.equal (name m) s) all with
+  | Some m -> Ok m
+  | None ->
+    Error
+      (Printf.sprintf "unknown model %S (expected one of: %s)" s
+         (String.concat ", " all_names))

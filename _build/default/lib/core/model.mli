@@ -1,0 +1,29 @@
+(** The determinism models under study — the x-axis of the paper's Fig. 1,
+    plus the RCSE variants of §3.1. *)
+
+type rcse_mode =
+  | Code_based  (** control-plane code recorded precisely (§3.1.1) *)
+  | Data_based  (** dial up on trained-invariant violation (§3.1.2) *)
+  | Trigger_based  (** dial up on dynamic triggers, e.g. races (§3.1.3) *)
+  | Combined  (** all of the above *)
+
+type t =
+  | Perfect  (** full interleaving + inputs; the ideal of Fig. 1 *)
+  | Value  (** value determinism — iDNA *)
+  | Sync  (** sync-schedule + inputs, races inferred — ODR's heavy scheme *)
+  | Output  (** outputs only — ODR's light scheme *)
+  | Failure_det  (** failure descriptor only — ESD *)
+  | Rcse of rcse_mode  (** root-cause-driven selective recording *)
+
+(** The chronological relaxation sequence of Fig. 1, ending with RCSE
+    (combined) as the debug-determinism point. *)
+val fig1_sequence : t list
+
+val name : t -> string
+
+(** [reference m] is the published system the model abstracts ("iDNA",
+    "ODR", "ESD", ...), for reports. *)
+val reference : t -> string
+
+val of_string : string -> (t, string) result
+val all_names : string list

@@ -1,0 +1,182 @@
+open Mvm
+open Ddet_record
+open Ddet_replay
+open Ddet_analysis
+open Ddet_apps
+
+type prepared = {
+  app : App.t;
+  model : Model.t;
+  config : Config.t;
+  make_recorder : unit -> Recorder.t;
+  plane_map : Plane.map option;
+  invariants : Invariants.t option;
+}
+
+(* Training models pre-release testing: only passing runs teach the
+   analyses what "normal" looks like. *)
+let training_runs (config : Config.t) (app : App.t) =
+  let rec scan seed acc n =
+    if n = 0 || seed > config.training_seed_base + 300 then List.rev acc
+    else
+      let r = App.production_run app ~seed in
+      match r.Interp.failure with
+      | None -> scan (seed + 1) (r :: acc) (n - 1)
+      | Some _ -> scan (seed + 1) acc n
+  in
+  scan config.training_seed_base [] config.training_runs
+
+let code_selector plane_map = Plane.selector plane_map
+
+let data_selector invariants = Invariants.selector invariants
+
+let trigger_selector (config : Config.t) () =
+  Trigger.selector ~sticky:true ~window:config.trigger_window
+    [ Trigger.of_race_detector (Race_detector.create config.race_config) ]
+
+let prepare ?(config = Config.default) model (app : App.t) =
+  let trained = lazy (training_runs config app) in
+  let plane_map =
+    lazy
+      (Plane.classify
+         (Taint_profile.of_results (Lazy.force trained))
+         ~threshold:config.plane_threshold)
+  in
+  let invariants = lazy (Invariants.infer (Lazy.force trained)) in
+  let make_recorder, plane_used, inv_used =
+    match model with
+    | Model.Perfect -> (Full_recorder.create, false, false)
+    | Model.Value -> (Value_recorder.create, false, false)
+    | Model.Sync -> (Sync_recorder.create, false, false)
+    | Model.Output -> (Output_recorder.create, false, false)
+    | Model.Failure_det -> (Failure_recorder.create, false, false)
+    | Model.Rcse Model.Code_based ->
+      (* static selection: no flight ring needed *)
+      ( (fun () -> Rcse_recorder.create (code_selector (Lazy.force plane_map))),
+        true,
+        false )
+    | Model.Rcse Model.Data_based ->
+      ( (fun () ->
+          Rcse_recorder.create ?flight:config.Config.flight_ring
+            (data_selector (Lazy.force invariants))),
+        false,
+        true )
+    | Model.Rcse Model.Trigger_based ->
+      ( (fun () ->
+          Rcse_recorder.create ?flight:config.Config.flight_ring
+            (trigger_selector config ())),
+        false,
+        false )
+    | Model.Rcse Model.Combined ->
+      ( (fun () ->
+          Rcse_recorder.create ?flight:config.Config.flight_ring
+            (Fidelity_level.any
+               [
+                 code_selector (Lazy.force plane_map);
+                 data_selector (Lazy.force invariants);
+                 trigger_selector config ();
+               ])),
+        true,
+        true )
+  in
+  {
+    app;
+    model;
+    config;
+    make_recorder;
+    plane_map = (if plane_used then Some (Lazy.force plane_map) else None);
+    invariants = (if inv_used then Some (Lazy.force invariants) else None);
+  }
+
+let record prepared ~seed =
+  Recorder.record
+    (prepared.make_recorder ())
+    prepared.app.App.labeled ~spec:prepared.app.App.spec
+    ~world:(World.random ~seed)
+
+(* Output-determinism inference enumerates input assignments exhaustively
+   when the program is sequential (its only nondeterminism is inputs);
+   concurrent programs need schedule search instead. *)
+let has_spawn labeled =
+  Ast.fold_stmts
+    (fun acc _ s -> acc || match s.Ast.node with Ast.Spawn _ -> true | _ -> false)
+    false labeled.Label.prog
+
+let replay ?budget prepared log =
+  let labeled = prepared.app.App.labeled in
+  let spec = prepared.app.App.spec in
+  let budget = Option.value ~default:prepared.config.Config.budget budget in
+  match prepared.model with
+  | Model.Perfect -> Replayer.perfect labeled ~spec log
+  | Model.Value ->
+    Replayer.value_det ~budget:prepared.config.Config.value_budget labeled ~spec
+      log
+  | Model.Sync -> Replayer.sync_det ~budget labeled ~spec log
+  | Model.Output ->
+    Replayer.output_det ~budget ~exhaustive:(not (has_spawn labeled)) labeled
+      ~spec log
+  | Model.Failure_det -> Replayer.failure_det ~budget labeled ~spec log
+  | Model.Rcse mode ->
+    (* code-based selection records statically-chosen sites, so an
+       out-of-order recorded site is real divergence; windowed selections
+       revisit their sites outside the window legitimately *)
+    let strict = match mode with Model.Code_based -> true | _ -> false in
+    Replayer.rcse ~budget ~strict labeled ~spec log
+
+let assess prepared ~original ~log outcome =
+  let a =
+    Ddet_metrics.Utility.assess ~cost_model:prepared.config.Config.cost_model
+      ~catalog:prepared.app.App.catalog ~original ~log outcome
+  in
+  (* the replayer knows only its mechanism; name the configured model so
+     RCSE variants stay distinguishable in reports *)
+  { a with Ddet_metrics.Utility.model = Model.name prepared.model }
+
+let experiment ?config model app ~seed =
+  let prepared = prepare ?config model app in
+  let original, log = record prepared ~seed in
+  let outcome = replay prepared log in
+  assess prepared ~original ~log outcome
+
+let experiment_ensemble ?config ?(replays = 5) model app ~seed =
+  let prepared = prepare ?config model app in
+  let original, log = record prepared ~seed in
+  let base = prepared.config.Config.budget in
+  let assessments =
+    List.init (max 1 replays) (fun k ->
+        let budget = { base with Search.base_seed = base.Search.base_seed + (7919 * k) } in
+        assess prepared ~original ~log (replay ~budget prepared log))
+  in
+  let n = float_of_int (List.length assessments) in
+  let mean f = List.fold_left (fun acc a -> acc +. f a) 0. assessments /. n in
+  let modal_cause =
+    let tally = Hashtbl.create 8 in
+    List.iter
+      (fun (a : Ddet_metrics.Utility.assessment) ->
+        let key = Option.value ~default:"-" a.replay_cause in
+        Hashtbl.replace tally key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally key)))
+      assessments;
+    let best =
+      Hashtbl.fold
+        (fun k v acc ->
+          match acc with Some (_, v') when v' >= v -> acc | _ -> Some (k, v))
+        tally None
+    in
+    match best with Some ("-", _) | None -> None | Some (k, _) -> Some k
+  in
+  match assessments with
+  | [] -> assert false
+  | first :: _ ->
+    {
+      first with
+      Ddet_metrics.Utility.df = mean (fun a -> a.Ddet_metrics.Utility.df);
+      de = mean (fun a -> a.Ddet_metrics.Utility.de);
+      du = mean (fun a -> a.Ddet_metrics.Utility.du);
+      replay_cause = modal_cause;
+      attempts =
+        int_of_float (mean (fun a -> float_of_int a.Ddet_metrics.Utility.attempts));
+      inference_steps =
+        int_of_float
+          (mean (fun a -> float_of_int a.Ddet_metrics.Utility.inference_steps));
+    }

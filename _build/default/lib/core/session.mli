@@ -1,0 +1,82 @@
+(** The record / replay / assess pipeline — the library's headline API.
+
+    A debugging session follows the paper's lifecycle:
+
+    + {!prepare} a determinism model for an application — for RCSE models
+      this trains the analyses on passing runs (taint-profile plane
+      classification, invariant inference) exactly as §3.1 prescribes
+      ("before the software is released");
+    + {!record} a production run (a seeded random world) under the model's
+      recorder, judging it against the app's I/O specification;
+    + {!replay} the log — deterministic re-execution or inference search,
+      depending on the model;
+    + {!assess} the outcome: recording overhead, debugging fidelity,
+      efficiency and utility (§3.2).
+
+    {!experiment} chains all four. *)
+
+open Mvm
+open Ddet_record
+open Ddet_analysis
+open Ddet_apps
+
+type prepared = {
+  app : App.t;
+  model : Model.t;
+  config : Config.t;
+  make_recorder : unit -> Recorder.t;
+      (** fresh recorder per recording: selectors and triggers are
+          stateful *)
+  plane_map : Plane.map option;
+      (** the trained classification, for RCSE code-based/combined models *)
+  invariants : Invariants.t option;
+      (** the trained invariants, for RCSE data-based/combined models *)
+}
+
+(** [prepare ?config model app] trains whatever the model needs. *)
+val prepare : ?config:Config.t -> Model.t -> App.t -> prepared
+
+(** [record prepared ~seed] executes one production run under the model's
+    recorder and returns the judged run plus its log. *)
+val record : prepared -> seed:int -> Interp.result * Log.t
+
+(** [replay ?budget prepared log] reconstructs an execution per the model's
+    replay contract. [budget] overrides the config's inference budget (the
+    ensemble assessment varies its base seed). *)
+val replay :
+  ?budget:Ddet_replay.Search.budget ->
+  prepared ->
+  Log.t ->
+  Ddet_replay.Replayer.outcome
+
+(** [assess prepared ~original ~log outcome] computes the §3.2 metrics. *)
+val assess :
+  prepared ->
+  original:Interp.result ->
+  log:Log.t ->
+  Ddet_replay.Replayer.outcome ->
+  Ddet_metrics.Utility.assessment
+
+(** [experiment ?config model app ~seed] = prepare, record, replay,
+    assess. *)
+val experiment :
+  ?config:Config.t -> Model.t -> App.t -> seed:int -> Ddet_metrics.Utility.assessment
+
+(** [experiment_ensemble ?config ?replays model app ~seed] records once and
+    replays [replays] times (default 5) with independent search seeds,
+    averaging DF, DE and DU. Debug determinism demands *consistently*
+    reproducing the failure and root cause (§3), and a single search can
+    get lucky; the ensemble estimates the expectation. The reported replay
+    cause is the modal one across the ensemble. *)
+val experiment_ensemble :
+  ?config:Config.t ->
+  ?replays:int ->
+  Model.t ->
+  App.t ->
+  seed:int ->
+  Ddet_metrics.Utility.assessment
+
+(** [training_runs config app] is the passing runs used to train analyses
+    (scans seeds from [config.training_seed_base]). Exposed for examples
+    and tests. *)
+val training_runs : Config.t -> App.t -> Interp.result list

@@ -1,0 +1,1 @@
+lib/metrics/efficiency.ml: Ddet_replay Interp Mvm

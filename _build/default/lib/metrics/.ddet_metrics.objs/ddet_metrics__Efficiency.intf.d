@@ -1,0 +1,1 @@
+lib/metrics/efficiency.mli: Ddet_replay Interp Mvm

@@ -1,0 +1,1 @@
+lib/metrics/fidelity.ml: Interp Mvm Option Root_cause String

@@ -1,0 +1,1 @@
+lib/metrics/fidelity.mli: Interp Mvm Root_cause

@@ -1,0 +1,1 @@
+lib/metrics/report.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/metrics/root_cause.ml: Failure Interp List Mvm

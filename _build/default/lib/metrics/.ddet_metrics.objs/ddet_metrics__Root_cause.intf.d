@@ -1,0 +1,1 @@
+lib/metrics/root_cause.mli: Failure Interp Mvm

@@ -1,0 +1,1 @@
+lib/metrics/utility.ml: Cost_model Ddet_record Ddet_replay Efficiency Fidelity Format Option

@@ -1,0 +1,1 @@
+lib/metrics/utility.mli: Cost_model Ddet_record Ddet_replay Format Interp Log Mvm Root_cause

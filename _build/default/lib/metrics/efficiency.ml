@@ -1,0 +1,8 @@
+open Mvm
+
+let de ~original ~(outcome : Ddet_replay.Replayer.outcome) =
+  match outcome.result with
+  | None -> 0.
+  | Some _ ->
+    float_of_int (original : Interp.result).steps
+    /. float_of_int (max 1 outcome.total_steps)

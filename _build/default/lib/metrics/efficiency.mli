@@ -1,0 +1,13 @@
+(** Debugging efficiency (DE, §3.2): the duration of the original execution
+    divided by the time the tool takes to reproduce the failure, including
+    any analysis time.
+
+    Durations are measured uniformly in VM steps: the original run's steps
+    versus every step the replayer executed across all inference attempts.
+    Values are normally below 1; execution synthesis that finds a shorter
+    execution quickly can exceed 1, exactly as the paper notes. *)
+
+open Mvm
+
+(** [de ~original ~outcome] — 0 when the replay failed to reproduce. *)
+val de : original:Interp.result -> outcome:Ddet_replay.Replayer.outcome -> float

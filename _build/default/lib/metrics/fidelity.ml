@@ -1,0 +1,28 @@
+open Mvm
+
+let failure_reproduced (original : Interp.result) (replay : Interp.result) =
+  match original.failure, replay.failure with
+  | Some f, Some f' -> Mvm.Failure.equal f f'
+  | _ -> false
+
+let explain ~catalog ~original ~replay =
+  match replay with
+  | None -> (0., Option.map (fun c -> c.Root_cause.id) (Root_cause.primary catalog original), None)
+  | Some replay ->
+    let orig_cause = Root_cause.primary catalog original in
+    let replay_cause = Root_cause.primary catalog replay in
+    let id c = c.Root_cause.id in
+    if not (failure_reproduced original replay) then
+      (0., Option.map id orig_cause, Option.map id replay_cause)
+    else
+      let n = max 1 (Root_cause.n_causes catalog) in
+      let df =
+        match orig_cause, replay_cause with
+        | Some a, Some b when String.equal a.Root_cause.id b.Root_cause.id -> 1.
+        | _, _ -> 1. /. float_of_int n
+      in
+      (df, Option.map id orig_cause, Option.map id replay_cause)
+
+let df ~catalog ~original ~replay =
+  let v, _, _ = explain ~catalog ~original ~replay in
+  v

@@ -1,0 +1,28 @@
+(** Debugging fidelity (DF, §3.2): the ability to reproduce the root cause
+    and the failure.
+
+    - 0 when the replay does not reproduce the failure;
+    - 1 when it reproduces the failure through the original root cause;
+    - 1/n when it reproduces the failure through a different root cause,
+      where n is the number of possible root causes for the observed
+      failure. *)
+
+open Mvm
+
+(** [df ~catalog ~original ~replay] computes DF. [replay = None] (inference
+    exhausted its budget, or the oracle diverged) scores 0. When the
+    original run's root cause cannot be identified from the catalog, the
+    replayed failure alone scores 1/n (we cannot claim cause fidelity). *)
+val df :
+  catalog:Root_cause.catalog ->
+  original:Interp.result ->
+  replay:Interp.result option ->
+  float
+
+(** [explain ~catalog ~original ~replay] is DF plus the matched cause ids:
+    [(df, original_cause, replay_cause)]. *)
+val explain :
+  catalog:Root_cause.catalog ->
+  original:Interp.result ->
+  replay:Interp.result option ->
+  float * string option * string option

@@ -1,0 +1,26 @@
+open Mvm
+
+type t = {
+  id : string;
+  descr : string;
+  holds : Interp.result -> bool;
+}
+
+type catalog = {
+  app : string;
+  failure_sig : Failure.t -> bool;
+  causes : t list;
+}
+
+let make ~id ~descr holds = { id; descr; holds }
+
+let observed catalog (r : Interp.result) =
+  match r.failure with
+  | Some f when catalog.failure_sig f ->
+    List.filter (fun c -> c.holds r) catalog.causes
+  | Some _ | None -> []
+
+let primary catalog r =
+  match observed catalog r with [] -> None | c :: _ -> Some c
+
+let n_causes catalog = List.length catalog.causes

@@ -1,0 +1,39 @@
+open Ddet_record
+
+type assessment = {
+  model : string;
+  overhead : float;
+  df : float;
+  de : float;
+  du : float;
+  original_cause : string option;
+  replay_cause : string option;
+  attempts : int;
+  inference_steps : int;
+}
+
+let assess ?(cost_model = Cost_model.default) ~catalog ~original ~log
+    (outcome : Ddet_replay.Replayer.outcome) =
+  let df, original_cause, replay_cause =
+    Fidelity.explain ~catalog ~original ~replay:outcome.result
+  in
+  let de = Efficiency.de ~original ~outcome in
+  {
+    model = outcome.model;
+    overhead = Cost_model.overhead cost_model log;
+    df;
+    de;
+    du = df *. de;
+    original_cause;
+    replay_cause;
+    attempts = outcome.attempts;
+    inference_steps = outcome.total_steps;
+  }
+
+let pp ppf a =
+  Format.fprintf ppf
+    "%-10s overhead %.2fx  DF %.2f  DE %.4f  DU %.4f  (cause %s -> %s, %d attempts)"
+    a.model a.overhead a.df a.de a.du
+    (Option.value ~default:"?" a.original_cause)
+    (Option.value ~default:"-" a.replay_cause)
+    a.attempts

@@ -1,0 +1,29 @@
+(** Debugging utility (DU, §3.2): DU = DF x DE, and the one-call assessment
+    of a (record, replay) experiment against a root-cause catalog. *)
+
+open Mvm
+open Ddet_record
+
+type assessment = {
+  model : string;
+  overhead : float;  (** recording overhead factor from the cost model *)
+  df : float;
+  de : float;
+  du : float;
+  original_cause : string option;
+  replay_cause : string option;
+  attempts : int;
+  inference_steps : int;
+}
+
+(** [assess ?cost_model ~catalog ~original ~log outcome] computes
+    overhead (from [log]), DF, DE and DU for one experiment. *)
+val assess :
+  ?cost_model:Cost_model.t ->
+  catalog:Root_cause.catalog ->
+  original:Interp.result ->
+  log:Log.t ->
+  Ddet_replay.Replayer.outcome ->
+  assessment
+
+val pp : Format.formatter -> assessment -> unit

@@ -1,0 +1,1 @@
+lib/mvm/ast.ml: Format List String Value

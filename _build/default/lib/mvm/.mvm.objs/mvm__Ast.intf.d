@@ -1,0 +1,1 @@
+lib/mvm/ast.mli: Format Value

@@ -1,0 +1,1 @@
+lib/mvm/channel.ml: Hashtbl Queue Value

@@ -1,0 +1,1 @@
+lib/mvm/dsl.ml: Ast Label Value

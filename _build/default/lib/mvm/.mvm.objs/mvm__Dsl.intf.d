@@ -1,0 +1,1 @@
+lib/mvm/dsl.mli: Ast Label Value

@@ -1,0 +1,1 @@
+lib/mvm/event.ml: Format Printf Taint Value

@@ -1,0 +1,1 @@
+lib/mvm/event.mli: Format Value

@@ -1,0 +1,1 @@
+lib/mvm/failure.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/mvm/interp.ml: Ast Channel Event Failure Hashtbl Label List Memory Option Printf String Taint Trace Value Vec World

@@ -1,0 +1,1 @@
+lib/mvm/interp.mli: Event Failure Label Trace Value World

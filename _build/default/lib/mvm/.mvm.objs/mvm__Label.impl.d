@@ -1,0 +1,1 @@
+lib/mvm/label.ml: Ast Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/mvm/memory.ml: Array Ast Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/mvm/memory.mli: Ast Value

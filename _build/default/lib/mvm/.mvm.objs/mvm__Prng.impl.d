@@ -1,0 +1,1 @@
+lib/mvm/prng.ml: Int64 List

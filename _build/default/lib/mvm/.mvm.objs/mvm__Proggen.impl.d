@@ -1,0 +1,1 @@
+lib/mvm/proggen.ml: Dsl List Printf Prng Value

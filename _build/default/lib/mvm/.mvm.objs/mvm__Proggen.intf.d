@@ -1,0 +1,1 @@
+lib/mvm/proggen.mli: Label Prng

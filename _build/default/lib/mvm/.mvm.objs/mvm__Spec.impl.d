@@ -1,0 +1,1 @@
+lib/mvm/spec.ml: Failure Interp List String Value

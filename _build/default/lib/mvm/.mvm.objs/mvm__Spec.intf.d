@@ -1,0 +1,1 @@
+lib/mvm/spec.mli: Interp Value

@@ -1,0 +1,1 @@
+lib/mvm/taint.mli: Format

@@ -1,0 +1,1 @@
+lib/mvm/trace.ml: Event Format Hashtbl List Option String Value Vec

@@ -1,0 +1,1 @@
+lib/mvm/trace.mli: Event Format Value

@@ -1,0 +1,1 @@
+lib/mvm/value.ml: Format Printf Stdlib String Taint

@@ -1,0 +1,1 @@
+lib/mvm/value.mli: Format Taint

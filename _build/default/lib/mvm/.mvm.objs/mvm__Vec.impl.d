@@ -1,0 +1,1 @@
+lib/mvm/vec.ml: Array List

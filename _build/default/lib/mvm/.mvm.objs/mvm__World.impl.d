@@ -1,0 +1,1 @@
+lib/mvm/world.ml: List Printf Prng Value

@@ -1,0 +1,173 @@
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Concat
+  | Min | Max
+
+type unop = Not | Neg | Str_len
+
+type expr =
+  | Const of Value.t
+  | Var of string
+  | Load of string * expr
+  | Load_scalar of string
+  | Arr_len of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type stmt = { sid : int; node : node }
+
+and node =
+  | Skip
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | Store_scalar of string * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Input of string * string
+  | Output of string * expr
+  | Send of string * expr
+  | Recv of string * string
+  | Try_recv of string * string * string
+  | Lock of string
+  | Unlock of string
+  | Spawn of string * expr list
+  | Call of string option * string * expr list
+  | Return of expr
+  | Assert of expr * string
+  | Fail of string
+  | Yield
+  | Atomic of block
+
+and block = stmt list
+
+type func = { fname : string; params : string list; body : block }
+
+type region_decl =
+  | Scalar_decl of string * Value.t
+  | Array_decl of string * int * Value.t
+
+type program = {
+  name : string;
+  funcs : func list;
+  main : string;
+  regions : region_decl list;
+  input_domains : (string * Value.t list) list;
+}
+
+let find_func p name = List.find_opt (fun f -> String.equal f.fname name) p.funcs
+
+let domain_of p chan = List.assoc_opt chan p.input_domains
+
+let rec fold_block f acc fname block =
+  List.fold_left
+    (fun acc stmt ->
+      let acc = f acc fname stmt in
+      match stmt.node with
+      | If (_, b1, b2) ->
+        let acc = fold_block f acc fname b1 in
+        fold_block f acc fname b2
+      | While (_, b) | Atomic b -> fold_block f acc fname b
+      | Skip | Assign _ | Store _ | Store_scalar _ | Input _ | Output _
+      | Send _ | Recv _ | Try_recv _ | Lock _ | Unlock _ | Spawn _ | Call _
+      | Return _ | Assert _ | Fail _ | Yield ->
+        acc)
+    acc block
+
+let fold_stmts f acc p =
+  List.fold_left (fun acc fn -> fold_block f acc fn.fname fn.body) acc p.funcs
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||" | Concat -> "^" | Min -> "min" | Max -> "max"
+
+let pp_binop ppf op = Format.pp_print_string ppf (binop_to_string op)
+
+let rec pp_expr ppf = function
+  | Const v -> Value.pp ppf v
+  | Var x -> Format.pp_print_string ppf x
+  | Load (r, e) -> Format.fprintf ppf "%s[%a]" r pp_expr e
+  | Load_scalar r -> Format.fprintf ppf "$%s" r
+  | Arr_len r -> Format.fprintf ppf "len(%s)" r
+  | Binop (op, a, b) -> Format.fprintf ppf "(%a %a %a)" pp_expr a pp_binop op pp_expr b
+  | Unop (Not, e) -> Format.fprintf ppf "!%a" pp_expr e
+  | Unop (Neg, e) -> Format.fprintf ppf "-%a" pp_expr e
+  | Unop (Str_len, e) -> Format.fprintf ppf "strlen(%a)" pp_expr e
+
+let node_kind = function
+  | Skip -> "skip"
+  | Assign _ -> "assign"
+  | Store _ -> "store"
+  | Store_scalar _ -> "store"
+  | If _ -> "if"
+  | While _ -> "while"
+  | Input _ -> "input"
+  | Output _ -> "output"
+  | Send _ -> "send"
+  | Recv _ -> "recv"
+  | Try_recv _ -> "try_recv"
+  | Lock _ -> "lock"
+  | Unlock _ -> "unlock"
+  | Spawn _ -> "spawn"
+  | Call _ -> "call"
+  | Return _ -> "return"
+  | Assert _ -> "assert"
+  | Fail _ -> "fail"
+  | Yield -> "yield"
+  | Atomic _ -> "atomic"
+
+let rec pp_stmt ppf { sid; node } =
+  match node with
+  | Skip -> Format.fprintf ppf "@[#%d skip@]" sid
+  | Assign (x, e) -> Format.fprintf ppf "@[#%d %s := %a@]" sid x pp_expr e
+  | Store (r, i, e) -> Format.fprintf ppf "@[#%d %s[%a] := %a@]" sid r pp_expr i pp_expr e
+  | Store_scalar (r, e) -> Format.fprintf ppf "@[#%d $%s := %a@]" sid r pp_expr e
+  | If (c, b1, b2) ->
+    Format.fprintf ppf "@[<v 2>#%d if %a {@,%a@]@,@[<v 2>} else {@,%a@]@,}" sid pp_expr c
+      pp_block b1 pp_block b2
+  | While (c, b) ->
+    Format.fprintf ppf "@[<v 2>#%d while %a {@,%a@]@,}" sid pp_expr c pp_block b
+  | Input (x, ch) -> Format.fprintf ppf "@[#%d %s := input(%s)@]" sid x ch
+  | Output (ch, e) -> Format.fprintf ppf "@[#%d output(%s, %a)@]" sid ch pp_expr e
+  | Send (ch, e) -> Format.fprintf ppf "@[#%d send(%s, %a)@]" sid ch pp_expr e
+  | Recv (x, ch) -> Format.fprintf ppf "@[#%d %s := recv(%s)@]" sid x ch
+  | Try_recv (ok, x, ch) ->
+    Format.fprintf ppf "@[#%d (%s, %s) := try_recv(%s)@]" sid ok x ch
+  | Lock m -> Format.fprintf ppf "@[#%d lock(%s)@]" sid m
+  | Unlock m -> Format.fprintf ppf "@[#%d unlock(%s)@]" sid m
+  | Spawn (fn, args) ->
+    Format.fprintf ppf "@[#%d spawn %s(%a)@]" sid fn pp_args args
+  | Call (None, fn, args) -> Format.fprintf ppf "@[#%d %s(%a)@]" sid fn pp_args args
+  | Call (Some x, fn, args) ->
+    Format.fprintf ppf "@[#%d %s := %s(%a)@]" sid x fn pp_args args
+  | Return e -> Format.fprintf ppf "@[#%d return %a@]" sid pp_expr e
+  | Assert (e, msg) -> Format.fprintf ppf "@[#%d assert %a %S@]" sid pp_expr e msg
+  | Fail msg -> Format.fprintf ppf "@[#%d fail %S@]" sid msg
+  | Yield -> Format.fprintf ppf "@[#%d yield@]" sid
+  | Atomic b -> Format.fprintf ppf "@[<v 2>#%d atomic {@,%a@]@,}" sid pp_block b
+
+and pp_block ppf block =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf block
+
+and pp_args ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_expr ppf args
+
+let pp_region ppf = function
+  | Scalar_decl (r, v) -> Format.fprintf ppf "scalar %s = %a" r Value.pp v
+  | Array_decl (r, n, v) -> Format.fprintf ppf "array %s[%d] = %a" r n Value.pp v
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v 2>func %s(%s) {@,%a@]@,}" f.fname
+    (String.concat ", " f.params)
+    pp_block f.body
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>program %s (main = %s)@,%a@,%a@]" p.name p.main
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_region)
+    p.regions
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_func)
+    p.funcs

@@ -1,0 +1,25 @@
+type t = (string, Value.tagged Queue.t) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let queue t chan =
+  match Hashtbl.find_opt t chan with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace t chan q;
+    q
+
+let send t chan v = Queue.push v (queue t chan)
+
+let recv t chan =
+  let q = queue t chan in
+  if Queue.is_empty q then None else Some (Queue.pop q)
+
+let is_empty t chan =
+  match Hashtbl.find_opt t chan with
+  | None -> true
+  | Some q -> Queue.is_empty q
+
+let depth t chan =
+  match Hashtbl.find_opt t chan with None -> 0 | Some q -> Queue.length q

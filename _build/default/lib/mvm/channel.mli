@@ -1,0 +1,23 @@
+(** FIFO message channels for inter-thread communication ([Send]/[Recv]).
+
+    Delivery order is fully determined by the thread schedule: a send
+    enqueues immediately, a receive dequeues the head. Channels are created
+    on first use. *)
+
+type t
+
+val create : unit -> t
+
+(** [send t chan v] enqueues [v] on [chan]. *)
+val send : t -> string -> Value.tagged -> unit
+
+(** [recv t chan] dequeues the head of [chan], or [None] when empty. *)
+val recv : t -> string -> Value.tagged option
+
+(** [is_empty t chan] is [true] when [chan] holds no message (unknown
+    channels are empty). Used for scheduling candidacy of blocked
+    receivers. *)
+val is_empty : t -> string -> bool
+
+(** [depth t chan] is the number of queued messages. *)
+val depth : t -> string -> int

@@ -1,0 +1,18 @@
+type t =
+  | Crash of { sid : int; msg : string }
+  | Spec_violation of string
+  | Hang
+
+let equal a b =
+  match a, b with
+  | Crash x, Crash y -> x.sid = y.sid && String.equal x.msg y.msg
+  | Spec_violation x, Spec_violation y -> String.equal x y
+  | Hang, Hang -> true
+  | (Crash _ | Spec_violation _ | Hang), _ -> false
+
+let to_string = function
+  | Crash { sid; msg } -> Printf.sprintf "crash@%d: %s" sid msg
+  | Spec_violation tag -> Printf.sprintf "spec-violation: %s" tag
+  | Hang -> "hang"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

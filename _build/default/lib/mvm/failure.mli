@@ -1,0 +1,20 @@
+(** Observable failures, in the paper's sense (§3): a program fails when it
+    produces output that violates its I/O specification — including crashes
+    and performance anomalies encoded in the specification. *)
+
+type t =
+  | Crash of { sid : int; msg : string }
+      (** assertion failure or runtime error at site [sid]. The thread id is
+          deliberately not part of the failure identity: a replay may
+          renumber threads yet reproduce the same failure. *)
+  | Spec_violation of string
+      (** the I/O specification rejected the run; the string is a stable
+          failure tag (e.g. "missing-rows"), not free-form prose *)
+  | Hang  (** deadlock or step-limit exhaustion *)
+
+(** [equal a b] — failure identity, the relation "same failure as the
+    original" that every determinism model is judged against. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

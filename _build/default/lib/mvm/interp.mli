@@ -1,0 +1,43 @@
+(** The mini-VM interpreter.
+
+    One call to {!run} executes a labelled program to completion under a
+    {!World.t}, producing a {!result} with the full event trace. Threads
+    interleave at statement granularity; a thread is a scheduling candidate
+    only when its next statement can execute now (a receive on an empty
+    channel or a lock held by another thread removes it from candidacy), so
+    blocked threads consume no steps and deadlock is detected exactly. *)
+
+type status =
+  | Done  (** every thread ran to completion *)
+  | Crashed of Failure.t  (** a thread crashed; the run stops immediately *)
+  | Deadlock  (** live threads exist but none is a candidate *)
+  | Step_limit  (** [max_steps] exhausted *)
+  | Aborted of string  (** an [abort] callback cut the run short *)
+
+type result = {
+  status : status;
+  trace : Trace.t;
+  steps : int;  (** scheduler steps executed *)
+  outputs : (string * Value.t list) list;  (** per-channel, emission order *)
+  failure : Failure.t option;
+      (** [Crashed f] yields [Some f]; [Deadlock]/[Step_limit] yield
+          [Some Hang]; [Done] yields [None] until an I/O specification is
+          applied (see {!Spec.apply}) *)
+}
+
+(** [run ?max_steps ?monitors ?abort labeled world] executes the program.
+
+    [monitors] observe every event as it is emitted (recorders attach
+    here). [abort] may return a reason to stop the run early (replay
+    searches use it to prune executions whose outputs already diverge from
+    the recording). Default [max_steps] is 200_000. *)
+val run :
+  ?max_steps:int ->
+  ?monitors:(Event.t -> unit) list ->
+  ?abort:(Event.t -> string option) ->
+  Label.labeled ->
+  World.t ->
+  result
+
+(** [status_to_string s] is a short human-readable tag. *)
+val status_to_string : status -> string

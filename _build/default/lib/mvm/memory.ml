@@ -1,0 +1,49 @@
+type t = {
+  scalars : (string, Value.tagged ref) Hashtbl.t;
+  arrays : (string, Value.tagged array) Hashtbl.t;
+}
+
+exception Bounds of { region : string; index : int; length : int }
+
+let create decls =
+  let t = { scalars = Hashtbl.create 16; arrays = Hashtbl.create 16 } in
+  List.iter
+    (function
+      | Ast.Scalar_decl (r, v) -> Hashtbl.replace t.scalars r (ref (Value.untainted v))
+      | Ast.Array_decl (r, n, v) ->
+        Hashtbl.replace t.arrays r (Array.make n (Value.untainted v)))
+    decls;
+  t
+
+let scalar_ref t r =
+  match Hashtbl.find_opt t.scalars r with
+  | Some cell -> cell
+  | None -> invalid_arg ("Memory: undeclared scalar region " ^ r)
+
+let arr t r =
+  match Hashtbl.find_opt t.arrays r with
+  | Some a -> a
+  | None -> invalid_arg ("Memory: undeclared array region " ^ r)
+
+let load t r = !(scalar_ref t r)
+let store t r v = scalar_ref t r := v
+
+let check_bounds region a index =
+  let length = Array.length a in
+  if index < 0 || index >= length then raise (Bounds { region; index; length })
+
+let load_arr t r i =
+  let a = arr t r in
+  check_bounds r a i;
+  a.(i)
+
+let store_arr t r i v =
+  let a = arr t r in
+  check_bounds r a i;
+  a.(i) <- v
+
+let arr_length t r = Array.length (arr t r)
+
+let scalars t =
+  Hashtbl.fold (fun r cell acc -> (r, !cell.Value.v) :: acc) t.scalars []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,35 @@
+(** Shared memory: the scalar and array regions threads race on.
+
+    All loads and stores go through the interpreter, which emits read/write
+    trace events — the raw material for recorders and race detection. *)
+
+type t
+
+(** Raised on an out-of-bounds array access; the interpreter converts it
+    into a crash of the executing thread. *)
+exception Bounds of { region : string; index : int; length : int }
+
+(** [create decls] allocates and initialises regions; initial values carry
+    empty taint. *)
+val create : Ast.region_decl list -> t
+
+(** [load t r] reads scalar region [r].
+    @raise Invalid_argument for an undeclared region. *)
+val load : t -> string -> Value.tagged
+
+(** [store t r v] writes scalar region [r]. *)
+val store : t -> string -> Value.tagged -> unit
+
+(** [load_arr t r i] reads cell [i] of array region [r].
+    @raise Bounds when [i] is outside the array. *)
+val load_arr : t -> string -> int -> Value.tagged
+
+(** [store_arr t r i v] writes cell [i] of array region [r].
+    @raise Bounds when [i] is outside the array. *)
+val store_arr : t -> string -> int -> Value.tagged -> unit
+
+(** [arr_length t r] is the declared length of array region [r]. *)
+val arr_length : t -> string -> int
+
+(** [scalars t] is a snapshot of all scalar regions (sorted by name). *)
+val scalars : t -> (string * Value.t) list

@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Replay experiments demand bit-for-bit reproducible randomness that does
+    not depend on global [Stdlib.Random] state, so every random world and
+    every search strategy owns one of these. *)
+
+type t
+
+(** [create seed] is a fresh generator; equal seeds yield equal streams. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent from the rest of [t]'s stream. *)
+val split : t -> t
+
+(** [int t bound] is uniform in [0, bound); [bound] must be positive.
+    @raise Invalid_argument on non-positive [bound]. *)
+val int : t -> int -> int
+
+(** [bool t] is a uniform boolean. *)
+val bool : t -> bool
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [pick t xs] is a uniformly chosen element of [xs].
+    @raise Invalid_argument on the empty list. *)
+val pick : t -> 'a list -> 'a

@@ -1,0 +1,34 @@
+type t = {
+  name : string;
+  check : Interp.result -> (unit, string) result;
+}
+
+let make name check = { name; check }
+
+let apply spec (r : Interp.result) =
+  match r.status with
+  | Interp.Done -> (
+    match spec.check r with
+    | Ok () -> r
+    | Error tag -> { r with failure = Some (Failure.Spec_violation tag) })
+  | Interp.Crashed _ | Interp.Deadlock | Interp.Step_limit | Interp.Aborted _ ->
+    r
+
+let accept_all = make "accept-all" (fun _ -> Ok ())
+
+let outputs_equal ~expected =
+  make "outputs-equal" (fun r ->
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> String.compare a b) expected
+      in
+      let got = r.Interp.outputs in
+      let eq =
+        List.length sorted = List.length got
+        && List.for_all2
+             (fun (c1, vs1) (c2, vs2) ->
+               String.equal c1 c2
+               && List.length vs1 = List.length vs2
+               && List.for_all2 Value.equal vs1 vs2)
+             sorted got
+      in
+      if eq then Ok () else Error "unexpected-output")

@@ -1,0 +1,27 @@
+(** I/O specifications: the paper's definition of a failure (§3) is a
+    violation of an I/O specification over all observable behaviour. A spec
+    examines a completed run — its outputs and, when needed, its inputs —
+    and either accepts it or names the violated property with a stable
+    failure tag. *)
+
+type t = {
+  name : string;
+  check : Interp.result -> (unit, string) result;
+      (** [Error tag] rejects the run; [tag] must be a stable identifier so
+          two violations of the same property compare equal *)
+}
+
+(** [apply spec r] judges a [Done] run: a rejected run gets
+    [failure = Some (Spec_violation tag)]. Runs that crashed or hung keep
+    their existing failure. *)
+val apply : t -> Interp.result -> Interp.result
+
+(** [accept_all] is the trivial specification (crashes remain failures). *)
+val accept_all : t
+
+(** [outputs_equal ~expected] accepts runs whose per-channel outputs equal
+    [expected] exactly; tag is ["unexpected-output"]. *)
+val outputs_equal : expected:(string * Value.t list) list -> t
+
+(** [make name check] builds a specification. *)
+val make : string -> (Interp.result -> (unit, string) result) -> t

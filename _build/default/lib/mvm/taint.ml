@@ -1,0 +1,14 @@
+module S = Set.Make (String)
+
+type t = S.t
+
+let empty = S.empty
+let singleton = S.singleton
+let union = S.union
+let mem = S.mem
+let is_empty = S.is_empty
+let elements = S.elements
+let equal = S.equal
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}" (String.concat "," (elements t))

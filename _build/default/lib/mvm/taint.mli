@@ -1,0 +1,28 @@
+(** Taint labels: the set of input channels a runtime value derives from.
+
+    Taint is the raw material of control-plane/data-plane classification
+    (Altekar & Stoica, HotDep'10): code sites through which large volumes of
+    input-derived bytes flow are data-plane; the rest is control-plane. *)
+
+type t
+
+(** The empty taint: a value derived from constants only. *)
+val empty : t
+
+(** [singleton chan] taints a value as originating from input channel [chan]. *)
+val singleton : string -> t
+
+(** [union a b] combines the origins of two values (binary operators). *)
+val union : t -> t -> t
+
+(** [mem chan t] is [true] iff [chan] is among the origins. *)
+val mem : string -> t -> bool
+
+(** [is_empty t] is [true] iff the value is untainted. *)
+val is_empty : t -> bool
+
+(** [elements t] is the sorted list of origin channels. *)
+val elements : t -> string list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let grow v x =
+  let cap = Array.length v.data in
+  let cap' = if cap = 0 then 16 else cap * 2 in
+  let data' = Array.make cap' x in
+  Array.blit v.data 0 data' 0 v.len;
+  v.data <- data'
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_list v = List.rev (fold (fun acc x -> x :: acc) [] v)
+
+let of_list xs =
+  let v = create () in
+  List.iter (push v) xs;
+  v
+
+let filter p v = List.rev (fold (fun acc x -> if p x then x :: acc else acc) [] v)
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let count p v = fold (fun n x -> if p x then n + 1 else n) 0 v

@@ -1,0 +1,85 @@
+type cand = { tid : int; sid : int; fname : string }
+
+type t = {
+  name : string;
+  pick_thread : step:int -> cand list -> int;
+  pick_input : step:int -> tid:int -> chan:string -> domain:Value.t list -> Value.t;
+  on_read : step:int -> tid:int -> sid:int -> region:string ->
+    index:int option -> actual:Value.tagged -> Value.tagged;
+  on_recv : step:int -> tid:int -> sid:int -> chan:string ->
+    actual:Value.tagged -> Value.tagged;
+  on_try_recv : step:int -> tid:int -> sid:int -> chan:string ->
+    try_recv_decision;
+}
+
+and try_recv_decision = Default | Force_fail | Force_value of Value.tagged
+
+let identity_read ~step:_ ~tid:_ ~sid:_ ~region:_ ~index:_ ~actual = actual
+let identity_recv ~step:_ ~tid:_ ~sid:_ ~chan:_ ~actual = actual
+let default_try_recv ~step:_ ~tid:_ ~sid:_ ~chan:_ = Default
+
+let random ~seed =
+  let rng = Prng.create seed in
+  {
+    name = Printf.sprintf "random(seed=%d)" seed;
+    pick_thread =
+      (fun ~step:_ cands ->
+        match cands with
+        | [] -> invalid_arg "World.random: no candidates"
+        | _ -> (Prng.pick rng cands).tid);
+    pick_input =
+      (fun ~step:_ ~tid:_ ~chan:_ ~domain ->
+        match domain with
+        | [] -> Value.unit
+        | _ -> Prng.pick rng domain);
+    on_read = identity_read;
+    on_recv = identity_recv;
+    on_try_recv = default_try_recv;
+  }
+
+let round_robin () =
+  let last = ref (-1) in
+  {
+    name = "round-robin";
+    pick_thread =
+      (fun ~step:_ cands ->
+        match cands with
+        | [] -> invalid_arg "World.round_robin: no candidates"
+        | _ ->
+          let sorted = List.sort (fun a b -> compare a.tid b.tid) cands in
+          let next =
+            match List.find_opt (fun c -> c.tid > !last) sorted with
+            | Some c -> c.tid
+            | None -> (List.hd sorted).tid
+          in
+          last := next;
+          next);
+    pick_input =
+      (fun ~step:_ ~tid:_ ~chan:_ ~domain ->
+        match domain with [] -> Value.unit | v :: _ -> v);
+    on_read = identity_read;
+    on_recv = identity_recv;
+    on_try_recv = default_try_recv;
+  }
+
+let with_name name w = { w with name }
+
+let override_reads f w =
+  {
+    w with
+    on_read =
+      (fun ~step ~tid ~sid ~region ~index ~actual ->
+        match f ~step ~tid ~sid ~region ~index ~actual with
+        | Some v -> v
+        | None -> w.on_read ~step ~tid ~sid ~region ~index ~actual);
+  }
+
+let override_recvs f w =
+  {
+    w with
+    on_recv =
+      (fun ~step ~tid ~sid ~chan ~actual ->
+        match f ~step ~tid ~sid ~chan ~actual with
+        | Some v -> v
+        | None -> w.on_recv ~step ~tid ~sid ~chan ~actual);
+  }

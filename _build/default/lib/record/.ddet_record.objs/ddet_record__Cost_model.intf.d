@@ -1,0 +1,1 @@
+lib/record/cost_model.mli: Log

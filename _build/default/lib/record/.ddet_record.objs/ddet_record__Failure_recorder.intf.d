@@ -1,0 +1,1 @@
+lib/record/failure_recorder.mli: Recorder

@@ -1,0 +1,1 @@
+lib/record/fidelity_level.ml: List Mvm String

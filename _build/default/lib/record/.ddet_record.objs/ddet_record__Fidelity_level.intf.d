@@ -1,0 +1,1 @@
+lib/record/fidelity_level.mli: Mvm

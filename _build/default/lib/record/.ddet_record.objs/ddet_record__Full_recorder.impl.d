@@ -1,0 +1,1 @@
+lib/record/full_recorder.ml: Event Log Mvm Recorder Value

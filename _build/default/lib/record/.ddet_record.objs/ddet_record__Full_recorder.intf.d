@@ -1,0 +1,1 @@
+lib/record/full_recorder.mli: Recorder

@@ -1,0 +1,1 @@
+lib/record/log.ml: Failure Format Hashtbl List Mvm Option String Value

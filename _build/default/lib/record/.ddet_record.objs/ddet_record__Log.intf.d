@@ -1,0 +1,1 @@
+lib/record/log.mli: Failure Format Mvm Value

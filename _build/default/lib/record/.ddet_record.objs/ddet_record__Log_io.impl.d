@@ -1,0 +1,1 @@
+lib/record/log_io.ml: Buffer Failure Fun In_channel List Log Mvm Printf Scanf Stdlib String Value

@@ -1,0 +1,1 @@
+lib/record/log_io.mli: Log

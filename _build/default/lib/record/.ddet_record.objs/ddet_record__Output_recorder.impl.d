@@ -1,0 +1,1 @@
+lib/record/output_recorder.ml: Event Log Mvm Recorder Value

@@ -1,0 +1,1 @@
+lib/record/output_recorder.mli: Recorder

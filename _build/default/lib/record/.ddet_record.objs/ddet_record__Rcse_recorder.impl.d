@@ -1,0 +1,1 @@
+lib/record/rcse_recorder.ml: Event Fidelity_level List Log Mvm Option Queue Recorder Value

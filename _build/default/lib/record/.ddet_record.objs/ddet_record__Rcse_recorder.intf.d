@@ -1,0 +1,1 @@
+lib/record/rcse_recorder.mli: Fidelity_level Recorder

@@ -1,0 +1,1 @@
+lib/record/recorder.ml: Event Interp Log Mvm Spec Vec

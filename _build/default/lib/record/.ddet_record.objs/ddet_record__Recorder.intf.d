@@ -1,0 +1,1 @@
+lib/record/recorder.mli: Event Interp Label Log Mvm Spec World

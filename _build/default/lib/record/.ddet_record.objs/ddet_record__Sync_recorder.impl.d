@@ -1,0 +1,1 @@
+lib/record/sync_recorder.ml: Event Log Mvm Recorder Value

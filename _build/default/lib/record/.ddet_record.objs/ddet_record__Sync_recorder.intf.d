@@ -1,0 +1,1 @@
+lib/record/sync_recorder.mli: Recorder

@@ -1,0 +1,1 @@
+lib/record/value_recorder.ml: Event Log Mvm Recorder Value

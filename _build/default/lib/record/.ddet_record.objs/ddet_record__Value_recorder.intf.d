@@ -1,0 +1,1 @@
+lib/record/value_recorder.mli: Recorder

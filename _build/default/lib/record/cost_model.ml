@@ -1,0 +1,39 @@
+open Mvm
+
+type t = {
+  step_cost : float;
+  sched_cost : float;
+  sync_cost : float;
+  value_fixed : float;
+  byte_cost : float;
+  failure_cost : float;
+  flight_tax : float;
+}
+
+let default =
+  {
+    step_cost = 1.0;
+    sched_cost = 2.5;
+    sync_cost = 0.4;
+    value_fixed = 0.5;
+    byte_cost = 0.2;
+    failure_cost = 0.0;
+    flight_tax = 0.05;
+  }
+
+let entry_cost t = function
+  | Log.Sched _ | Log.Cp_sched _ -> t.sched_cost
+  | Log.Sync _ -> t.sync_cost
+  | Log.Input { value; _ } | Log.Read_val { value; _ } | Log.Output { value; _ }
+  | Log.Cp_input { value; _ } ->
+    t.value_fixed +. (t.byte_cost *. float_of_int (Value.size_bytes value))
+  | Log.Failure_desc _ -> t.failure_cost
+  | Log.Flight_note { buffered } -> t.flight_tax *. float_of_int buffered
+  | Log.Mark _ -> 0.0
+
+let recording_cost t log =
+  List.fold_left (fun acc e -> acc +. entry_cost t e) 0.0 log.Log.entries
+
+let overhead t log =
+  let base = t.step_cost *. float_of_int (max 1 log.Log.base_steps) in
+  (base +. recording_cost t log) /. base

@@ -1,0 +1,44 @@
+(** Recording cost model: converts a log into a runtime-overhead factor.
+
+    The paper measures each model's recording overhead on real prototypes
+    (Friday, ESD, SMP-ReVirt-style logging). Our substitute prices each log
+    entry class once, with constants calibrated so the models land in the
+    regimes those systems report, and then lets the *measured entry counts*
+    on each workload decide who wins:
+
+    - full-interleaving schedule points ([Sched], [Cp_sched]) are expensive:
+      reproducing exact shared-access order on a multiprocessor needs
+      CREW-style page protocols (SMP-ReVirt reports multi-x slowdowns);
+    - logged values ([Read_val], [Input], ...) pay a small fixed cost plus a
+      per-byte cost — value determinism is cheap per event but pays for the
+      data-plane's volume (iDNA reports ~5x);
+    - sync-schedule points are cheap (a counter append per lock/queue op);
+    - the failure descriptor is a one-off post-mortem extraction: free at
+      runtime.
+
+    Overhead factor = (base_time + recording_time) / base_time, where
+    base_time is one unit per scheduler step. *)
+
+type t = {
+  step_cost : float;  (** baseline cost of one VM step *)
+  sched_cost : float;  (** per [Sched]/[Cp_sched] entry *)
+  sync_cost : float;  (** per [Sync] entry *)
+  value_fixed : float;  (** per logged-value entry, fixed part *)
+  byte_cost : float;  (** per logged payload byte *)
+  failure_cost : float;  (** per [Failure_desc] (post-mortem, ~0) *)
+  flight_tax : float;
+      (** per event buffered in an in-memory flight-recorder ring — a few
+          percent of a step, the cost always-on tracing systems report *)
+}
+
+(** Calibrated defaults (see module doc; validated by the MICRO bench). *)
+val default : t
+
+(** [entry_cost t e] is the recording cost of one entry. *)
+val entry_cost : t -> Log.entry -> float
+
+(** [recording_cost t log] is the summed entry cost. *)
+val recording_cost : t -> Log.t -> float
+
+(** [overhead t log] is the runtime-overhead factor (>= 1.0). *)
+val overhead : t -> Log.t -> float

@@ -1,0 +1,3 @@
+let create () =
+  let _add, finalize = Recorder.accumulator ~name:"failure" () in
+  Recorder.make ~name:"failure" ~on_event:(fun _ -> ()) ~finalize

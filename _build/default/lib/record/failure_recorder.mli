@@ -1,0 +1,5 @@
+(** Failure-determinism recorder (ESD-style): records nothing at runtime;
+    the log is just the failure descriptor extracted from the "bug report"
+    (the judged run) post-mortem. Replay is pure execution synthesis. *)
+
+val create : unit -> Recorder.t

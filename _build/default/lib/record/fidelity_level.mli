@@ -1,0 +1,30 @@
+(** Recording fidelity levels: the dial RCSE turns (§3.1).
+
+    [High] means "record like a perfect-determinism recorder here" —
+    schedule points and input data. [Low] means record nothing. Selectors
+    (code-based, data-based, trigger-based) map each event to a level. *)
+
+type t = Low | High
+
+val to_string : t -> string
+val equal : t -> t -> bool
+
+(** A selector decides, statefully, the fidelity level for each event as it
+    streams by during recording. *)
+type selector = {
+  name : string;
+  level : Mvm.Event.t -> t;
+}
+
+(** [always level] is the constant selector. *)
+val always : t -> selector
+
+(** [by_function f] derives the level from the enclosing function of the
+    event — the code-based selection of §3.1.1. *)
+val by_function : name:string -> (string -> t) -> selector
+
+(** [any selectors] records at high fidelity when any constituent selector
+    does — code-based, data-based and trigger-based selection combined
+    (§3.1.3). Every constituent sees every event, so stateful selectors
+    keep their state consistent. *)
+val any : selector list -> selector

@@ -1,0 +1,15 @@
+open Mvm
+
+let create () =
+  let add, finalize = Recorder.accumulator ~name:"perfect" () in
+  let on_event (e : Event.t) =
+    match e.kind with
+    | Event.Step -> add (Log.Sched { tid = e.tid; sid = e.sid })
+    | Event.In io ->
+      add (Log.Input { tid = e.tid; chan = io.chan; value = io.value.Value.v })
+    | Event.Read _ | Event.Write _ | Event.Out _ | Event.Msg_send _
+    | Event.Msg_recv _ | Event.Lock_acq _ | Event.Lock_rel _ | Event.Spawned _
+    | Event.Crashed _ ->
+      ()
+  in
+  Recorder.make ~name:"perfect" ~on_event ~finalize

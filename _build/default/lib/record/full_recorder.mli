@@ -1,0 +1,5 @@
+(** Perfect-determinism recorder: logs the complete thread interleaving plus
+    every input value. Replay is a single deterministic re-execution. The
+    highest-overhead, highest-utility corner of Fig. 1. *)
+
+val create : unit -> Recorder.t

@@ -1,0 +1,216 @@
+open Mvm
+
+(* ------------------------------------------------------------------ *)
+(* encoding *)
+
+let enc_value = function
+  | Value.Vint n -> "i:" ^ string_of_int n
+  | Value.Vbool b -> "b:" ^ string_of_bool b
+  | Value.Vstr s -> "s:\"" ^ String.escaped s ^ "\""
+  | Value.Vunit -> "u"
+
+let enc_failure = function
+  | Failure.Crash { sid; msg } ->
+    Printf.sprintf "crash %d \"%s\"" sid (String.escaped msg)
+  | Failure.Spec_violation tag -> Printf.sprintf "spec \"%s\"" (String.escaped tag)
+  | Failure.Hang -> "hang"
+
+let enc_op = function
+  | Log.Op_send c -> "send " ^ c
+  | Log.Op_recv c -> "recv " ^ c
+  | Log.Op_spawn -> "spawn -"
+  | Log.Op_lock m -> "lock " ^ m
+  | Log.Op_unlock m -> "unlock " ^ m
+
+let enc_entry = function
+  | Log.Sched { tid; sid } -> Printf.sprintf "sched %d %d" tid sid
+  | Log.Input { tid; chan; value } ->
+    Printf.sprintf "input %d %s %s" tid chan (enc_value value)
+  | Log.Read_val { tid; sid; kind; value } ->
+    Printf.sprintf "readval %d %d %s %s" tid sid
+      (match kind with Log.Mem -> "mem" | Log.Msg -> "msg")
+      (enc_value value)
+  | Log.Output { chan; value } ->
+    Printf.sprintf "output %s %s" chan (enc_value value)
+  | Log.Sync { tid; sid; op } -> Printf.sprintf "sync %d %d %s" tid sid (enc_op op)
+  | Log.Cp_sched { tid; sid } -> Printf.sprintf "cpsched %d %d" tid sid
+  | Log.Cp_input { tid; sid; chan; value } ->
+    Printf.sprintf "cpinput %d %d %s %s" tid sid chan (enc_value value)
+  | Log.Failure_desc f -> "faildesc " ^ enc_failure f
+  | Log.Flight_note { buffered } -> Printf.sprintf "flight %d" buffered
+  | Log.Mark m -> Printf.sprintf "mark \"%s\"" (String.escaped m)
+
+let to_string (log : Log.t) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "ddet-log v1\n";
+  Buffer.add_string b (Printf.sprintf "recorder \"%s\"\n" (String.escaped log.Log.recorder));
+  Buffer.add_string b (Printf.sprintf "base-steps %d\n" log.Log.base_steps);
+  Buffer.add_string b
+    (match log.Log.failure with
+    | Some f -> "failure " ^ enc_failure f ^ "\n"
+    | None -> "failure none\n");
+  List.iter
+    (fun e ->
+      Buffer.add_string b (enc_entry e);
+      Buffer.add_char b '\n')
+    log.Log.entries;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* decoding *)
+
+exception Parse of string
+
+(* Split a line into space-separated tokens. A double quote opens an
+   OCaml-escaped string span that runs to the matching close quote; the
+   span (with a leading '"' marker) stays part of the current token, so
+   both bare strings ([mark "a b"]) and typed values ([s:"a b"]) arrive as
+   single tokens. *)
+let tokens line =
+  let n = String.length line in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  let rec plain i =
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | ' ' -> flush (); plain (i + 1)
+      | '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 1)
+      | c -> Buffer.add_char buf c; plain (i + 1)
+  and quoted i =
+    if i >= n then raise (Parse ("unterminated string in: " ^ line))
+    else
+      match line.[i] with
+      | '"' -> plain (i + 1)
+      | '\\' when i + 1 < n ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf line.[i + 1];
+        quoted (i + 2)
+      | c -> Buffer.add_char buf c; quoted (i + 1)
+  in
+  plain 0;
+  List.rev !out
+
+let unescape s = Scanf.unescaped s
+
+let dec_string tok =
+  if String.length tok > 0 && tok.[0] = '"' then
+    unescape (String.sub tok 1 (String.length tok - 1))
+  else raise (Parse ("expected quoted string, got " ^ tok))
+
+let dec_value tok =
+  if tok = "u" then Value.unit
+  else if String.length tok > 2 && String.sub tok 0 2 = "i:" then
+    Value.int (int_of_string (String.sub tok 2 (String.length tok - 2)))
+  else if String.length tok > 2 && String.sub tok 0 2 = "b:" then
+    Value.bool (bool_of_string (String.sub tok 2 (String.length tok - 2)))
+  else if String.length tok > 2 && String.sub tok 0 2 = "s:" then
+    Value.str (dec_string (String.sub tok 2 (String.length tok - 2)))
+  else raise (Parse ("bad value token " ^ tok))
+
+let dec_failure = function
+  | [ "crash"; sid; msg ] ->
+    Failure.Crash { sid = int_of_string sid; msg = dec_string msg }
+  | [ "spec"; tag ] -> Failure.Spec_violation (dec_string tag)
+  | [ "hang" ] -> Failure.Hang
+  | toks -> raise (Parse ("bad failure: " ^ String.concat " " toks))
+
+let dec_op op obj =
+  match op with
+  | "send" -> Log.Op_send obj
+  | "recv" -> Log.Op_recv obj
+  | "spawn" -> Log.Op_spawn
+  | "lock" -> Log.Op_lock obj
+  | "unlock" -> Log.Op_unlock obj
+  | _ -> raise (Parse ("bad sync op " ^ op))
+
+let dec_entry line =
+  match tokens line with
+  | [ "sched"; tid; sid ] ->
+    Log.Sched { tid = int_of_string tid; sid = int_of_string sid }
+  | [ "input"; tid; chan; v ] ->
+    Log.Input { tid = int_of_string tid; chan; value = dec_value v }
+  | [ "readval"; tid; sid; kind; v ] ->
+    Log.Read_val
+      {
+        tid = int_of_string tid;
+        sid = int_of_string sid;
+        kind =
+          (match kind with
+          | "mem" -> Log.Mem
+          | "msg" -> Log.Msg
+          | _ -> raise (Parse ("bad read kind " ^ kind)));
+        value = dec_value v;
+      }
+  | [ "output"; chan; v ] -> Log.Output { chan; value = dec_value v }
+  | [ "sync"; tid; sid; op; obj ] ->
+    Log.Sync { tid = int_of_string tid; sid = int_of_string sid; op = dec_op op obj }
+  | [ "cpsched"; tid; sid ] ->
+    Log.Cp_sched { tid = int_of_string tid; sid = int_of_string sid }
+  | [ "cpinput"; tid; sid; chan; v ] ->
+    Log.Cp_input
+      {
+        tid = int_of_string tid;
+        sid = int_of_string sid;
+        chan;
+        value = dec_value v;
+      }
+  | "faildesc" :: rest -> Log.Failure_desc (dec_failure rest)
+  | [ "flight"; n ] -> Log.Flight_note { buffered = int_of_string n }
+  | [ "mark"; m ] -> Log.Mark (dec_string m)
+  | _ -> raise (Parse ("bad entry: " ^ line))
+
+let of_string s =
+  try
+    let lines =
+      String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+    in
+    match lines with
+    | magic :: recorder_line :: steps_line :: failure_line :: entry_lines ->
+      if String.trim magic <> "ddet-log v1" then
+        Error ("bad magic: " ^ magic)
+      else begin
+        let recorder =
+          match tokens recorder_line with
+          | [ "recorder"; name ] -> dec_string name
+          | _ -> raise (Parse ("bad recorder line: " ^ recorder_line))
+        in
+        let base_steps =
+          match tokens steps_line with
+          | [ "base-steps"; n ] -> int_of_string n
+          | _ -> raise (Parse ("bad base-steps line: " ^ steps_line))
+        in
+        let failure =
+          match tokens failure_line with
+          | [ "failure"; "none" ] -> None
+          | "failure" :: rest -> Some (dec_failure rest)
+          | _ -> raise (Parse ("bad failure line: " ^ failure_line))
+        in
+        let entries = List.map dec_entry entry_lines in
+        Ok (Log.make ~recorder ~entries ~base_steps ~failure)
+      end
+    | _ -> Error "truncated log header"
+  with
+  | Parse msg -> Error msg
+  | Stdlib.Failure msg -> Error msg
+  | Scanf.Scan_failure msg -> Error msg
+
+let save path log =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string log))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

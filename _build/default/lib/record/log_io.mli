@@ -1,0 +1,21 @@
+(** Log persistence: a line-oriented text format so recordings can be
+    shipped from the production machine to the developer's replay session
+    (the paper's workflow) and inspected with ordinary tools.
+
+    Format: a header (`ddet-log v1`, recorder name, base steps, observed
+    failure) followed by one entry per line. Values are typed
+    (`i:`/`b:`/`s:`/`u`) with OCaml-escaped quoted strings, so payloads
+    survive arbitrary bytes. *)
+
+(** [to_string log] serialises. *)
+val to_string : Log.t -> string
+
+(** [of_string s] parses; [Error msg] names the offending line. *)
+val of_string : string -> (Log.t, string) result
+
+(** [save path log] writes the file. *)
+val save : string -> Log.t -> unit
+
+(** [load path] reads a log file back.
+    @raise Sys_error on I/O failure; parse errors come back as [Error]. *)
+val load : string -> (Log.t, string) result

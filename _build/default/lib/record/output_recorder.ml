@@ -1,0 +1,13 @@
+open Mvm
+
+let create () =
+  let add, finalize = Recorder.accumulator ~name:"output" () in
+  let on_event (e : Event.t) =
+    match e.kind with
+    | Event.Out io -> add (Log.Output { chan = io.chan; value = io.value.Value.v })
+    | Event.Step | Event.Read _ | Event.Write _ | Event.In _ | Event.Msg_send _
+    | Event.Msg_recv _ | Event.Lock_acq _ | Event.Lock_rel _ | Event.Spawned _
+    | Event.Crashed _ ->
+      ()
+  in
+  Recorder.make ~name:"output" ~on_event ~finalize

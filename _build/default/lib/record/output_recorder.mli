@@ -1,0 +1,6 @@
+(** Output-determinism recorder (ODR's lightest scheme): logs only the
+    observable outputs. Replay must infer schedule and inputs post-factum —
+    cheap at production time, expensive (and fidelity-lossy) at debug
+    time. *)
+
+val create : unit -> Recorder.t

@@ -1,0 +1,28 @@
+(** Root-cause-driven selective recorder (RCSE, §3.1).
+
+    A {!Fidelity_level.selector} decides per event whether recording runs at
+    high fidelity. In a high-fidelity window the recorder logs what a
+    perfect-determinism recorder would — schedule points ([Cp_sched]) and
+    input data ([Cp_input]) — plus the outputs produced there; in a
+    low-fidelity window it logs nothing. Fidelity transitions leave
+    zero-cost [Mark] entries so experiments can audit dial-up/dial-down
+    behaviour.
+
+    With a code-based selector (control-plane functions high, data-plane
+    low) this is the configuration the paper evaluates in Fig. 2; data-based
+    (invariant) and combined (trigger) selectors come from
+    [Ddet_analysis]. *)
+
+(** [create ?flight selector] builds the recorder; its name is
+    ["rcse:" ^ selector.name].
+
+    [flight] enables a flight-recorder ring of the given capacity: while
+    fidelity is low the recorder keeps the would-be entries of the most
+    recent events in a bounded in-memory ring, and a dial-up flushes the
+    ring into the log. This is the classic always-on tracing compromise:
+    windowed selections otherwise lose the moments *leading up to* the
+    trigger (e.g. the inputs just before a detected race), which is exactly
+    where the root cause usually lives. Ring residency is priced by the
+    cost model's [flight_tax]; flushed entries are priced normally once
+    they reach the log. *)
+val create : ?flight:int -> Fidelity_level.selector -> Recorder.t

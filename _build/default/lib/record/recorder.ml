@@ -1,0 +1,30 @@
+open Mvm
+
+type t = {
+  name : string;
+  on_event : Event.t -> unit;
+  finalize : Interp.result -> Log.t;
+}
+
+let make ~name ~on_event ~finalize = { name; on_event; finalize }
+
+let accumulator ~name () =
+  let entries : Log.entry Vec.t = Vec.create () in
+  let add e = Vec.push entries e in
+  let finalize (r : Interp.result) =
+    let entries = Vec.to_list entries in
+    let entries =
+      match r.failure with
+      | Some f -> entries @ [ Log.Failure_desc f ]
+      | None -> entries
+    in
+    Log.make ~recorder:name ~entries ~base_steps:r.steps ~failure:r.failure
+  in
+  (add, finalize)
+
+let record ?max_steps recorder labeled ~spec ~world =
+  let result =
+    Interp.run ?max_steps ~monitors:[ recorder.on_event ] labeled world
+  in
+  let result = Spec.apply spec result in
+  (result, recorder.finalize result)

@@ -1,0 +1,42 @@
+(** Recorder interface and the record-time driver.
+
+    A recorder observes the event stream of a production run (attached as an
+    interpreter monitor) and finalises a {!Log.t} when the run completes.
+    Each determinism model is one recorder implementation. *)
+
+open Mvm
+
+type t = {
+  name : string;
+  on_event : Event.t -> unit;  (** called for every event, in order *)
+  finalize : Interp.result -> Log.t;
+      (** called once, with the spec-judged result of the recorded run *)
+}
+
+(** [make ~name ~on_event ~finalize] builds a recorder. *)
+val make :
+  name:string ->
+  on_event:(Event.t -> unit) ->
+  finalize:(Interp.result -> Log.t) ->
+  t
+
+(** [record ?max_steps recorder labeled ~spec ~world] runs the program under
+    [world] with [recorder] attached, applies [spec], and finalises the log.
+    This is "production time" in the paper's sense: the world is typically
+    {!Mvm.World.random}. *)
+val record :
+  ?max_steps:int ->
+  t ->
+  Label.labeled ->
+  spec:Spec.t ->
+  world:World.t ->
+  Interp.result * Log.t
+
+(** [accumulator ()] is the common building block: an entry buffer plus an
+    [add] function and a [finalize] that appends the failure descriptor of
+    the judged run. Recorder implementations push entries into it from
+    their [on_event]. *)
+val accumulator :
+  name:string ->
+  unit ->
+  (Log.entry -> unit) * (Interp.result -> Log.t)

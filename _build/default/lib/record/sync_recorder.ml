@@ -1,0 +1,22 @@
+open Mvm
+
+let create () =
+  let add, finalize = Recorder.accumulator ~name:"sync" () in
+  let on_event (e : Event.t) =
+    match e.kind with
+    | Event.In io ->
+      add (Log.Input { tid = e.tid; chan = io.chan; value = io.value.Value.v })
+    | Event.Out io -> add (Log.Output { chan = io.chan; value = io.value.Value.v })
+    | Event.Msg_send io ->
+      add (Log.Sync { tid = e.tid; sid = e.sid; op = Log.Op_send io.chan })
+    | Event.Msg_recv io ->
+      add (Log.Sync { tid = e.tid; sid = e.sid; op = Log.Op_recv io.chan })
+    | Event.Spawned _ ->
+      add (Log.Sync { tid = e.tid; sid = e.sid; op = Log.Op_spawn })
+    | Event.Lock_acq m ->
+      add (Log.Sync { tid = e.tid; sid = e.sid; op = Log.Op_lock m })
+    | Event.Lock_rel m ->
+      add (Log.Sync { tid = e.tid; sid = e.sid; op = Log.Op_unlock m })
+    | Event.Step | Event.Read _ | Event.Write _ | Event.Crashed _ -> ()
+  in
+  Recorder.make ~name:"sync" ~on_event ~finalize

@@ -1,0 +1,6 @@
+(** Sync-schedule recorder (ODR's heavier scheme): logs inputs, outputs and
+    the order of synchronisation operations (locks, sends, receives,
+    spawns), but not the interleaving of plain shared-memory accesses — the
+    outcomes of data races must be inferred at replay time. *)
+
+val create : unit -> Recorder.t

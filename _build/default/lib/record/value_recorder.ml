@@ -1,0 +1,21 @@
+open Mvm
+
+let create () =
+  let add, finalize = Recorder.accumulator ~name:"value" () in
+  let on_event (e : Event.t) =
+    match e.kind with
+    | Event.Read a ->
+      add
+        (Log.Read_val
+           { tid = e.tid; sid = e.sid; kind = Log.Mem; value = a.value.Value.v })
+    | Event.Msg_recv io ->
+      add
+        (Log.Read_val
+           { tid = e.tid; sid = e.sid; kind = Log.Msg; value = io.value.Value.v })
+    | Event.In io ->
+      add (Log.Input { tid = e.tid; chan = io.chan; value = io.value.Value.v })
+    | Event.Step | Event.Write _ | Event.Out _ | Event.Msg_send _
+    | Event.Lock_acq _ | Event.Lock_rel _ | Event.Spawned _ | Event.Crashed _ ->
+      ()
+  in
+  Recorder.make ~name:"value" ~on_event ~finalize

@@ -1,0 +1,8 @@
+(** Value-determinism recorder (iDNA-style): logs, per thread, every value
+    observed by shared-memory reads and message receives, plus inputs.
+
+    No cross-thread ordering is recorded — exactly iDNA's relaxation: each
+    thread's projection replays faithfully, but causality across CPUs must
+    be reconstructed by the developer. *)
+
+val create : unit -> Recorder.t

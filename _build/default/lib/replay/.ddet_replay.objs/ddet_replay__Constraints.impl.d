@@ -1,0 +1,1 @@
+lib/replay/constraints.ml: Ddet_record Event Failure Hashtbl Interp List Log Mvm String Value

@@ -1,0 +1,1 @@
+lib/replay/constraints.mli: Ddet_record Event Interp Log Mvm

@@ -1,0 +1,1 @@
+lib/replay/oracle.ml: Ddet_record Event Hashtbl List Log Mvm Option Printf Prng Value World

@@ -1,0 +1,1 @@
+lib/replay/oracle.mli: Ddet_record Event Log Mvm World

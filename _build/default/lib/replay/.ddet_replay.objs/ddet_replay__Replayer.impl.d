@@ -1,0 +1,1 @@
+lib/replay/replayer.ml: Constraints Format Interp Mvm Oracle Search Spec World

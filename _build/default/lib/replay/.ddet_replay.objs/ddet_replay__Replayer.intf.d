@@ -1,0 +1,1 @@
+lib/replay/replayer.mli: Ddet_record Format Interp Label Log Mvm Search Spec

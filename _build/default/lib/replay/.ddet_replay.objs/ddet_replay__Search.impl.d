@@ -1,0 +1,1 @@
+lib/replay/search.ml: Array Interp List Mvm Spec Value World

@@ -1,0 +1,1 @@
+lib/replay/search.mli: Event Interp Label Mvm Spec World

@@ -1,0 +1,39 @@
+open Mvm
+open Ddet_record
+
+let failure_matches log (r : Interp.result) =
+  match Log.recorded_failure log, r.failure with
+  | Some f, Some f' -> Failure.equal f f'
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+
+let outputs_match log (r : Interp.result) =
+  let logged = Log.outputs log in
+  let got = r.outputs in
+  List.length logged = List.length got
+  && List.for_all2
+       (fun (c1, vs1) (c2, vs2) ->
+         String.equal c1 c2
+         && List.length vs1 = List.length vs2
+         && List.for_all2 Value.equal vs1 vs2)
+       logged got
+
+let output_prefix_abort log =
+  let expected : (string, Value.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun (c, vs) -> Hashtbl.replace expected c (ref vs)) (Log.outputs log);
+  fun (e : Event.t) ->
+    match e.kind with
+    | Event.Out io -> (
+      match Hashtbl.find_opt expected io.chan with
+      | None -> Some ("unexpected output channel " ^ io.chan)
+      | Some r -> (
+        match !r with
+        | [] -> Some ("extra output on " ^ io.chan)
+        | v :: tl ->
+          if Value.equal v io.value.Value.v then (
+            r := tl;
+            None)
+          else Some ("output mismatch on " ^ io.chan)))
+    | _ -> None
+
+let both a b e = match a e with Some _ as r -> r | None -> b e

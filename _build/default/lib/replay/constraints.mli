@@ -1,0 +1,27 @@
+(** Replay constraints: what "the replay matches the recording" means for
+    each determinism model, in both a final form (accept a completed run)
+    and a streaming form (abort a doomed run early, which is what makes
+    inference affordable). *)
+
+open Mvm
+open Ddet_record
+
+(** [failure_matches log r] — the run exhibits the recorded failure
+    (failure determinism's guarantee). *)
+val failure_matches : Log.t -> Interp.result -> bool
+
+(** [outputs_match log r] — the run's per-channel outputs equal the logged
+    ones exactly (output determinism's guarantee). *)
+val outputs_match : Log.t -> Interp.result -> bool
+
+(** [output_prefix_abort log] is a stateful streaming check: aborts as soon
+    as an emitted output differs from (or exceeds) the logged sequence for
+    its channel. Fresh state per run — build one per attempt. *)
+val output_prefix_abort : Log.t -> Event.t -> string option
+
+(** [both a b] combines two abort checks (first hit wins). *)
+val both :
+  (Event.t -> string option) ->
+  (Event.t -> string option) ->
+  Event.t ->
+  string option

@@ -1,0 +1,59 @@
+(** Replay oracles: worlds reconstructed from recording logs.
+
+    Each determinism model turns its log back into a {!Mvm.World.t} that
+    forces the recorded projection of the original execution and leaves the
+    rest free (to be searched). An oracle may detect mid-run that the
+    current execution cannot be consistent with the log (e.g. a recorded
+    schedule point would have to execute out of order); its [abort] hook
+    reports that so the search can prune the attempt. *)
+
+open Mvm
+open Ddet_record
+
+(** A replay world plus its divergence detector. *)
+type handle = {
+  world : World.t;
+  abort : Event.t -> string option;
+      (** returns a reason once the run has diverged from the log *)
+  violated : unit -> bool;  (** true once divergence was detected *)
+}
+
+(** [perfect log] replays a perfect-determinism log: the full recorded
+    interleaving is enforced and all inputs are fed back. Divergence is a
+    recorder/replayer bug, not an expected outcome. *)
+val perfect : Log.t -> handle
+
+(** [value_det ~seed log] replays a value-determinism log: thread schedule
+    is free (seeded random), but every shared read, message receive and
+    input of thread [t] observes the recorded per-thread value sequence.
+    Cross-thread causality is not enforced — iDNA's relaxation. *)
+val value_det : seed:int -> Log.t -> handle
+
+(** [rcse ~seed log] replays an RCSE log: the recorded [Cp_sched]
+    subsequence is enforced — a thread whose next site matches a *later*
+    log entry is held back, the head entry is run when eligible — and
+    [Cp_input] values are fed to inputs executed at recorded sites.
+    Everything else (data-plane schedule and inputs) is free, seeded
+    random: the search layer supplies consistency.
+
+    [strict] (default true) flags any recorded site executing out of log
+    order as divergence — correct for code-based selection, whose
+    high-fidelity sites are static. Windowed selections (trigger- or
+    invariant-driven) record a time slice, so the same sites also run
+    legitimately outside the window: with [strict:false] the schedule log
+    is not enforced at all — the recorded inputs are still pinned by site,
+    and the acceptance constraint judges each searched schedule. *)
+val rcse : ?strict:bool -> seed:int -> Log.t -> handle
+
+(** [sync ~seed log] replays a sync-schedule log by enforcing *per-object*
+    operation orders (per-channel send/consume order, spawn order, per-lock
+    acquisition order), which is what an ODR-style logger records. A
+    try_recv whose thread is not the channel's next recorded consumer is
+    forced to miss; sends/spawns/locks are scheduled only in recorded
+    order; inputs are fed back per-thread. Plain shared-memory race
+    outcomes remain free — they are what inference must fill in. *)
+val sync : seed:int -> Log.t -> handle
+
+(** [free ~seed] is an unconstrained seeded-random world in handle form —
+    the search world for output- and failure-determinism inference. *)
+val free : seed:int -> handle

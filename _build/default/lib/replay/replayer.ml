@@ -1,0 +1,91 @@
+open Mvm
+
+type outcome = {
+  model : string;
+  result : Interp.result option;
+  attempts : int;
+  total_steps : int;
+}
+
+let of_search model (o : Search.outcome) =
+  {
+    model;
+    result = o.Search.result;
+    attempts = o.Search.stats.attempts;
+    total_steps = o.Search.stats.total_steps;
+  }
+
+let perfect labeled ~spec log =
+  let handle = Oracle.perfect log in
+  let r = Interp.run ~abort:handle.Oracle.abort labeled handle.Oracle.world in
+  let r = Spec.apply spec r in
+  let ok = (not (handle.Oracle.violated ())) && Constraints.failure_matches log r in
+  {
+    model = "perfect";
+    result = (if ok then Some r else None);
+    attempts = 1;
+    total_steps = r.steps;
+  }
+
+let small_budget =
+  { Search.max_attempts = 10; max_steps_per_attempt = 100_000; base_seed = 1 }
+
+let value_det ?(budget = small_budget) labeled ~spec log =
+  Search.random_restarts budget
+    ~make:(fun ~attempt ->
+      let handle = Oracle.value_det ~seed:(budget.base_seed + attempt) log in
+      (handle.Oracle.world, Some handle.Oracle.abort))
+    ~spec
+    ~accept:(Constraints.failure_matches log)
+    labeled
+  |> of_search "value"
+
+let output_det ?(budget = Search.default_budget) ?(exhaustive = true) labeled
+    ~spec log =
+  let accept = Constraints.outputs_match log in
+  let o =
+    if exhaustive then Search.enumerate_inputs budget ~spec ~accept labeled
+    else
+      Search.random_restarts budget
+        ~make:(fun ~attempt ->
+          ( World.random ~seed:(budget.base_seed + attempt),
+            Some (Constraints.output_prefix_abort log) ))
+        ~spec ~accept labeled
+  in
+  of_search "output" o
+
+let failure_det ?(budget = Search.default_budget) labeled ~spec log =
+  Search.random_restarts budget
+    ~make:(fun ~attempt -> (World.random ~seed:(budget.base_seed + attempt), None))
+    ~spec
+    ~accept:(Constraints.failure_matches log)
+    labeled
+  |> of_search "failure"
+
+let sync_det ?(budget = Search.default_budget) labeled ~spec log =
+  Search.random_restarts budget
+    ~make:(fun ~attempt ->
+      let handle = Oracle.sync ~seed:(budget.base_seed + attempt) log in
+      ( handle.Oracle.world,
+        Some
+          (Constraints.both handle.Oracle.abort
+             (Constraints.output_prefix_abort log)) ))
+    ~spec
+    ~accept:(Constraints.outputs_match log)
+    labeled
+  |> of_search "sync"
+
+let rcse ?(budget = Search.default_budget) ?(strict = true) labeled ~spec log =
+  Search.random_restarts budget
+    ~make:(fun ~attempt ->
+      let handle = Oracle.rcse ~strict ~seed:(budget.base_seed + attempt) log in
+      (handle.Oracle.world, Some handle.Oracle.abort))
+    ~spec
+    ~accept:(Constraints.failure_matches log)
+    labeled
+  |> of_search "rcse"
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%s: %s after %d attempt(s), %d inference steps" o.model
+    (match o.result with Some _ -> "replayed" | None -> "NOT replayed")
+    o.attempts o.total_steps

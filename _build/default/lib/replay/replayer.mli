@@ -1,0 +1,64 @@
+(** Per-model replay drivers: log in, replayed execution (or exhausted
+    budget) out, with the inference work accounted for debugging-efficiency
+    metrics.
+
+    Each driver implements one determinism model's replay contract:
+
+    - {!perfect} — deterministic re-execution from the full log;
+    - {!value_det} — per-thread forced values, free schedule (iDNA);
+    - {!output_det} — search for any execution with the recorded outputs
+      (ODR light); uses input enumeration when [exhaustive], else random
+      restarts with output-prefix pruning;
+    - {!failure_det} — search for any execution with the recorded failure
+      (ESD execution synthesis);
+    - {!sync_det} — recorded sync order and inputs enforced, race outcomes
+      searched until outputs match (ODR's heavier scheme);
+    - {!rcse} — recorded control-plane subsequence enforced, data plane
+      searched until the failure reproduces (§3.1). *)
+
+open Mvm
+open Ddet_record
+
+type outcome = {
+  model : string;
+  result : Interp.result option;  (** the replayed execution, if any *)
+  attempts : int;
+  total_steps : int;  (** VM steps spent on inference across all attempts *)
+}
+
+val perfect : Label.labeled -> spec:Spec.t -> Log.t -> outcome
+
+(** [value_det] tries a few seeds; per-thread value forcing makes each
+    attempt cheap. *)
+val value_det : ?budget:Search.budget -> Label.labeled -> spec:Spec.t -> Log.t -> outcome
+
+(** [output_det ~exhaustive] — when [exhaustive] (default true) and the
+    program's only recorded nondeterminism is inputs, enumerate input
+    assignments; otherwise random restarts with output-prefix pruning. *)
+val output_det :
+  ?budget:Search.budget ->
+  ?exhaustive:bool ->
+  Label.labeled ->
+  spec:Spec.t ->
+  Log.t ->
+  outcome
+
+val failure_det :
+  ?budget:Search.budget -> Label.labeled -> spec:Spec.t -> Log.t -> outcome
+
+val sync_det :
+  ?budget:Search.budget -> Label.labeled -> spec:Spec.t -> Log.t -> outcome
+
+(** [strict] (default true) treats out-of-order recorded sites as
+    divergence; pass [false] for windowed (trigger/invariant) logs — see
+    {!Oracle.rcse}. *)
+val rcse :
+  ?budget:Search.budget ->
+  ?strict:bool ->
+  Label.labeled ->
+  spec:Spec.t ->
+  Log.t ->
+  outcome
+
+(** [pp_outcome] prints model, success, attempts and steps. *)
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,181 @@
+open Mvm
+
+type budget = {
+  max_attempts : int;
+  max_steps_per_attempt : int;
+  base_seed : int;
+}
+
+let default_budget =
+  { max_attempts = 2_000; max_steps_per_attempt = 50_000; base_seed = 1 }
+
+type stats = { attempts : int; total_steps : int; success : bool }
+
+type outcome = { result : Interp.result option; stats : stats }
+
+let random_restarts budget ~make ~spec ~accept labeled =
+  let total_steps = ref 0 in
+  let rec go attempt =
+    if attempt > budget.max_attempts then
+      {
+        result = None;
+        stats = { attempts = attempt - 1; total_steps = !total_steps; success = false };
+      }
+    else
+      let world, abort = make ~attempt in
+      let r =
+        Interp.run ~max_steps:budget.max_steps_per_attempt ?abort labeled world
+      in
+      total_steps := !total_steps + r.steps;
+      let r = Spec.apply spec r in
+      if accept r then
+        {
+          result = Some r;
+          stats = { attempts = attempt; total_steps = !total_steps; success = true };
+        }
+      else go (attempt + 1)
+  in
+  go 1
+
+(* Odometer world: the k-th input of the run takes the domain value at the
+   position given by the prefix (0 beyond it); the sizes of visited domains
+   are collected so the caller can advance the odometer. *)
+let odometer_world prefix sizes =
+  let base = World.round_robin () in
+  let k = ref 0 in
+  let n_sizes = ref (List.length !sizes) in
+  {
+    base with
+    World.name = "enumerate-inputs";
+    pick_input =
+      (fun ~step:_ ~tid:_ ~chan:_ ~domain ->
+        let n = max 1 (List.length domain) in
+        let pos = if !k < Array.length prefix then prefix.(!k) else 0 in
+        (if !k >= !n_sizes then begin
+           sizes := n :: !sizes;
+           incr n_sizes
+         end);
+        incr k;
+        match List.nth_opt domain pos with
+        | Some v -> v
+        | None -> ( match domain with [] -> Value.unit | v :: _ -> v));
+  }
+
+let advance prefix sizes =
+  (* little-endian counting over the decision digits: bump the shallowest
+     digit with room and reset everything below it. Varying the earliest
+     decisions first matters for schedule search — races live in the early
+     interleaving, and a deepest-first order would only permute the tail
+     of the run within any realistic budget. *)
+  let sizes = Array.of_list sizes in
+  let n = Array.length sizes in
+  let digits = Array.make (max n 0) 0 in
+  Array.blit prefix 0 digits 0 (min (Array.length prefix) n);
+  let rec bump i =
+    if i >= n then None
+    else if digits.(i) + 1 < sizes.(i) then begin
+      digits.(i) <- digits.(i) + 1;
+      Array.fill digits 0 i 0;
+      Some digits
+    end
+    else bump (i + 1)
+  in
+  bump 0
+
+let enumerate_inputs budget ~spec ~accept labeled =
+  let total_steps = ref 0 in
+  let rec go attempt prefix =
+    if attempt > budget.max_attempts then
+      {
+        result = None;
+        stats = { attempts = attempt - 1; total_steps = !total_steps; success = false };
+      }
+    else
+      let sizes = ref [] in
+      let world = odometer_world prefix sizes in
+      let r =
+        Interp.run ~max_steps:budget.max_steps_per_attempt labeled world
+      in
+      total_steps := !total_steps + r.steps;
+      let r = Spec.apply spec r in
+      if accept r then
+        {
+          result = Some r;
+          stats = { attempts = attempt; total_steps = !total_steps; success = true };
+        }
+      else
+        match advance prefix (List.rev !sizes) with
+        | Some prefix' -> go (attempt + 1) prefix'
+        | None ->
+          {
+            result = None;
+            stats = { attempts = attempt; total_steps = !total_steps; success = false };
+          }
+  in
+  go 1 [||]
+
+(* Schedule odometer: decision k picks the prefix[k]-th candidate (sorted
+   by tid); past the prefix, the first candidate. [sizes] collects the
+   fan-out of every decision point of the run so [advance] can bump the
+   deepest digit with room. Decisions with a single candidate are not
+   digits: they cannot be varied. *)
+let schedule_world prefix sizes =
+  let k = ref 0 in
+  let n_sizes = ref (List.length !sizes) in
+  {
+    World.name = "dfs-schedules";
+    pick_thread =
+      (fun ~step:_ cands ->
+        let sorted =
+          List.sort compare (List.map (fun c -> c.World.tid) cands)
+        in
+        match sorted with
+        | [ only ] -> only
+        | _ ->
+          let n = List.length sorted in
+          let pos = if !k < Array.length prefix then prefix.(!k) else 0 in
+          (if !k >= !n_sizes then begin
+             sizes := n :: !sizes;
+             incr n_sizes
+           end);
+          incr k;
+          List.nth sorted (min pos (n - 1)));
+    pick_input =
+      (fun ~step:_ ~tid:_ ~chan:_ ~domain ->
+        match domain with [] -> Value.unit | v :: _ -> v);
+    on_read = (fun ~step:_ ~tid:_ ~sid:_ ~region:_ ~index:_ ~actual -> actual);
+    on_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ ~actual -> actual);
+    on_try_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ -> World.Default);
+  }
+
+let dfs_schedules budget ~spec ~accept labeled =
+  let total_steps = ref 0 in
+  let rec go attempt prefix =
+    if attempt > budget.max_attempts then
+      {
+        result = None;
+        stats =
+          { attempts = attempt - 1; total_steps = !total_steps; success = false };
+      }
+    else
+      let sizes = ref [] in
+      let world = schedule_world prefix sizes in
+      let r = Interp.run ~max_steps:budget.max_steps_per_attempt labeled world in
+      total_steps := !total_steps + r.Interp.steps;
+      let r = Spec.apply spec r in
+      if accept r then
+        {
+          result = Some r;
+          stats = { attempts = attempt; total_steps = !total_steps; success = true };
+        }
+      else
+        match advance prefix (List.rev !sizes) with
+        | Some prefix' -> go (attempt + 1) prefix'
+        | None ->
+          {
+            result = None;
+            stats =
+              { attempts = attempt; total_steps = !total_steps; success = false };
+          }
+  in
+  go 1 [||]

@@ -1,0 +1,75 @@
+(** Inference engines: reconstruct unrecorded nondeterminism by searching
+    the space of worlds for an execution satisfying the model's constraint.
+
+    Two strategies:
+
+    - {!random_restarts} — seeded random executions with streaming abort
+      (PRES-style probabilistic replay). Scales to schedule nondeterminism;
+      the paper's observation that ultra-relaxed models can need
+      "prohibitively large post-factum analysis times" shows up directly as
+      exhausted budgets here.
+    - {!enumerate_inputs} — exhaustive odometer enumeration of input-value
+      assignments under a deterministic schedule (ESD-style synthesis for
+      input-dependent bugs). Complete for programs whose only
+      nondeterminism is input data.
+
+    All work is accounted in VM steps so debugging efficiency (DE) can be
+    computed uniformly. *)
+
+open Mvm
+
+type budget = {
+  max_attempts : int;  (** maximum executions tried *)
+  max_steps_per_attempt : int;  (** step cap per execution *)
+  base_seed : int;  (** seed of the first attempt; attempt k uses base+k *)
+}
+
+val default_budget : budget
+
+type stats = {
+  attempts : int;  (** executions actually run *)
+  total_steps : int;  (** VM steps across all attempts (inference work) *)
+  success : bool;
+}
+
+type outcome = {
+  result : Interp.result option;  (** first accepted execution *)
+  stats : stats;
+}
+
+(** [random_restarts budget ~make ~spec ~accept labeled] runs up to
+    [budget.max_attempts] executions. [make ~attempt] supplies the world
+    and an optional streaming abort for each attempt (fresh state per
+    attempt!). Each completed run is judged by [spec] before [accept]. *)
+val random_restarts :
+  budget ->
+  make:(attempt:int -> World.t * (Event.t -> string option) option) ->
+  spec:Spec.t ->
+  accept:(Interp.result -> bool) ->
+  Label.labeled ->
+  outcome
+
+(** [enumerate_inputs budget ~spec ~accept labeled] explores input-value
+    assignments in lexicographic domain order under a round-robin schedule;
+    complete up to the attempt budget. *)
+val enumerate_inputs :
+  budget ->
+  spec:Spec.t ->
+  accept:(Interp.result -> bool) ->
+  Label.labeled ->
+  outcome
+
+(** [dfs_schedules budget ~spec ~accept labeled] systematically enumerates
+    thread interleavings depth-first: each run follows a decision prefix
+    and extends it with a default policy (lowest thread id), recording the
+    fan-out at every scheduling point; backtracking bumps the deepest
+    decision with room. Inputs are fixed to each domain's first value, so
+    the engine explores schedule nondeterminism only — ESD-style directed
+    synthesis, complete for small programs, exponential in general (which
+    is the point of the ABL-SEARCH comparison against random restarts). *)
+val dfs_schedules :
+  budget ->
+  spec:Spec.t ->
+  accept:(Interp.result -> bool) ->
+  Label.labeled ->
+  outcome

@@ -1,0 +1,474 @@
+(* Unit tests for ddet_analysis: taint-rate profiling, plane
+   classification, invariant inference, the sampling race detector and
+   trigger selectors. *)
+
+open Mvm
+open Mvm.Dsl
+open Ddet_record
+open Ddet_analysis
+
+(* A program with an unmistakable plane split: "pump" moves big tainted
+   strings, "tick" only bumps a counter. *)
+let split_prog =
+  program ~name:"split"
+    ~regions:[ scalar "n" (Value.int 0); scalar "len" (Value.int 0) ]
+    ~inputs:[ ("payload", [ Value.str (String.make 100 'x') ]) ]
+    ~main:"main"
+    [
+      func "main" []
+        [ call "pump" []; call "pump" []; call "tick" []; output "out" (g "n") ];
+      func "pump" []
+        [ input "m" "payload"; store_g "len" (str_len (v "m")) ];
+      func "tick" [] [ store_g "n" (g "n" +: i 1) ];
+    ]
+
+let run_split () = Interp.run split_prog (World.round_robin ())
+
+(* ------------------------------------------------------------------ *)
+(* taint profile *)
+
+let test_profile_rates () =
+  let profile = Taint_profile.of_results [ run_split () ] in
+  Alcotest.(check bool) "pump rate high" true (Taint_profile.rate profile "pump" > 10.0);
+  Alcotest.(check (float 1e-9)) "tick rate zero" 0.0 (Taint_profile.rate profile "tick")
+
+let test_profile_unseen_function () =
+  let profile = Taint_profile.of_results [ run_split () ] in
+  Alcotest.(check (float 1e-9)) "unknown function" 0.0
+    (Taint_profile.rate profile "ghost")
+
+let test_profile_accumulates_runs () =
+  let one = Taint_profile.of_results [ run_split () ] in
+  let two = Taint_profile.of_results [ run_split (); run_split () ] in
+  Alcotest.(check int) "bytes double"
+    (2 * Taint_profile.total_bytes one)
+    (Taint_profile.total_bytes two)
+
+let test_profile_sorted_by_rate () =
+  match Taint_profile.of_results [ run_split () ] with
+  | first :: _ -> Alcotest.(check string) "hottest first" "pump" first.Taint_profile.fname
+  | [] -> Alcotest.fail "empty profile"
+
+(* ------------------------------------------------------------------ *)
+(* plane classification *)
+
+let test_classify_split () =
+  let profile = Taint_profile.of_results [ run_split () ] in
+  let map = Plane.classify profile ~threshold:6.0 in
+  Alcotest.(check bool) "pump is data" true
+    (Plane.equal (Plane.plane_of map "pump") Plane.Data);
+  Alcotest.(check bool) "tick is control" true
+    (Plane.equal (Plane.plane_of map "tick") Plane.Control);
+  Alcotest.(check bool) "main is control" true
+    (Plane.equal (Plane.plane_of map "main") Plane.Control)
+
+let test_classify_unknown_defaults_control () =
+  let map = Plane.of_assoc [] in
+  Alcotest.(check bool) "conservative default" true
+    (Plane.equal (Plane.plane_of map "anything") Plane.Control)
+
+let test_plane_selector () =
+  let map = Plane.of_assoc [ ("hot", Plane.Data); ("cold", Plane.Control) ] in
+  let s = Plane.selector map in
+  let ev fname = { Event.step = 0; tid = 0; sid = 1; fname; kind = Event.Step } in
+  Alcotest.(check bool) "control is recorded" true
+    (Fidelity_level.equal (s.Fidelity_level.level (ev "cold")) Fidelity_level.High);
+  Alcotest.(check bool) "data is relaxed" true
+    (Fidelity_level.equal (s.Fidelity_level.level (ev "hot")) Fidelity_level.Low)
+
+(* ------------------------------------------------------------------ *)
+(* invariants *)
+
+let bounded_prog =
+  program ~name:"bounded"
+    ~regions:[ scalar "acc" (Value.int 0) ]
+    ~inputs:[ ("n", List.init 5 (fun k -> Value.int (k + 1))) ]
+    ~main:"main"
+    [ func "main" [] [ input "x" "n"; store_g "acc" (v "x" *: i 2) ] ]
+
+let train seeds =
+  Invariants.infer
+    (List.map (fun seed -> Interp.run bounded_prog (World.random ~seed)) seeds)
+
+let test_invariants_bounds () =
+  let inv = train [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  match List.assoc_opt "n" inv.Invariants.input_bounds with
+  | Some b ->
+    Alcotest.(check bool) "lo within domain" true (b.Invariants.lo >= 1);
+    Alcotest.(check bool) "hi within domain" true (b.Invariants.hi <= 5)
+  | None -> Alcotest.fail "no bound for input n"
+
+let test_invariants_violation () =
+  let inv = train [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let ev_in n =
+    {
+      Event.step = 0; tid = 0; sid = 1; fname = "main";
+      kind = Event.In { chan = "n"; value = Value.untainted (Value.int n) };
+    }
+  in
+  Alcotest.(check bool) "out-of-range fires" true (Invariants.violation inv (ev_in 99) <> None);
+  Alcotest.(check bool) "in-range quiet" true (Invariants.violation inv (ev_in 3) = None)
+
+let test_invariants_scalar_violation () =
+  let inv = train [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let ev_write n =
+    {
+      Event.step = 0; tid = 0; sid = 1; fname = "main";
+      kind =
+        Event.Write
+          { region = "acc"; index = None; value = Value.untainted (Value.int n) };
+    }
+  in
+  Alcotest.(check bool) "huge write fires" true
+    (Invariants.violation inv (ev_write 1_000) <> None)
+
+let test_invariants_selector_sticky () =
+  let inv = train [ 1; 2; 3 ] in
+  let s = Invariants.selector inv in
+  let quiet =
+    { Event.step = 0; tid = 0; sid = 1; fname = "main"; kind = Event.Step }
+  in
+  let bad =
+    {
+      Event.step = 1; tid = 0; sid = 1; fname = "main";
+      kind = Event.In { chan = "n"; value = Value.untainted (Value.int 99) };
+    }
+  in
+  Alcotest.(check bool) "low before violation" true
+    (Fidelity_level.equal (s.Fidelity_level.level quiet) Fidelity_level.Low);
+  Alcotest.(check bool) "high at violation" true
+    (Fidelity_level.equal (s.Fidelity_level.level bad) Fidelity_level.High);
+  Alcotest.(check bool) "stays high after" true
+    (Fidelity_level.equal (s.Fidelity_level.level quiet) Fidelity_level.High)
+
+let test_invariants_ignore_strings () =
+  let p =
+    program ~name:"strs" ~regions:[]
+      ~inputs:[ ("s", [ Value.str "a" ]) ]
+      ~main:"main"
+      [ func "main" [] [ input "x" "s"; output "out" (v "x") ] ]
+  in
+  let inv = Invariants.infer [ Interp.run p (World.round_robin ()) ] in
+  Alcotest.(check bool) "no bound for string channel" true
+    (List.assoc_opt "s" inv.Invariants.input_bounds = None)
+
+(* ------------------------------------------------------------------ *)
+(* race detector *)
+
+let racy_prog =
+  program ~name:"racy"
+    ~regions:[ scalar "c" (Value.int 0) ]
+    ~inputs:[] ~main:"main"
+    [
+      func "main" []
+        [ spawn "w" []; spawn "w" []; recv "d1" "done"; recv "d2" "done" ];
+      func "w" []
+        [
+          for_ "k" (i 0) (i 5)
+            [ assign "t" (g "c"); store_g "c" (v "t" +: i 1) ];
+          send "done" (i 1);
+        ];
+    ]
+
+let locked_prog =
+  program ~name:"locked"
+    ~regions:[ scalar "c" (Value.int 0) ]
+    ~inputs:[] ~main:"main"
+    [
+      func "main" [] [ store_g "c" (i 1); assign "x" (g "c") ];
+    ]
+
+let observe_run detector p seed =
+  let r = Interp.run p (World.random ~seed) in
+  Trace.iter (fun e -> ignore (Race_detector.observe detector e)) r.Interp.trace;
+  Race_detector.reports detector
+
+let test_race_detected () =
+  let found =
+    List.exists
+      (fun seed ->
+        observe_run (Race_detector.create Race_detector.default_config) racy_prog seed
+        <> [])
+      (List.init 20 (fun k -> k + 1))
+  in
+  Alcotest.(check bool) "some seed shows the race" true found
+
+let test_no_race_single_thread () =
+  let reports =
+    observe_run (Race_detector.create Race_detector.default_config) locked_prog 1
+  in
+  Alcotest.(check int) "single thread is race-free" 0 (List.length reports)
+
+let test_race_sampling_zero () =
+  let config = { Race_detector.default_config with Race_detector.sample_rate = 0.0 } in
+  let all_empty =
+    List.for_all
+      (fun seed -> observe_run (Race_detector.create config) racy_prog seed = [])
+      (List.init 10 (fun k -> k + 1))
+  in
+  Alcotest.(check bool) "sampling 0 reports nothing" true all_empty
+
+let test_race_window () =
+  (* window 0: accesses can never be within 0 steps of each other across
+     threads (distinct steps), so nothing is reported *)
+  let config = { Race_detector.default_config with Race_detector.window = 0 } in
+  let all_empty =
+    List.for_all
+      (fun seed -> observe_run (Race_detector.create config) racy_prog seed = [])
+      (List.init 10 (fun k -> k + 1))
+  in
+  Alcotest.(check bool) "zero window reports nothing" true all_empty
+
+let test_race_report_fields () =
+  let reports =
+    List.concat_map
+      (fun seed ->
+        observe_run (Race_detector.create Race_detector.default_config) racy_prog seed)
+      (List.init 20 (fun k -> k + 1))
+  in
+  match reports with
+  | [] -> Alcotest.fail "expected at least one race"
+  | r :: _ ->
+    Alcotest.(check string) "region" "c" r.Race_detector.region;
+    Alcotest.(check bool) "different threads" true
+      (r.Race_detector.tid_first <> r.Race_detector.tid_second)
+
+(* ------------------------------------------------------------------ *)
+(* happens-before detector *)
+
+let observe_hb p seed =
+  let d = Hb_detector.create () in
+  let r = Interp.run p (World.random ~seed) in
+  Trace.iter (fun e -> ignore (Hb_detector.observe d e)) r.Interp.trace;
+  d
+
+let locked_counter_prog =
+  program ~name:"locked"
+    ~regions:[ scalar "c" (Value.int 0) ]
+    ~inputs:[] ~main:"main"
+    [
+      func "main" []
+        [ spawn "w" []; spawn "w" []; recv "d1" "done"; recv "d2" "done" ];
+      func "w" []
+        [
+          for_ "k" (i 0) (i 5)
+            [ lock "m"; assign "t" (g "c"); store_g "c" (v "t" +: i 1); unlock "m" ];
+          send "done" (i 1);
+        ];
+    ]
+
+let test_hb_silent_on_locked () =
+  for seed = 1 to 10 do
+    let d = observe_hb locked_counter_prog seed in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: no race under lock" seed)
+      0
+      (List.length (Hb_detector.reports d))
+  done
+
+let test_hb_detects_racy () =
+  let found =
+    List.exists
+      (fun seed -> Hb_detector.reports (observe_hb racy_prog seed) <> [])
+      (List.init 20 (fun k -> k + 1))
+  in
+  Alcotest.(check bool) "some seed shows the race" true found
+
+let test_hb_message_edge_orders () =
+  (* write, send; recv, read: ordered by the message edge *)
+  let p =
+    program ~name:"msg-edge"
+      ~regions:[ scalar "x" (Value.int 0) ]
+      ~inputs:[] ~main:"main"
+      [
+        func "main" []
+          [
+            spawn "reader" [];
+            store_g "x" (i 1);
+            send "go" (i 1);
+            recv "d" "done";
+          ];
+        func "reader" [] [ recv "g" "go"; assign "y" (g "x"); send "done" (i 1) ];
+      ]
+  in
+  for seed = 1 to 10 do
+    let d = observe_hb p seed in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: message edge orders the accesses" seed)
+      0
+      (List.length (Hb_detector.reports d))
+  done
+
+let test_hb_spawn_edge_orders () =
+  (* parent writes before spawning the reader: ordered *)
+  let p =
+    program ~name:"spawn-edge"
+      ~regions:[ scalar "x" (Value.int 0) ]
+      ~inputs:[] ~main:"main"
+      [
+        func "main" [] [ store_g "x" (i 1); spawn "reader" [] ];
+        func "reader" [] [ assign "y" (g "x") ];
+      ]
+  in
+  for seed = 1 to 10 do
+    let d = observe_hb p seed in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: spawn edge orders the accesses" seed)
+      0
+      (List.length (Hb_detector.reports d))
+  done
+
+let test_hb_unsynchronised_read_write_races () =
+  (* no edge between the writer and the reader at all *)
+  let p =
+    program ~name:"plain-race"
+      ~regions:[ scalar "x" (Value.int 0) ]
+      ~inputs:[] ~main:"main"
+      [
+        func "main" [] [ spawn "writer" []; assign "y" (g "x") ];
+        func "writer" [] [ store_g "x" (i 1) ];
+      ]
+  in
+  let found =
+    List.exists
+      (fun seed -> Hb_detector.reports (observe_hb p seed) <> [])
+      (List.init 20 (fun k -> k + 1))
+  in
+  Alcotest.(check bool) "unsynchronised access pair races" true found
+
+let test_hb_dedups_site_pairs () =
+  (* the racy counter loops: many dynamic conflicts, few site pairs *)
+  let d = observe_hb racy_prog 3 in
+  let reports = Hb_detector.reports d in
+  let keys =
+    List.map
+      (fun (r : Race_detector.report) -> (r.Race_detector.sid_first, r.Race_detector.sid_second))
+      reports
+  in
+  Alcotest.(check int) "no duplicate site pairs"
+    (List.length (List.sort_uniq compare keys))
+    (List.length keys)
+
+let test_hb_counts_work () =
+  let d = observe_hb locked_counter_prog 1 in
+  Alcotest.(check bool) "vc operations counted" true (Hb_detector.vc_operations d > 0)
+
+let test_hb_sampling_false_positive_contrast () =
+  (* the headline of the ablation: sampling reports on the locked counter,
+     happens-before does not *)
+  let r = Interp.run locked_counter_prog (World.random ~seed:5) in
+  let sampling = Race_detector.create Race_detector.default_config in
+  Trace.iter (fun e -> ignore (Race_detector.observe sampling e)) r.Interp.trace;
+  let hb = Hb_detector.create () in
+  Trace.iter (fun e -> ignore (Hb_detector.observe hb e)) r.Interp.trace;
+  Alcotest.(check bool) "sampling has false positives" true
+    (Race_detector.reports sampling <> []);
+  Alcotest.(check int) "hb is precise" 0 (List.length (Hb_detector.reports hb))
+
+(* ------------------------------------------------------------------ *)
+(* triggers *)
+
+let step_ev step =
+  { Event.step; tid = 0; sid = 1; fname = "f"; kind = Event.Step }
+
+let test_trigger_window_dial_up_down () =
+  let armed = ref false in
+  let t = Trigger.manual ~name:"manual" (fun _ -> !armed) in
+  let s = Trigger.selector ~window:10 [ t ] in
+  let level e = s.Fidelity_level.level e in
+  Alcotest.(check bool) "starts low" true
+    (Fidelity_level.equal (level (step_ev 0)) Fidelity_level.Low);
+  armed := true;
+  Alcotest.(check bool) "fires high" true
+    (Fidelity_level.equal (level (step_ev 1)) Fidelity_level.High);
+  armed := false;
+  Alcotest.(check bool) "stays high in window" true
+    (Fidelity_level.equal (level (step_ev 5)) Fidelity_level.High);
+  Alcotest.(check bool) "dials down after window" true
+    (Fidelity_level.equal (level (step_ev 100)) Fidelity_level.Low)
+
+let test_trigger_sticky () =
+  let fired_once = ref false in
+  let t =
+    Trigger.manual ~name:"once" (fun _ ->
+        if !fired_once then false else (fired_once := true; true))
+  in
+  let s = Trigger.selector ~sticky:true ~window:1 [ t ] in
+  ignore (s.Fidelity_level.level (step_ev 0));
+  Alcotest.(check bool) "sticky stays high forever" true
+    (Fidelity_level.equal (s.Fidelity_level.level (step_ev 1_000_000))
+       Fidelity_level.High)
+
+let test_large_input_trigger () =
+  let t = Trigger.large_input ~chan:"req" ~threshold:10 in
+  let ev n =
+    {
+      Event.step = 0; tid = 0; sid = 1; fname = "f";
+      kind = Event.In { chan = "req"; value = Value.untainted (Value.int n) };
+    }
+  in
+  Alcotest.(check bool) "big input fires" true (t.Trigger.fired (ev 11));
+  Alcotest.(check bool) "small input quiet" false (t.Trigger.fired (ev 9))
+
+let test_large_input_string () =
+  let t = Trigger.large_input ~chan:"req" ~threshold:3 in
+  let ev s =
+    {
+      Event.step = 0; tid = 0; sid = 1; fname = "f";
+      kind = Event.In { chan = "req"; value = Value.untainted (Value.str s) };
+    }
+  in
+  Alcotest.(check bool) "long string fires" true (t.Trigger.fired (ev "abcdef"));
+  Alcotest.(check bool) "short string quiet" false (t.Trigger.fired (ev "ab"))
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "taint-profile",
+        [
+          Alcotest.test_case "rates" `Quick test_profile_rates;
+          Alcotest.test_case "unseen function" `Quick test_profile_unseen_function;
+          Alcotest.test_case "accumulates" `Quick test_profile_accumulates_runs;
+          Alcotest.test_case "sorted" `Quick test_profile_sorted_by_rate;
+        ] );
+      ( "plane",
+        [
+          Alcotest.test_case "classify split" `Quick test_classify_split;
+          Alcotest.test_case "unknown is control" `Quick test_classify_unknown_defaults_control;
+          Alcotest.test_case "selector" `Quick test_plane_selector;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "bounds" `Quick test_invariants_bounds;
+          Alcotest.test_case "input violation" `Quick test_invariants_violation;
+          Alcotest.test_case "scalar violation" `Quick test_invariants_scalar_violation;
+          Alcotest.test_case "selector sticky" `Quick test_invariants_selector_sticky;
+          Alcotest.test_case "strings ignored" `Quick test_invariants_ignore_strings;
+        ] );
+      ( "race-detector",
+        [
+          Alcotest.test_case "detects" `Quick test_race_detected;
+          Alcotest.test_case "single thread clean" `Quick test_no_race_single_thread;
+          Alcotest.test_case "sampling zero" `Quick test_race_sampling_zero;
+          Alcotest.test_case "window zero" `Quick test_race_window;
+          Alcotest.test_case "report fields" `Quick test_race_report_fields;
+        ] );
+      ( "hb-detector",
+        [
+          Alcotest.test_case "silent on locked" `Quick test_hb_silent_on_locked;
+          Alcotest.test_case "detects racy" `Quick test_hb_detects_racy;
+          Alcotest.test_case "message edge" `Quick test_hb_message_edge_orders;
+          Alcotest.test_case "spawn edge" `Quick test_hb_spawn_edge_orders;
+          Alcotest.test_case "plain race" `Quick test_hb_unsynchronised_read_write_races;
+          Alcotest.test_case "dedup" `Quick test_hb_dedups_site_pairs;
+          Alcotest.test_case "work counted" `Quick test_hb_counts_work;
+          Alcotest.test_case "precision contrast" `Quick test_hb_sampling_false_positive_contrast;
+        ] );
+      ( "triggers",
+        [
+          Alcotest.test_case "window up/down" `Quick test_trigger_window_dial_up_down;
+          Alcotest.test_case "sticky" `Quick test_trigger_sticky;
+          Alcotest.test_case "large input int" `Quick test_large_input_trigger;
+          Alcotest.test_case "large input string" `Quick test_large_input_string;
+        ] );
+    ]

@@ -1,0 +1,271 @@
+(* Property-based tests (qcheck): record/replay round-trip laws over
+   randomly generated concurrent programs, cost-model algebra, PRNG and
+   data-structure invariants. *)
+
+open Mvm
+open Ddet_record
+open Ddet_replay
+
+(* ------------------------------------------------------------------ *)
+(* generators *)
+
+(* A generated scenario: a random program plus a production seed. The
+   qcheck generator draws two ints and proggen does the heavy lifting;
+   shrinking the ints shrinks toward small seeds, which is good enough for
+   diagnosis (the program is reconstructible from pseed). *)
+let scenario_gen =
+  QCheck2.Gen.(
+    map2
+      (fun pseed wseed -> (pseed, wseed))
+      (int_range 1 5_000) (int_range 1 5_000))
+
+let program_of pseed = Proggen.generate Proggen.default (Prng.create pseed)
+
+let print_scenario (pseed, wseed) =
+  Printf.sprintf "program seed %d, world seed %d" pseed wseed
+
+let record_run recorder labeled wseed =
+  Recorder.record recorder labeled ~spec:Spec.accept_all
+    ~world:(World.random ~seed:wseed)
+
+(* ------------------------------------------------------------------ *)
+(* round-trip laws *)
+
+(* Perfect determinism: replaying the full log reproduces the execution
+   event-for-event (schedules, outputs, final status). *)
+let prop_perfect_roundtrip =
+  QCheck2.Test.make ~name:"perfect record/replay reproduces the schedule"
+    ~count:60 ~print:print_scenario scenario_gen (fun (pseed, wseed) ->
+      let labeled = program_of pseed in
+      let original, log = record_run (Full_recorder.create ()) labeled wseed in
+      let outcome = Replayer.perfect labeled ~spec:Spec.accept_all log in
+      match outcome.Replayer.result with
+      | None -> false
+      | Some replay ->
+        Trace.sched_points original.Interp.trace
+        = Trace.sched_points replay.Interp.trace
+        && original.Interp.outputs = replay.Interp.outputs)
+
+(* Value determinism: each thread's observed read values replay exactly,
+   whatever schedule the replayer picks. *)
+let prop_value_thread_projection =
+  QCheck2.Test.make ~name:"value replay preserves per-thread read projections"
+    ~count:60 ~print:print_scenario scenario_gen (fun (pseed, wseed) ->
+      let labeled = program_of pseed in
+      let original, log = record_run (Value_recorder.create ()) labeled wseed in
+      let handle = Oracle.value_det ~seed:(wseed + 1) log in
+      let replay =
+        Interp.run ~max_steps:100_000 labeled handle.Oracle.world
+      in
+      (* generated programs always terminate; a hung replay is a bug *)
+      replay.Interp.status = Interp.Done
+      && List.for_all
+           (fun tid ->
+             Trace.reads_by original.Interp.trace tid
+             = Trace.reads_by replay.Interp.trace tid)
+           [ 0; 1; 2 ])
+
+(* Value determinism pins each thread's outputs — but not their global
+   interleaving across threads: that is precisely iDNA's relaxation (no
+   cross-CPU causal order), and qcheck found the counterexample that keeps
+   this property honest. *)
+let outputs_by_thread (r : Interp.result) tid =
+  Trace.fold
+    (fun acc (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Out io when e.Event.tid = tid ->
+        (io.Event.chan, io.Event.value.Value.v) :: acc
+      | _ -> acc)
+    [] r.Interp.trace
+  |> List.rev
+
+let prop_value_outputs =
+  QCheck2.Test.make ~name:"value replay reproduces per-thread outputs"
+    ~count:60 ~print:print_scenario scenario_gen (fun (pseed, wseed) ->
+      let labeled = program_of pseed in
+      let original, log = record_run (Value_recorder.create ()) labeled wseed in
+      let handle = Oracle.value_det ~seed:(wseed + 7) log in
+      let replay = Interp.run ~max_steps:100_000 labeled handle.Oracle.world in
+      List.for_all
+        (fun tid -> outputs_by_thread original tid = outputs_by_thread replay tid)
+        [ 0; 1; 2 ])
+
+(* RCSE at always-high fidelity is perfect determinism. *)
+let prop_rcse_full_fidelity_roundtrip =
+  QCheck2.Test.make ~name:"always-high rcse replays like perfect determinism"
+    ~count:40 ~print:print_scenario scenario_gen (fun (pseed, wseed) ->
+      let labeled = program_of pseed in
+      let recorder =
+        Rcse_recorder.create (Fidelity_level.always Fidelity_level.High)
+      in
+      let original, log = record_run recorder labeled wseed in
+      let handle = Oracle.rcse ~seed:1 log in
+      let replay =
+        Interp.run ~max_steps:100_000 ~abort:handle.Oracle.abort labeled
+          handle.Oracle.world
+      in
+      (not (handle.Oracle.violated ()))
+      && original.Interp.outputs = replay.Interp.outputs)
+
+(* The same production seed always yields the same log (recording is a
+   pure function of program and world). *)
+let prop_recording_deterministic =
+  QCheck2.Test.make ~name:"recording is deterministic" ~count:60
+    ~print:print_scenario scenario_gen (fun (pseed, wseed) ->
+      let labeled = program_of pseed in
+      let _, log1 = record_run (Value_recorder.create ()) labeled wseed in
+      let _, log2 = record_run (Value_recorder.create ()) labeled wseed in
+      log1.Log.entries = log2.Log.entries)
+
+(* Output-determinism acceptance: the original execution trivially
+   satisfies its own output constraint, and the streaming prefix check
+   agrees with the final check on it. *)
+let prop_output_constraint_reflexive =
+  QCheck2.Test.make ~name:"output constraints accept the original run"
+    ~count:60 ~print:print_scenario scenario_gen (fun (pseed, wseed) ->
+      let labeled = program_of pseed in
+      let original, log = record_run (Output_recorder.create ()) labeled wseed in
+      let abort = Constraints.output_prefix_abort log in
+      let streaming_ok = ref true in
+      Trace.iter
+        (fun e -> if abort e <> None then streaming_ok := false)
+        original.Interp.trace;
+      Constraints.outputs_match log original && !streaming_ok)
+
+(* Serialization: parse (print log) = log, over logs produced by real
+   recorders on random programs. *)
+let prop_log_io_roundtrip =
+  QCheck2.Test.make ~name:"log serialization round-trips" ~count:60
+    ~print:print_scenario scenario_gen (fun (pseed, wseed) ->
+      let labeled = program_of pseed in
+      let recorder =
+        match pseed mod 5 with
+        | 0 -> Full_recorder.create ()
+        | 1 -> Value_recorder.create ()
+        | 2 -> Sync_recorder.create ()
+        | 3 -> Output_recorder.create ()
+        | _ -> Rcse_recorder.create (Fidelity_level.always Fidelity_level.High)
+      in
+      let _, log = record_run recorder labeled wseed in
+      match Log_io.of_string (Log_io.to_string log) with
+      | Ok log' ->
+        log'.Log.entries = log.Log.entries
+        && log'.Log.base_steps = log.Log.base_steps
+        && log'.Log.failure = log.Log.failure
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* cost model algebra *)
+
+let entry_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return (Log.Sched { tid = 0; sid = 1 });
+        return (Log.Sync { tid = 0; sid = 1; op = Log.Op_spawn });
+        map (fun n -> Log.Input { tid = 0; chan = "c"; value = Value.int n }) small_int;
+        map
+          (fun s ->
+            Log.Read_val { tid = 0; sid = 1; kind = Log.Mem; value = Value.str s })
+          string_small;
+        return (Log.Failure_desc Mvm.Failure.Hang);
+        return (Log.Mark "m");
+      ])
+
+let prop_cost_nonnegative =
+  QCheck2.Test.make ~name:"entry costs are non-negative" ~count:200 entry_gen
+    (fun e -> Cost_model.entry_cost Cost_model.default e >= 0.0)
+
+let prop_overhead_lower_bound =
+  QCheck2.Test.make ~name:"overhead is at least 1.0" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 50) entry_gen)
+    (fun entries ->
+      let log = Log.make ~recorder:"t" ~entries ~base_steps:10 ~failure:None in
+      Cost_model.overhead Cost_model.default log >= 1.0)
+
+let prop_cost_additive =
+  QCheck2.Test.make ~name:"recording cost is additive over entries" ~count:100
+    QCheck2.Gen.(pair (list_size (int_range 0 20) entry_gen) (list_size (int_range 0 20) entry_gen))
+    (fun (e1, e2) ->
+      let mk entries = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None in
+      let c l = Cost_model.recording_cost Cost_model.default l in
+      abs_float (c (mk (e1 @ e2)) -. (c (mk e1) +. c (mk e2))) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* prng and containers *)
+
+let prop_prng_range =
+  QCheck2.Test.make ~name:"prng int stays in range" ~count:200
+    QCheck2.Gen.(pair int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_prng_deterministic =
+  QCheck2.Test.make ~name:"prng streams are seed-deterministic" ~count:100
+    QCheck2.Gen.int (fun seed ->
+      let a = Prng.create seed and b = Prng.create seed in
+      List.init 20 (fun _ -> Prng.int a 1000)
+      = List.init 20 (fun _ -> Prng.int b 1000))
+
+let prop_vec_models_list =
+  QCheck2.Test.make ~name:"vec behaves like a list" ~count:200
+    QCheck2.Gen.(list small_int)
+    (fun xs ->
+      let v = Vec.of_list xs in
+      Vec.to_list v = xs
+      && Vec.length v = List.length xs
+      && Vec.fold (fun acc x -> acc + x) 0 v = List.fold_left ( + ) 0 xs
+      && Vec.filter (fun x -> x mod 2 = 0) v = List.filter (fun x -> x mod 2 = 0) xs)
+
+let prop_taint_union =
+  QCheck2.Test.make ~name:"taint union is commutative and idempotent" ~count:200
+    QCheck2.Gen.(pair (list_size (int_range 0 5) (string_size (int_range 1 3)))
+                   (list_size (int_range 0 5) (string_size (int_range 1 3))))
+    (fun (xs, ys) ->
+      let of_list l = List.fold_left (fun t x -> Taint.union t (Taint.singleton x)) Taint.empty l in
+      let a = of_list xs and b = of_list ys in
+      Taint.equal (Taint.union a b) (Taint.union b a)
+      && Taint.equal (Taint.union a a) a)
+
+(* Trace.scalar_at agrees with a reference fold over writes. *)
+let prop_scalar_reconstruction =
+  QCheck2.Test.make ~name:"scalar_at agrees with the write history" ~count:60
+    ~print:print_scenario scenario_gen (fun (pseed, wseed) ->
+      let labeled = program_of pseed in
+      let r = Interp.run labeled (World.random ~seed:wseed) in
+      let writes = Trace.writes_to_scalar r.Interp.trace "s0" in
+      let final = Trace.scalar_at r.Interp.trace "s0" ~init:(Value.int 0) ~step:max_int in
+      match List.rev writes with
+      | [] -> Value.equal final (Value.int 0)
+      | (_, _, last) :: _ -> Value.equal final last)
+
+let () =
+  let to_alcotest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "props"
+    [
+      ( "roundtrip",
+        List.map to_alcotest
+          [
+            prop_perfect_roundtrip;
+            prop_value_thread_projection;
+            prop_value_outputs;
+            prop_rcse_full_fidelity_roundtrip;
+            prop_recording_deterministic;
+            prop_output_constraint_reflexive;
+            prop_log_io_roundtrip;
+          ] );
+      ( "cost-model",
+        List.map to_alcotest
+          [ prop_cost_nonnegative; prop_overhead_lower_bound; prop_cost_additive ] );
+      ( "foundations",
+        List.map to_alcotest
+          [
+            prop_prng_range;
+            prop_prng_deterministic;
+            prop_vec_models_list;
+            prop_taint_union;
+            prop_scalar_reconstruction;
+          ] );
+    ]

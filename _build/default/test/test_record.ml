@@ -1,0 +1,471 @@
+(* Unit tests for ddet_record: log queries, cost model, and the entry
+   streams each recorder extracts from a run. *)
+
+open Mvm
+open Mvm.Dsl
+open Ddet_record
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+(* A small concurrent program exercising every event class: inputs,
+   outputs, shared reads/writes, messages, locks, spawn. *)
+let mixed_prog =
+  program ~name:"mixed"
+    ~regions:[ scalar "c" (Value.int 0) ]
+    ~inputs:[ ("in0", [ Value.int 1; Value.int 2 ]) ]
+    ~main:"main"
+    [
+      func "main" []
+        [
+          spawn "w" [];
+          input "x" "in0";
+          lock "m";
+          assign "t" (g "c");
+          store_g "c" (v "t" +: v "x");
+          unlock "m";
+          recv "d" "done";
+          output "out" (g "c");
+        ];
+      func "w" []
+        [
+          lock "m";
+          assign "t" (g "c");
+          store_g "c" (v "t" +: i 10);
+          unlock "m";
+          send "done" (i 1);
+        ];
+    ]
+
+let record_with recorder =
+  Recorder.record recorder mixed_prog ~spec:Spec.accept_all
+    ~world:(World.round_robin ())
+
+(* ------------------------------------------------------------------ *)
+(* Log structure per recorder *)
+
+let test_full_records_schedule () =
+  let result, log = record_with (Full_recorder.create ()) in
+  Alcotest.(check (list (pair int int)))
+    "schedule equals trace schedule"
+    (Trace.sched_points result.Interp.trace)
+    (Log.sched_points log);
+  Alcotest.(check int) "one sched entry per step" result.Interp.steps
+    (List.length (Log.sched_points log))
+
+let test_full_records_inputs () =
+  let _, log = record_with (Full_recorder.create ()) in
+  Alcotest.(check (list value_testable)) "main's input logged" [ Value.int 1 ]
+    (Log.inputs_for log 0)
+
+let test_value_records_reads_and_recvs () =
+  let result, log = record_with (Value_recorder.create ()) in
+  let logged = List.map (fun (_, _, v) -> v) (Log.reads_for log 0) in
+  let traced = Trace.reads_by result.Interp.trace 0 in
+  (* thread 0's Read_val stream = its shared reads plus its one recv *)
+  Alcotest.(check int) "read log covers reads + recv"
+    (List.length traced + 1) (List.length logged)
+
+let test_value_read_kinds () =
+  let _, log = record_with (Value_recorder.create ()) in
+  let kinds = List.map (fun (_, k, _) -> k) (Log.reads_for log 0) in
+  Alcotest.(check bool) "contains a Msg entry (the recv)" true
+    (List.exists (fun k -> k = Log.Msg) kinds);
+  Alcotest.(check bool) "contains Mem entries" true
+    (List.exists (fun k -> k = Log.Mem) kinds)
+
+let test_output_records_outputs () =
+  let result, log = record_with (Output_recorder.create ()) in
+  Alcotest.(check bool) "logged outputs equal run outputs" true
+    (Log.outputs log = result.Interp.outputs);
+  Alcotest.(check int) "nothing else logged" 1 (Log.entry_count log)
+
+let test_failure_records_nothing_on_success () =
+  let _, log = record_with (Failure_recorder.create ()) in
+  Alcotest.(check int) "empty log" 0 (Log.entry_count log)
+
+let test_failure_records_descriptor () =
+  let p =
+    program ~name:"boom" ~regions:[] ~inputs:[] ~main:"main"
+      [ func "main" [] [ fail "kaput" ] ]
+  in
+  let result, log =
+    Recorder.record (Failure_recorder.create ()) p ~spec:Spec.accept_all
+      ~world:(World.round_robin ())
+  in
+  (match Log.recorded_failure log with
+  | Some f ->
+    Alcotest.(check bool) "descriptor equals run failure" true
+      (Some f = result.Interp.failure)
+  | None -> Alcotest.fail "missing failure descriptor");
+  Alcotest.(check int) "only the descriptor" 1 (Log.entry_count log)
+
+let test_sync_ops () =
+  let _, log = record_with (Sync_recorder.create ()) in
+  let ops = List.map (fun (_, _, op) -> op) (Log.sync_entries log) in
+  let has op = List.exists (fun o -> o = op) ops in
+  Alcotest.(check bool) "spawn" true (has Log.Op_spawn);
+  Alcotest.(check bool) "lock" true (has (Log.Op_lock "m"));
+  Alcotest.(check bool) "unlock" true (has (Log.Op_unlock "m"));
+  Alcotest.(check bool) "send" true (has (Log.Op_send "done"));
+  Alcotest.(check bool) "recv" true (has (Log.Op_recv "done"))
+
+let test_sync_records_inputs_and_outputs () =
+  let _, log = record_with (Sync_recorder.create ()) in
+  Alcotest.(check (list value_testable)) "inputs" [ Value.int 1 ]
+    (Log.inputs_for log 0);
+  Alcotest.(check bool) "outputs" true (Log.outputs log <> [])
+
+(* ------------------------------------------------------------------ *)
+(* RCSE recorder *)
+
+let high_in fname =
+  Fidelity_level.by_function ~name:"test" (fun f ->
+      if String.equal f fname then Fidelity_level.High else Fidelity_level.Low)
+
+let test_rcse_selects_by_function () =
+  let result, log = record_with (Rcse_recorder.create (high_in "w")) in
+  let cp = Log.cp_sched_points log in
+  (* every recorded point belongs to thread 1 (the only "w" thread) *)
+  Alcotest.(check bool) "only w's steps recorded" true
+    (List.for_all (fun (tid, _) -> tid = 1) cp);
+  let w_steps =
+    Trace.count
+      (fun (e : Event.t) ->
+        e.Event.kind = Event.Step && String.equal e.Event.fname "w")
+      result.Interp.trace
+  in
+  Alcotest.(check int) "all of w's steps recorded" w_steps (List.length cp)
+
+let test_rcse_low_records_nothing () =
+  let _, log = record_with (Rcse_recorder.create (Fidelity_level.always Fidelity_level.Low)) in
+  Alcotest.(check int) "empty" 0 (Log.entry_count log)
+
+let test_rcse_high_equals_full_schedule () =
+  let result, log =
+    record_with (Rcse_recorder.create (Fidelity_level.always Fidelity_level.High))
+  in
+  Alcotest.(check (list (pair int int)))
+    "always-high records the full schedule"
+    (Trace.sched_points result.Interp.trace)
+    (Log.cp_sched_points log)
+
+let test_rcse_marks_transitions () =
+  let flip = ref false in
+  let selector =
+    {
+      Fidelity_level.name = "flipper";
+      level =
+        (fun _ ->
+          flip := not !flip;
+          if !flip then Fidelity_level.High else Fidelity_level.Low);
+    }
+  in
+  let _, log = record_with (Rcse_recorder.create selector) in
+  let marks =
+    List.filter (function Log.Mark _ -> true | _ -> false) log.Log.entries
+  in
+  Alcotest.(check bool) "transitions leave marks" true (List.length marks >= 2)
+
+let test_rcse_cp_inputs_have_sites () =
+  let _, log = record_with (Rcse_recorder.create (high_in "main")) in
+  match Log.cp_inputs_for log 0 with
+  | [ (sid, v) ] ->
+    Alcotest.(check bool) "site is positive" true (sid > 0);
+    Alcotest.check value_testable "input value" (Value.int 1) v
+  | _ -> Alcotest.fail "expected exactly one cp input for main"
+
+(* ------------------------------------------------------------------ *)
+(* flight recorder *)
+
+(* a selector that dials up when it sees the output event; fresh state per
+   call, since selectors are stateful *)
+let dial_on_output () =
+  let tripped = ref false in
+  {
+    Fidelity_level.name = "on-output";
+    level =
+      (fun (e : Event.t) ->
+        (match e.kind with Event.Out _ -> tripped := true | _ -> ());
+        if !tripped then Fidelity_level.High else Fidelity_level.Low);
+  }
+
+let test_flight_flushes_on_dial_up () =
+  let _, log = record_with (Rcse_recorder.create ~flight:100 (dial_on_output ())) in
+  (* the input consumed long before the dial-up must be in the log *)
+  match Log.cp_inputs_for log 0 with
+  | [ (_, v) ] -> Alcotest.check value_testable "pre-trigger input flushed" (Value.int 1) v
+  | _ -> Alcotest.fail "expected the flushed pre-trigger input"
+
+let test_no_flight_loses_pre_trigger () =
+  let _, log = record_with (Rcse_recorder.create (dial_on_output ())) in
+  Alcotest.(check (list (pair int value_testable))) "no pre-trigger input" []
+    (Log.cp_inputs_for log 0)
+
+let test_flight_ring_bounded () =
+  (* capacity 1: only the most recent data event survives *)
+  let p =
+    program ~name:"many-inputs" ~regions:[]
+      ~inputs:[ ("c", [ Value.int 1; Value.int 2 ]) ]
+      ~main:"main"
+      [
+        func "main" []
+          [
+            input "a" "c"; input "b" "c"; input "d" "c";
+            output "out" (v "a");
+          ];
+      ]
+  in
+  let recorder = Rcse_recorder.create ~flight:1 (dial_on_output ()) in
+  let _, log =
+    Recorder.record recorder p ~spec:Spec.accept_all ~world:(World.round_robin ())
+  in
+  Alcotest.(check int) "only the last pre-trigger input survives" 1
+    (List.length (Log.cp_inputs_for log 0))
+
+let test_flight_note_and_tax () =
+  let _, log = record_with (Rcse_recorder.create ~flight:100 (dial_on_output ())) in
+  let note =
+    List.find_opt (function Log.Flight_note _ -> true | _ -> false) log.Log.entries
+  in
+  (match note with
+  | Some (Log.Flight_note { buffered }) ->
+    Alcotest.(check bool) "events were buffered" true (buffered > 0)
+  | _ -> Alcotest.fail "missing flight note");
+  let no_ring_cost =
+    Cost_model.recording_cost Cost_model.default
+      (Log.make ~recorder:"t"
+         ~entries:
+           (List.filter
+              (function Log.Flight_note _ -> false | _ -> true)
+              log.Log.entries)
+         ~base_steps:log.Log.base_steps ~failure:None)
+  in
+  Alcotest.(check bool) "ring residency is taxed" true
+    (Cost_model.recording_cost Cost_model.default log > no_ring_cost)
+
+(* ------------------------------------------------------------------ *)
+(* log serialization *)
+
+let test_log_io_roundtrip () =
+  let _, log = record_with (Full_recorder.create ()) in
+  match Log_io.of_string (Log_io.to_string log) with
+  | Ok log' ->
+    Alcotest.(check bool) "entries preserved" true (log'.Log.entries = log.Log.entries);
+    Alcotest.(check string) "recorder" log.Log.recorder log'.Log.recorder;
+    Alcotest.(check int) "base steps" log.Log.base_steps log'.Log.base_steps;
+    Alcotest.(check bool) "failure" true (log'.Log.failure = log.Log.failure)
+  | Error e -> Alcotest.fail e
+
+let test_log_io_roundtrip_every_recorder () =
+  List.iter
+    (fun make ->
+      let _, log = record_with (make ()) in
+      match Log_io.of_string (Log_io.to_string log) with
+      | Ok log' ->
+        Alcotest.(check bool) "roundtrip" true (log'.Log.entries = log.Log.entries)
+      | Error e -> Alcotest.fail e)
+    [
+      Full_recorder.create; Value_recorder.create; Sync_recorder.create;
+      Output_recorder.create; Failure_recorder.create;
+      (fun () -> Rcse_recorder.create (Fidelity_level.always Fidelity_level.High));
+    ]
+
+let test_log_io_escapes () =
+  let tricky = "line\nbreak \"quoted\" and \\backslash" in
+  let entries =
+    [
+      Log.Input { tid = 0; chan = "c"; value = Value.str tricky };
+      Log.Mark tricky;
+      Log.Failure_desc (Mvm.Failure.Crash { sid = 3; msg = tricky });
+    ]
+  in
+  let log = Log.make ~recorder:"esc" ~entries ~base_steps:1 ~failure:(Some Mvm.Failure.Hang) in
+  match Log_io.of_string (Log_io.to_string log) with
+  | Ok log' -> Alcotest.(check bool) "tricky strings survive" true (log'.Log.entries = entries)
+  | Error e -> Alcotest.fail e
+
+let test_log_io_rejects_garbage () =
+  (match Log_io.of_string "not a log" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match Log_io.of_string "ddet-log v1\nrecorder \"x\"\nbase-steps 1\nfailure none\nbogus entry" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus entry accepted"
+
+let test_log_io_file () =
+  let _, log = record_with (Value_recorder.create ()) in
+  let path = Stdlib.Filename.temp_file "ddet" ".log" in
+  Log_io.save path log;
+  (match Log_io.load path with
+  | Ok log' -> Alcotest.(check bool) "file roundtrip" true (log'.Log.entries = log.Log.entries)
+  | Error e -> Alcotest.fail e);
+  Stdlib.Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Fidelity_level combinators *)
+
+let ev fname =
+  { Event.step = 0; tid = 0; sid = 1; fname; kind = Event.Step }
+
+let test_any_combinator () =
+  let s =
+    Fidelity_level.any [ high_in "a"; high_in "b" ]
+  in
+  Alcotest.(check bool) "a is high" true
+    (Fidelity_level.equal (s.Fidelity_level.level (ev "a")) Fidelity_level.High);
+  Alcotest.(check bool) "b is high" true
+    (Fidelity_level.equal (s.Fidelity_level.level (ev "b")) Fidelity_level.High);
+  Alcotest.(check bool) "c is low" true
+    (Fidelity_level.equal (s.Fidelity_level.level (ev "c")) Fidelity_level.Low)
+
+let test_any_evaluates_all () =
+  (* stateful constituents must see every event even when another
+     constituent already answered High *)
+  let calls = ref 0 in
+  let counting =
+    {
+      Fidelity_level.name = "counting";
+      level = (fun _ -> incr calls; Fidelity_level.Low);
+    }
+  in
+  let s = Fidelity_level.any [ Fidelity_level.always Fidelity_level.High; counting ] in
+  ignore (s.Fidelity_level.level (ev "x"));
+  ignore (s.Fidelity_level.level (ev "y"));
+  Alcotest.(check int) "both events seen" 2 !calls
+
+(* ------------------------------------------------------------------ *)
+(* Cost model *)
+
+let cm = Cost_model.default
+
+let test_cost_sched_expensive () =
+  Alcotest.(check bool) "sched > sync" true
+    (Cost_model.entry_cost cm (Log.Sched { tid = 0; sid = 1 })
+    > Cost_model.entry_cost cm (Log.Sync { tid = 0; sid = 1; op = Log.Op_spawn }))
+
+let test_cost_scales_with_bytes () =
+  let entry s = Log.Read_val { tid = 0; sid = 1; kind = Log.Mem; value = Value.str s } in
+  Alcotest.(check bool) "long string costs more" true
+    (Cost_model.entry_cost cm (entry (String.make 100 'x'))
+    > Cost_model.entry_cost cm (entry "x"))
+
+let test_cost_failure_free () =
+  Alcotest.(check (float 1e-9)) "failure descriptor is free" 0.0
+    (Cost_model.entry_cost cm (Log.Failure_desc Mvm.Failure.Hang))
+
+let test_cost_mark_free () =
+  Alcotest.(check (float 1e-9)) "marks are free" 0.0
+    (Cost_model.entry_cost cm (Log.Mark "x"))
+
+let test_overhead_at_least_one () =
+  let log = Log.make ~recorder:"t" ~entries:[] ~base_steps:100 ~failure:None in
+  Alcotest.(check (float 1e-9)) "empty log overhead 1.0" 1.0
+    (Cost_model.overhead cm log)
+
+let test_overhead_monotone_in_entries () =
+  let mk entries = Log.make ~recorder:"t" ~entries ~base_steps:100 ~failure:None in
+  let e = Log.Sched { tid = 0; sid = 1 } in
+  Alcotest.(check bool) "more entries, more overhead" true
+    (Cost_model.overhead cm (mk [ e; e ]) > Cost_model.overhead cm (mk [ e ]))
+
+let test_recording_cost_additive () =
+  let e1 = Log.Sched { tid = 0; sid = 1 } in
+  let e2 = Log.Input { tid = 0; chan = "c"; value = Value.int 1 } in
+  let mk entries = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None in
+  Alcotest.(check (float 1e-9)) "cost adds up"
+    (Cost_model.recording_cost cm (mk [ e1 ]) +. Cost_model.recording_cost cm (mk [ e2 ]))
+    (Cost_model.recording_cost cm (mk [ e1; e2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Log accessors *)
+
+let test_payload_bytes () =
+  let entries =
+    [
+      Log.Input { tid = 0; chan = "c"; value = Value.str "abcd" };
+      Log.Read_val { tid = 0; sid = 1; kind = Log.Mem; value = Value.int 5 };
+      Log.Sched { tid = 0; sid = 1 };
+    ]
+  in
+  let log = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None in
+  Alcotest.(check int) "4 string bytes + 8 int bytes" 12 (Log.payload_bytes log)
+
+let test_entry_count_skips_marks () =
+  let entries = [ Log.Mark "a"; Log.Sched { tid = 0; sid = 1 }; Log.Mark "b" ] in
+  let log = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None in
+  Alcotest.(check int) "marks not counted" 1 (Log.entry_count log)
+
+let test_inputs_per_thread_separated () =
+  let entries =
+    [
+      Log.Input { tid = 0; chan = "c"; value = Value.int 1 };
+      Log.Input { tid = 1; chan = "c"; value = Value.int 2 };
+      Log.Input { tid = 0; chan = "c"; value = Value.int 3 };
+    ]
+  in
+  let log = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None in
+  Alcotest.(check (list value_testable)) "tid 0" [ Value.int 1; Value.int 3 ]
+    (Log.inputs_for log 0);
+  Alcotest.(check (list value_testable)) "tid 1" [ Value.int 2 ]
+    (Log.inputs_for log 1)
+
+let () =
+  Alcotest.run "record"
+    [
+      ( "recorders",
+        [
+          Alcotest.test_case "full: schedule" `Quick test_full_records_schedule;
+          Alcotest.test_case "full: inputs" `Quick test_full_records_inputs;
+          Alcotest.test_case "value: reads+recvs" `Quick test_value_records_reads_and_recvs;
+          Alcotest.test_case "value: kinds" `Quick test_value_read_kinds;
+          Alcotest.test_case "output: outputs only" `Quick test_output_records_outputs;
+          Alcotest.test_case "failure: empty on success" `Quick test_failure_records_nothing_on_success;
+          Alcotest.test_case "failure: descriptor" `Quick test_failure_records_descriptor;
+          Alcotest.test_case "sync: op coverage" `Quick test_sync_ops;
+          Alcotest.test_case "sync: inputs/outputs" `Quick test_sync_records_inputs_and_outputs;
+        ] );
+      ( "rcse",
+        [
+          Alcotest.test_case "selects by function" `Quick test_rcse_selects_by_function;
+          Alcotest.test_case "low records nothing" `Quick test_rcse_low_records_nothing;
+          Alcotest.test_case "high equals full" `Quick test_rcse_high_equals_full_schedule;
+          Alcotest.test_case "marks transitions" `Quick test_rcse_marks_transitions;
+          Alcotest.test_case "cp inputs carry sites" `Quick test_rcse_cp_inputs_have_sites;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "flush on dial-up" `Quick test_flight_flushes_on_dial_up;
+          Alcotest.test_case "no ring loses history" `Quick test_no_flight_loses_pre_trigger;
+          Alcotest.test_case "ring bounded" `Quick test_flight_ring_bounded;
+          Alcotest.test_case "note and tax" `Quick test_flight_note_and_tax;
+        ] );
+      ( "log-io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_log_io_roundtrip;
+          Alcotest.test_case "every recorder" `Quick test_log_io_roundtrip_every_recorder;
+          Alcotest.test_case "escapes" `Quick test_log_io_escapes;
+          Alcotest.test_case "rejects garbage" `Quick test_log_io_rejects_garbage;
+          Alcotest.test_case "file save/load" `Quick test_log_io_file;
+        ] );
+      ( "fidelity-level",
+        [
+          Alcotest.test_case "any combinator" `Quick test_any_combinator;
+          Alcotest.test_case "any evaluates all" `Quick test_any_evaluates_all;
+        ] );
+      ( "cost-model",
+        [
+          Alcotest.test_case "sched expensive" `Quick test_cost_sched_expensive;
+          Alcotest.test_case "byte scaling" `Quick test_cost_scales_with_bytes;
+          Alcotest.test_case "failure free" `Quick test_cost_failure_free;
+          Alcotest.test_case "mark free" `Quick test_cost_mark_free;
+          Alcotest.test_case "overhead >= 1" `Quick test_overhead_at_least_one;
+          Alcotest.test_case "overhead monotone" `Quick test_overhead_monotone_in_entries;
+          Alcotest.test_case "cost additive" `Quick test_recording_cost_additive;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "payload bytes" `Quick test_payload_bytes;
+          Alcotest.test_case "marks uncounted" `Quick test_entry_count_skips_marks;
+          Alcotest.test_case "per-thread inputs" `Quick test_inputs_per_thread_separated;
+        ] );
+    ]
