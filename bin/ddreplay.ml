@@ -77,6 +77,24 @@ let in_arg =
   Arg.(required & opt (some string) None & info [ "i"; "in" ] ~docv:"FILE"
          ~doc:"Log file previously saved by record --out.")
 
+let faults_conv =
+  Arg.conv
+    ( (fun s -> Mvm.Fault.of_string s |> Result.map_error (fun e -> `Msg e)),
+      fun ppf p -> Format.pp_print_string ppf (Mvm.Fault.to_string p) )
+
+let faults_arg =
+  Arg.(value & opt (some faults_conv) None & info [ "faults" ] ~docv:"PLAN"
+         ~doc:"Run under a deterministic fault plan, e.g. \
+               $(b,seed=7,drop:ack_0:0.25,dup:repl:0.1,stall:2:50-90). \
+               Actions: drop/dup/perturb CHAN:PROB, delay CHAN:FROM-TO, \
+               stall TID:FROM-TO, crash TID:STEP.")
+
+let salvage_arg =
+  Arg.(value & flag & info [ "salvage" ]
+         ~doc:"Load the log in salvage mode: keep the longest valid prefix \
+               of a damaged file, report the damage, and attempt a degraded \
+               replay instead of refusing.")
+
 (* ------------------------------------------------------------------ *)
 (* command bodies *)
 
@@ -110,12 +128,12 @@ let cmd_list () =
     Model.all_names;
   0
 
-let cmd_run app seed =
-  describe_run app (App.production_run app ~seed);
+let cmd_run app seed faults =
+  describe_run app (App.production_run ?faults app ~seed);
   0
 
-let cmd_find app cause exclusive =
-  match Workload.find_failing_seed ?cause ~exclusive app with
+let cmd_find app cause exclusive faults =
+  match Workload.find_failing_seed ?cause ~exclusive ?faults app with
   | Some (seed, r) ->
     Printf.printf "seed %d fails:\n" seed;
     describe_run app r;
@@ -124,9 +142,9 @@ let cmd_find app cause exclusive =
     Printf.eprintf "no failing seed found in the scanned range\n";
     1
 
-let cmd_record app model seed verbose out =
+let cmd_record app model seed verbose out faults =
   let prepared = Session.prepare model app in
-  let original, log = Session.record prepared ~seed in
+  let original, log = Session.record ?faults prepared ~seed in
   describe_run app original;
   Printf.printf "\nlog: %d entries, %d payload bytes, modeled overhead %.2fx\n"
     (Ddet_record.Log.entry_count log)
@@ -140,12 +158,17 @@ let cmd_record app model seed verbose out =
   | None -> ());
   0
 
-let cmd_replay app model file =
-  match Ddet_record.Log_io.load file with
+let cmd_replay app model file salvage =
+  let mode =
+    if salvage then Ddet_record.Log_io.Salvage else Ddet_record.Log_io.Strict
+  in
+  match Ddet_record.Log_io.load_report ~mode file with
   | Error msg ->
     Printf.eprintf "cannot load %s: %s\n" file msg;
     1
-  | Ok log ->
+  | Ok (log, damage) ->
+    if Ddet_record.Log_io.is_damaged damage then
+      Format.printf "%a@." Ddet_record.Log_io.pp_damage damage;
     let prepared = Session.prepare model app in
     let outcome = Session.replay prepared log in
     Format.printf "%a@." Ddet_replay.Replayer.pp_outcome outcome;
@@ -156,8 +179,8 @@ let cmd_replay app model file =
       0
     | None -> 1)
 
-let cmd_debug app model seed replays =
-  let a = Session.experiment_ensemble ~replays model app ~seed in
+let cmd_debug app model seed replays faults =
+  let a = Session.experiment_ensemble ?faults ~replays model app ~seed in
   Format.printf "%a@." Ddet_metrics.Utility.pp a;
   0
 
@@ -201,26 +224,28 @@ let list_cmd =
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~exits ~doc:"Execute and judge one production run.")
-    Term.(const cmd_run $ app_arg $ seed_arg)
+    Term.(const cmd_run $ app_arg $ seed_arg $ faults_arg)
 
 let find_cmd =
   Cmd.v (Cmd.info "find" ~exits ~doc:"Scan seeds for a failing production run.")
-    Term.(const cmd_find $ app_arg $ cause_arg $ exclusive_arg)
+    Term.(const cmd_find $ app_arg $ cause_arg $ exclusive_arg $ faults_arg)
 
 let record_cmd =
   Cmd.v (Cmd.info "record" ~exits ~doc:"Record a production run under a model.")
-    Term.(const cmd_record $ app_arg $ model_arg $ seed_arg $ verbose_arg $ out_arg)
+    Term.(const cmd_record $ app_arg $ model_arg $ seed_arg $ verbose_arg
+          $ out_arg $ faults_arg)
 
 let replay_cmd =
   Cmd.v
     (Cmd.info "replay" ~exits ~doc:"Replay a saved log under its model.")
-    Term.(const cmd_replay $ app_arg $ model_arg $ in_arg)
+    Term.(const cmd_replay $ app_arg $ model_arg $ in_arg $ salvage_arg)
 
 let debug_cmd =
   Cmd.v
     (Cmd.info "debug" ~exits
        ~doc:"Record, replay and assess: overhead, DF, DE, DU.")
-    Term.(const cmd_debug $ app_arg $ model_arg $ seed_arg $ replays_arg)
+    Term.(const cmd_debug $ app_arg $ model_arg $ seed_arg $ replays_arg
+          $ faults_arg)
 
 let classify_cmd =
   Cmd.v

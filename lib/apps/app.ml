@@ -12,5 +12,5 @@ type t = {
 let run ?max_steps app world =
   Spec.apply app.spec (Interp.run ?max_steps app.labeled world)
 
-let production_run ?max_steps app ~seed =
-  run ?max_steps app (World.random ~seed)
+let production_run ?max_steps ?(faults = Fault.none) app ~seed =
+  run ?max_steps app (Fault.inject faults (World.random ~seed))

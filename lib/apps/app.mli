@@ -21,5 +21,8 @@ type t = {
 val run : ?max_steps:int -> t -> World.t -> Interp.result
 
 (** [production_run app ~seed] is [run] under a seeded random world — the
-    model of an uncontrolled production environment. *)
-val production_run : ?max_steps:int -> t -> seed:int -> Interp.result
+    model of an uncontrolled production environment. [faults] (default
+    {!Fault.none}) additionally injects an adversarial fault plan: lossy
+    channels, stalled threads, perturbed inputs. *)
+val production_run :
+  ?max_steps:int -> ?faults:Fault.plan -> t -> seed:int -> Interp.result

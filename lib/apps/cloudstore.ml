@@ -53,7 +53,9 @@ let pick_replica_func =
   func "pick_replica" [] [ input "c" "replica_choice"; return (v "c") ]
 
 (* The primary chunkserver: stores writes, ACKNOWLEDGES BEFORE FORWARDING
-   the replication (the early-ack defect), serves reads from disk_0 and
+   the replication (the early-ack defect: the replication pipeline is an
+   asynchronous store-and-forward queue flushed one block per service
+   iteration, strictly after pending reads), serves reads from disk_0 and
    drops exactly one replication when the forwarding-link fault fires. *)
 let primary_func p =
   let poll =
@@ -64,16 +66,23 @@ let primary_func p =
           recv "m" "write_0";
           store "disk_0" (v "bid") (i 1);
           store_g "bytes_p" (g "bytes_p" +: str_len (v "m"));
-          assign "r" (i 1);
+          (* the ack names the block it covers, so writers can discard
+             stale or duplicated acks during retransmission *)
+          assign "r" (v "bid");
           route_by_id p "bid" ack_chan;
           if_
             ((v "fnet" =: i 1) &&: (v "dropped" =: i 0))
             [ assign "dropped" (i 1) ]
-            [ send "repl" (v "bid"); send "repl" (v "m") ];
+            [ send "replq" (v "bid"); send "replq" (v "m") ];
         ];
       try_recv "okr" "rb" "read_0";
       when_ (v "okr")
         [ assign "r" (idx "disk_0" (v "rb")); route_by_id p "rb" resp_chan ];
+      (* flush one pending replication — an acknowledged block reaches
+         the secondary strictly later than its ack *)
+      try_recv "okf" "fb" "replq";
+      when_ (v "okf")
+        [ recv "fm" "replq"; send "repl" (v "fb"); send "repl" (v "fm") ];
     ]
   in
   func "primary" []
@@ -91,7 +100,8 @@ let primary_func p =
      ]
     @ [
         assign "more" (b true);
-        while_ (v "more") (poll @ [ assign "more" (v "okw" ||: v "okr") ]);
+        while_ (v "more")
+          (poll @ [ assign "more" (v "okw" ||: v "okr" ||: v "okf") ]);
         send "ack_p" (i 1);
       ])
 
@@ -133,20 +143,50 @@ let secondary_func p =
         send "ack_s" (i 1);
       ])
 
+(* Delivery attempts a writer makes before it retransmits an upload. *)
+let ack_patience = 12
+
 let writer_func p w =
+  let upload =
+    (* one upload per connection: the id/payload pair is serialised *)
+    [
+      lock "wl";
+      send "write_0" (v "bid");
+      send "write_0" (v "m");
+      unlock "wl";
+    ]
+  in
   func (writer_name w) []
     [
       for_ "k" (i 0)
         (i p.blocks_per_writer)
-        [
-          input "m" "blk_data";
-          (* one upload per connection: the id/payload pair is serialised *)
-          lock "wl";
-          send "write_0" (i (w * p.blocks_per_writer) +: v "k");
-          send "write_0" (v "m");
-          unlock "wl";
-          recv "a" (ack_chan w);
-        ];
+        ([
+           input "m" "blk_data";
+           assign "bid" (i (w * p.blocks_per_writer) +: v "k");
+         ]
+        @ upload
+        @ [
+            (* at-least-once upload over a lossy link: poll for this
+               block's ack with a patience window, retransmit on timeout.
+               Acks carry the block id, so a stale or duplicated ack for
+               an earlier block is consumed and discarded rather than
+               satisfying this wait; the primary's store is idempotent,
+               so retransmitted uploads are safe. *)
+            assign "acked" (i 0);
+            while_ (v "acked" =: i 0)
+              [
+                assign "polls" (i 0);
+                while_ ((v "acked" =: i 0) &&: (v "polls" <: i ack_patience))
+                  [
+                    try_recv "oka" "a" (ack_chan w);
+                    when_ (v "oka" &&: (v "a" =: v "bid"))
+                      [ assign "acked" (i 1) ];
+                    assign "polls" (v "polls" +: i 1);
+                    yield;
+                  ];
+                when_ (v "acked" =: i 0) upload;
+              ];
+          ]);
       (* verify one of our blocks through a load-balanced replica *)
       call ~dest:"vb" "pick_verify" [];
       assign "b" (i (w * p.blocks_per_writer) +: v "vb");
@@ -154,7 +194,13 @@ let writer_func p w =
       if_ (v "rep" =: i 0)
         [ send "read_0" (v "b") ]
         [ send "read_1" (v "b") ];
-      recv "res" (resp_chan w);
+      (* the response can be starved by drop faults too: keep polling *)
+      assign "got" (i 0);
+      while_ (v "got" =: i 0)
+        [
+          try_recv "okv" "res" (resp_chan w);
+          if_ (v "okv") [ assign "got" (i 1) ] [ yield ];
+        ];
       if_ (v "res" =: i 0)
         [ send "wdone" (i 1) ]
         [ send "wdone" (i 0) ];

@@ -26,6 +26,12 @@ let net_domain p =
   ]
 
 let producer_name p = Printf.sprintf "producer%d" p
+let done_chan p = Printf.sprintf "done%d" p
+let fin_chan p = Printf.sprintf "fin%d" p
+
+(* Delivery attempts a producer waits for its report to be confirmed
+   before it retransmits. *)
+let report_patience = 12
 
 (* Enqueue without synchronisation: read the cursor, get preempted, write —
    the classic lost-update race that overwrites a peer's slot. *)
@@ -50,7 +56,25 @@ let producer p params =
             ];
           assign "sent" (v "sent" +: i 1);
         ];
-      send (Printf.sprintf "done%d" p) (v "sent");
+      (* report-and-confirm handshake: the done report retransmits until
+         the server's fin confirmation arrives, so a dropped report (or
+         confirmation) under an injected fault plan cannot wedge the
+         run. The server keys on the first report it sees, so duplicates
+         are harmless. *)
+      send (done_chan p) (v "sent");
+      assign "fin" (i 0);
+      while_ (v "fin" =: i 0)
+        [
+          assign "polls" (i 0);
+          while_ ((v "fin" =: i 0) &&: (v "polls" <: i report_patience))
+            [
+              try_recv "okf" "f" (fin_chan p);
+              when_ (v "okf") [ assign "fin" (i 1) ];
+              assign "polls" (v "polls" +: i 1);
+              yield;
+            ];
+          when_ (v "fin" =: i 0) [ send (done_chan p) (v "sent") ];
+        ];
     ]
 
 let program params =
@@ -65,8 +89,38 @@ let program params =
         [
           spawn (producer_name 0) [];
           spawn (producer_name 1) [];
-          recv "c0" "done0";
-          recv "c1" "done1";
+          (* poll for the producers' reports instead of blocking: a
+             lossy channel starves a blocking recv, a poll loop just
+             retries. The first report per producer wins; its fin
+             confirmation stops that producer's retransmission. *)
+          assign "c0" (i 0);
+          assign "c1" (i 0);
+          assign "got0" (i 0);
+          assign "got1" (i 0);
+          while_ ((v "got0" =: i 0) ||: (v "got1" =: i 0))
+            [
+              when_ (v "got0" =: i 0)
+                [
+                  try_recv "ok0" "d0" (done_chan 0);
+                  when_ (v "ok0")
+                    [
+                      assign "c0" (v "d0");
+                      assign "got0" (i 1);
+                      send (fin_chan 0) (i 1);
+                    ];
+                ];
+              when_ (v "got1" =: i 0)
+                [
+                  try_recv "ok1" "d1" (done_chan 1);
+                  when_ (v "ok1")
+                    [
+                      assign "c1" (v "d1");
+                      assign "got1" (i 1);
+                      send (fin_chan 1) (i 1);
+                    ];
+                ];
+              yield;
+            ];
           output "sent" (v "c0" +: v "c1");
           output "delivered" (g "cursor");
         ];

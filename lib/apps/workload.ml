@@ -2,7 +2,7 @@ open Mvm
 open Ddet_metrics
 
 let find_failing_seed ?cause ?(exclusive = false) ?(from = 1) ?(max_seeds = 500)
-    (app : App.t) =
+    ?faults (app : App.t) =
   let matches r =
     match Root_cause.observed app.App.catalog r with
     | [] -> false
@@ -16,7 +16,7 @@ let find_failing_seed ?cause ?(exclusive = false) ?(from = 1) ?(max_seeds = 500)
   let rec scan seed =
     if seed >= from + max_seeds then None
     else
-      let r = App.production_run app ~seed in
+      let r = App.production_run ?faults app ~seed in
       if matches r then Some (seed, r) else scan (seed + 1)
   in
   scan from
@@ -24,10 +24,10 @@ let find_failing_seed ?cause ?(exclusive = false) ?(from = 1) ?(max_seeds = 500)
 let training_runs ?(n = 5) ?(from = 1000) (app : App.t) =
   List.init n (fun k -> App.production_run app ~seed:(from + k))
 
-let failure_rate ?(n = 100) ?(from = 1) (app : App.t) =
+let failure_rate ?(n = 100) ?(from = 1) ?faults (app : App.t) =
   let failures =
     List.init n (fun k ->
-        match (App.production_run app ~seed:(from + k)).Interp.failure with
+        match (App.production_run ?faults app ~seed:(from + k)).Interp.failure with
         | Some _ -> 1
         | None -> 0)
   in

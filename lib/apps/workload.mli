@@ -7,13 +7,15 @@ open Mvm
     for a production run whose failure matches the app's catalog. With
     [cause], the primary observed root cause must be that id; with
     [exclusive] (default false), it must be the *only* observed cause —
-    clean attribution for the original execution of an experiment. Returns
+    clean attribution for the original execution of an experiment. With
+    [faults], every scanned run executes under that fault plan. Returns
     the seed and the judged run. *)
 val find_failing_seed :
   ?cause:string ->
   ?exclusive:bool ->
   ?from:int ->
   ?max_seeds:int ->
+  ?faults:Fault.plan ->
   App.t ->
   (int * Interp.result) option
 
@@ -24,5 +26,6 @@ val find_failing_seed :
 val training_runs : ?n:int -> ?from:int -> App.t -> Interp.result list
 
 (** [failure_rate ?n ?from app] is the fraction of seeds whose run fails —
-    workload characterisation for reports. *)
-val failure_rate : ?n:int -> ?from:int -> App.t -> float
+    workload characterisation for reports. [faults] runs the scan under a
+    fault plan. *)
+val failure_rate : ?n:int -> ?from:int -> ?faults:Fault.plan -> App.t -> float

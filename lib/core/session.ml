@@ -88,11 +88,17 @@ let prepare ?(config = Config.default) model (app : App.t) =
     invariants = (if inv_used then Some (Lazy.force invariants) else None);
   }
 
-let record prepared ~seed =
-  Recorder.record
-    (prepared.make_recorder ())
-    prepared.app.App.labeled ~spec:prepared.app.App.spec
-    ~world:(World.random ~seed)
+let record ?(faults = Fault.none) prepared ~seed =
+  let world = Fault.inject faults (World.random ~seed) in
+  let original, log =
+    Recorder.record
+      (prepared.make_recorder ())
+      prepared.app.App.labeled ~spec:prepared.app.App.spec ~world
+  in
+  (* the plan ships with the log: replay must re-create the adversarial
+     environment the recording ran under *)
+  if Fault.is_empty faults then (original, log)
+  else (original, { log with Log.faults = Some faults })
 
 (* Output-determinism inference enumerates input assignments exhaustively
    when the program is sequential (its only nondeterminism is inputs);
@@ -123,24 +129,24 @@ let replay ?budget prepared log =
     let strict = match mode with Model.Code_based -> true | _ -> false in
     Replayer.rcse ~budget ~strict labeled ~spec log
 
-let assess prepared ~original ~log outcome =
+let assess ?salvaged prepared ~original ~log outcome =
   let a =
     Ddet_metrics.Utility.assess ~cost_model:prepared.config.Config.cost_model
-      ~catalog:prepared.app.App.catalog ~original ~log outcome
+      ?salvaged ~catalog:prepared.app.App.catalog ~original ~log outcome
   in
   (* the replayer knows only its mechanism; name the configured model so
      RCSE variants stay distinguishable in reports *)
   { a with Ddet_metrics.Utility.model = Model.name prepared.model }
 
-let experiment ?config model app ~seed =
+let experiment ?config ?faults model app ~seed =
   let prepared = prepare ?config model app in
-  let original, log = record prepared ~seed in
+  let original, log = record ?faults prepared ~seed in
   let outcome = replay prepared log in
   assess prepared ~original ~log outcome
 
-let experiment_ensemble ?config ?(replays = 5) model app ~seed =
+let experiment_ensemble ?config ?faults ?(replays = 5) model app ~seed =
   let prepared = prepare ?config model app in
-  let original, log = record prepared ~seed in
+  let original, log = record ?faults prepared ~seed in
   let base = prepared.config.Config.budget in
   let assessments =
     List.init (max 1 replays) (fun k ->

@@ -37,8 +37,11 @@ type prepared = {
 val prepare : ?config:Config.t -> Model.t -> App.t -> prepared
 
 (** [record prepared ~seed] executes one production run under the model's
-    recorder and returns the judged run plus its log. *)
-val record : prepared -> seed:int -> Interp.result * Log.t
+    recorder and returns the judged run plus its log. With [faults] the
+    run executes under that adversarial fault plan, and the plan is
+    stamped into the log so replay can re-create the environment. *)
+val record :
+  ?faults:Fault.plan -> prepared -> seed:int -> Interp.result * Log.t
 
 (** [replay ?budget prepared log] reconstructs an execution per the model's
     replay contract. [budget] overrides the config's inference budget (the
@@ -49,18 +52,26 @@ val replay :
   Log.t ->
   Ddet_replay.Replayer.outcome
 
-(** [assess prepared ~original ~log outcome] computes the §3.2 metrics. *)
+(** [assess prepared ~original ~log outcome] computes the §3.2 metrics.
+    [salvaged] marks a log recovered from a damaged file, capping a full
+    reproduction's DF at the 1/n floor — see {!Ddet_metrics.Utility.assess}. *)
 val assess :
+  ?salvaged:bool ->
   prepared ->
   original:Interp.result ->
   log:Log.t ->
   Ddet_replay.Replayer.outcome ->
   Ddet_metrics.Utility.assessment
 
-(** [experiment ?config model app ~seed] = prepare, record, replay,
-    assess. *)
+(** [experiment ?config ?faults model app ~seed] = prepare, record,
+    replay, assess — optionally under an injected fault plan. *)
 val experiment :
-  ?config:Config.t -> Model.t -> App.t -> seed:int -> Ddet_metrics.Utility.assessment
+  ?config:Config.t ->
+  ?faults:Fault.plan ->
+  Model.t ->
+  App.t ->
+  seed:int ->
+  Ddet_metrics.Utility.assessment
 
 (** [experiment_ensemble ?config ?replays model app ~seed] records once and
     replays [replays] times (default 5) with independent search seeds,
@@ -70,6 +81,7 @@ val experiment :
     cause is the modal one across the ensemble. *)
 val experiment_ensemble :
   ?config:Config.t ->
+  ?faults:Fault.plan ->
   ?replays:int ->
   Model.t ->
   App.t ->

@@ -1,8 +1,9 @@
 open Mvm
 
+let ratio ~(original : Interp.result) ~inference_steps =
+  float_of_int original.steps /. float_of_int (max 1 inference_steps)
+
 let de ~original ~(outcome : Ddet_replay.Replayer.outcome) =
   match outcome.result with
   | None -> 0.
-  | Some _ ->
-    float_of_int (original : Interp.result).steps
-    /. float_of_int (max 1 outcome.total_steps)
+  | Some _ -> ratio ~original ~inference_steps:outcome.total_steps

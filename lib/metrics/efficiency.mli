@@ -11,3 +11,8 @@ open Mvm
 
 (** [de ~original ~outcome] — 0 when the replay failed to reproduce. *)
 val de : original:Interp.result -> outcome:Ddet_replay.Replayer.outcome -> float
+
+(** [ratio ~original ~inference_steps] is the raw steps ratio, for callers
+    that decide reproduction success themselves (degraded DF accounting
+    prices partial reproductions with the same units). *)
+val ratio : original:Interp.result -> inference_steps:int -> float

@@ -26,3 +26,11 @@ let explain ~catalog ~original ~replay =
 let df ~catalog ~original ~replay =
   let v, _, _ = explain ~catalog ~original ~replay in
   v
+
+(* The degraded-fidelity floor: reproducing the failure without a claim
+   about the root cause is worth exactly 1/n — the paper's point that
+   fidelity should fall to 1/n, not to 0, when information is lost. *)
+let floor_df catalog = 1. /. float_of_int (max 1 (Root_cause.n_causes catalog))
+
+let df_partial ~catalog ~original ~best =
+  if failure_reproduced original best then floor_df catalog else 0.

@@ -26,3 +26,19 @@ val explain :
   original:Interp.result ->
   replay:Interp.result option ->
   float * string option * string option
+
+(** [floor_df catalog] is 1/n for the catalog's n root causes — the DF of
+    a reproduction that carries no root-cause information. Degraded
+    replays (salvaged logs, partial search outcomes) are capped here:
+    fidelity falls to 1/n, not to 0 (§3.2). *)
+val floor_df : Root_cause.catalog -> float
+
+(** [df_partial ~catalog ~original ~best] scores a best-effort candidate
+    from an exhausted search: [floor_df catalog] when it reproduces the
+    original failure, 0 otherwise. A partial reproduction never claims
+    cause fidelity, so it never scores above the floor. *)
+val df_partial :
+  catalog:Root_cause.catalog ->
+  original:Interp.result ->
+  best:Interp.result ->
+  float

@@ -10,14 +10,47 @@ type assessment = {
   replay_cause : string option;
   attempts : int;
   inference_steps : int;
+  degraded : bool;
 }
 
-let assess ?(cost_model = Cost_model.default) ~catalog ~original ~log
-    (outcome : Ddet_replay.Replayer.outcome) =
-  let df, original_cause, replay_cause =
+(* Degraded accounting (the paper's "DF should fall to 1/n, not 0"):
+
+   - a full reproduction from a salvaged (damaged) log is capped at the
+     1/n floor — the missing tail means the replay cannot substantiate a
+     root-cause claim beyond "the failure reproduces";
+   - an exhausted search whose best partial candidate still reproduces
+     the failure scores the floor outright, and its inference work is
+     priced into DE exactly like a successful search. *)
+let assess ?(cost_model = Cost_model.default) ?(salvaged = false) ~catalog
+    ~original ~log (outcome : Ddet_replay.Replayer.outcome) =
+  let df_full, original_cause, replay_cause =
     Fidelity.explain ~catalog ~original ~replay:outcome.result
   in
-  let de = Efficiency.de ~original ~outcome in
+  let df, replay_cause, degraded =
+    match outcome.result with
+    | Some _ ->
+      if salvaged then (Float.min df_full (Fidelity.floor_df catalog), replay_cause, true)
+      else (df_full, replay_cause, false)
+    | None -> (
+      match outcome.partial with
+      | Some p ->
+        let df_p =
+          Fidelity.df_partial ~catalog ~original ~best:p.Ddet_replay.Search.best
+        in
+        if df_p > 0. then
+          ( df_p,
+            Option.map
+              (fun c -> c.Root_cause.id)
+              (Root_cause.primary catalog p.Ddet_replay.Search.best),
+            true )
+        else (0., replay_cause, salvaged)
+      | None -> (0., replay_cause, salvaged))
+  in
+  let de =
+    if df > 0. then
+      Efficiency.ratio ~original ~inference_steps:outcome.total_steps
+    else 0.
+  in
   {
     model = outcome.model;
     overhead = Cost_model.overhead cost_model log;
@@ -28,12 +61,14 @@ let assess ?(cost_model = Cost_model.default) ~catalog ~original ~log
     replay_cause;
     attempts = outcome.attempts;
     inference_steps = outcome.total_steps;
+    degraded;
   }
 
 let pp ppf a =
   Format.fprintf ppf
-    "%-10s overhead %.2fx  DF %.2f  DE %.4f  DU %.4f  (cause %s -> %s, %d attempts)"
+    "%-10s overhead %.2fx  DF %.2f  DE %.4f  DU %.4f  (cause %s -> %s, %d attempts)%s"
     a.model a.overhead a.df a.de a.du
     (Option.value ~default:"?" a.original_cause)
     (Option.value ~default:"-" a.replay_cause)
     a.attempts
+    (if a.degraded then "  [degraded]" else "")

@@ -14,12 +14,25 @@ type assessment = {
   replay_cause : string option;
   attempts : int;
   inference_steps : int;
+  degraded : bool;
+      (** the replay was best-effort: the log was salvaged from a damaged
+          file, or the search exhausted its budget and only a partial
+          candidate reproduced the failure — DF is capped at the 1/n
+          floor either way *)
 }
 
-(** [assess ?cost_model ~catalog ~original ~log outcome] computes
-    overhead (from [log]), DF, DE and DU for one experiment. *)
+(** [assess ?cost_model ?salvaged ~catalog ~original ~log outcome]
+    computes overhead (from [log]), DF, DE and DU for one experiment.
+
+    [salvaged] (default false) marks the log as recovered from a damaged
+    file: a full reproduction from it is capped at DF = 1/n, since the
+    missing entries void any root-cause claim. Independently, when the
+    search failed but its best partial candidate reproduces the failure,
+    DF degrades to the 1/n floor (instead of 0) and DE prices the
+    inference work spent getting there. *)
 val assess :
   ?cost_model:Cost_model.t ->
+  ?salvaged:bool ->
   catalog:Root_cause.catalog ->
   original:Interp.result ->
   log:Log.t ->

@@ -1,0 +1,230 @@
+type chan_action =
+  | Drop of float
+  | Duplicate of float
+  | Delay of { from_step : int; until_step : int }
+
+type fault =
+  | Chan of { chan : string; action : chan_action }
+  | Stall of { tid : int; from_step : int; until_step : int }
+  | Crash of { tid : int; at_step : int }
+  | Perturb of { chan : string; prob : float }
+
+type plan = { seed : int; faults : fault list }
+
+let none = { seed = 0; faults = [] }
+let make ?(seed = 0) faults = { seed; faults }
+let is_empty plan = plan.faults = []
+
+let drop ?(prob = 0.1) chan = Chan { chan; action = Drop prob }
+let duplicate ?(prob = 0.1) chan = Chan { chan; action = Duplicate prob }
+let delay ~chan ~from_step ~until_step =
+  Chan { chan; action = Delay { from_step; until_step } }
+let stall ~tid ~from_step ~until_step = Stall { tid; from_step; until_step }
+let crash ~tid ~at_step = Crash { tid; at_step }
+let perturb ?(prob = 0.1) chan = Perturb { chan; prob }
+
+(* ------------------------------------------------------------------ *)
+(* deterministic coins
+
+   Each decision is a pure splitmix64-style hash of the plan seed, a salt
+   distinguishing the fault kind, and the decision's coordinates. Purity
+   is load-bearing: the scheduler consults on_try_recv once to decide
+   whether a blocked Recv is runnable and again to execute it, within the
+   same step — a stream-drawing PRNG would desynchronise the two calls. *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let mix_int h x =
+  mix64 (Int64.add (Int64.logxor h (Int64.of_int x)) 0x9E3779B97F4A7C15L)
+
+let str_salt s =
+  String.fold_left (fun h c -> (h * 31) + Char.code c) (String.length s) s
+
+let coin plan ~salt ~step ~tid ~sid ~chan =
+  let h = mix_int (Int64.of_int plan.seed) salt in
+  let h = mix_int h step in
+  let h = mix_int h tid in
+  let h = mix_int h sid in
+  let h = mix_int h (str_salt chan) in
+  (* top 53 bits as a float in [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
+
+let salt_drop = 1
+let salt_dup = 2
+let salt_perturb = 3
+let salt_perturb_ix = 4
+
+(* ------------------------------------------------------------------ *)
+(* rendering / parsing *)
+
+let fault_to_string = function
+  | Chan { chan; action = Drop p } -> Printf.sprintf "drop:%s:%g" chan p
+  | Chan { chan; action = Duplicate p } -> Printf.sprintf "dup:%s:%g" chan p
+  | Chan { chan; action = Delay { from_step; until_step } } ->
+    Printf.sprintf "delay:%s:%d-%d" chan from_step until_step
+  | Stall { tid; from_step; until_step } ->
+    Printf.sprintf "stall:%d:%d-%d" tid from_step until_step
+  | Crash { tid; at_step } -> Printf.sprintf "crash:%d:%d" tid at_step
+  | Perturb { chan; prob } -> Printf.sprintf "perturb:%s:%g" chan prob
+
+let to_string plan =
+  String.concat ","
+    (Printf.sprintf "seed=%d" plan.seed :: List.map fault_to_string plan.faults)
+
+let pp ppf plan = Format.pp_print_string ppf (to_string plan)
+
+let parse_prob clause s =
+  match float_of_string_opt s with
+  | Some p when p >= 0. && p <= 1. -> Ok p
+  | _ -> Error (Printf.sprintf "bad probability %S in clause %S" s clause)
+
+let parse_int clause s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "bad integer %S in clause %S" s clause)
+
+let parse_range clause s =
+  match String.index_opt s '-' with
+  | Some k ->
+    let a = String.sub s 0 k in
+    let b = String.sub s (k + 1) (String.length s - k - 1) in
+    Result.bind (parse_int clause a) (fun lo ->
+        Result.map (fun hi -> (lo, hi)) (parse_int clause b))
+  | None -> Error (Printf.sprintf "bad step range %S in clause %S" s clause)
+
+let parse_clause clause =
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' clause with
+  | [ "drop"; chan; p ] ->
+    let* p = parse_prob clause p in
+    Ok (`Fault (Chan { chan; action = Drop p }))
+  | [ "dup"; chan; p ] ->
+    let* p = parse_prob clause p in
+    Ok (`Fault (Chan { chan; action = Duplicate p }))
+  | [ "delay"; chan; range ] ->
+    let* from_step, until_step = parse_range clause range in
+    Ok (`Fault (Chan { chan; action = Delay { from_step; until_step } }))
+  | [ "stall"; tid; range ] ->
+    let* tid = parse_int clause tid in
+    let* from_step, until_step = parse_range clause range in
+    Ok (`Fault (Stall { tid; from_step; until_step }))
+  | [ "crash"; tid; at ] ->
+    let* tid = parse_int clause tid in
+    let* at_step = parse_int clause at in
+    Ok (`Fault (Crash { tid; at_step }))
+  | [ "perturb"; chan; p ] ->
+    let* prob = parse_prob clause p in
+    Ok (`Fault (Perturb { chan; prob }))
+  | [ kv ] when String.length kv > 5 && String.sub kv 0 5 = "seed=" ->
+    let* seed = parse_int clause (String.sub kv 5 (String.length kv - 5)) in
+    Ok (`Seed seed)
+  | _ -> Error (Printf.sprintf "unrecognised fault clause %S" clause)
+
+let of_string s =
+  let clauses =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  let rec go seed acc = function
+    | [] -> Ok { seed; faults = List.rev acc }
+    | clause :: rest -> (
+      match parse_clause clause with
+      | Ok (`Seed n) -> go n acc rest
+      | Ok (`Fault f) -> go seed (f :: acc) rest
+      | Error e -> Error e)
+  in
+  go 0 [] clauses
+
+(* ------------------------------------------------------------------ *)
+(* injection *)
+
+let chan_decision plan ~step ~tid ~sid ~chan ~last =
+  let rec go = function
+    | [] -> World.Default
+    | Chan { chan = c; action } :: rest when String.equal c chan -> (
+      match action with
+      | Drop p when coin plan ~salt:salt_drop ~step ~tid ~sid ~chan < p ->
+        World.Force_fail
+      | Delay { from_step; until_step }
+        when step >= from_step && step < until_step ->
+        World.Force_fail
+      | Duplicate p when coin plan ~salt:salt_dup ~step ~tid ~sid ~chan < p
+        -> (
+        match last () with
+        | Some v -> World.Force_value v
+        | None -> go rest)
+      | Drop _ | Duplicate _ | Delay _ -> go rest)
+    | _ :: rest -> go rest
+  in
+  go plan.faults
+
+let descheduled plan ~step tid =
+  List.exists
+    (function
+      | Stall { tid = t; from_step; until_step } ->
+        t = tid && step >= from_step && step < until_step
+      | Crash { tid = t; at_step } -> t = tid && step >= at_step
+      | Chan _ | Perturb _ -> false)
+    plan.faults
+
+let perturb_prob plan chan =
+  List.fold_left
+    (fun acc -> function
+      | Perturb { chan = c; prob } when String.equal c chan -> Float.max acc prob
+      | _ -> acc)
+    0. plan.faults
+
+let inject plan (w : World.t) =
+  if is_empty plan then w
+  else
+    (* last message delivered per channel, for Duplicate. Mutated only in
+       on_recv — which the interpreter calls strictly after every
+       on_try_recv consultation of the same step — so on_try_recv stays
+       pure within a step. *)
+    let last_delivered : (string, Value.tagged) Hashtbl.t = Hashtbl.create 8 in
+    {
+      w with
+      World.name = Printf.sprintf "%s+faults(%s)" w.World.name (to_string plan);
+      pick_thread =
+        (fun ~step cands ->
+          match
+            List.filter
+              (fun c -> not (descheduled plan ~step c.World.tid))
+              cands
+          with
+          | [] -> w.World.pick_thread ~step cands
+          | alive -> w.World.pick_thread ~step alive);
+      pick_input =
+        (fun ~step ~tid ~chan ~domain ->
+          let p = perturb_prob plan chan in
+          if
+            p > 0. && domain <> []
+            && coin plan ~salt:salt_perturb ~step ~tid ~sid:0 ~chan < p
+          then
+            let n = List.length domain in
+            let k =
+              int_of_float
+                (coin plan ~salt:salt_perturb_ix ~step ~tid ~sid:0 ~chan
+                *. float_of_int n)
+            in
+            List.nth domain (min k (n - 1))
+          else w.World.pick_input ~step ~tid ~chan ~domain);
+      on_recv =
+        (fun ~step ~tid ~sid ~chan ~actual ->
+          let v = w.World.on_recv ~step ~tid ~sid ~chan ~actual in
+          Hashtbl.replace last_delivered chan v;
+          v);
+      on_try_recv =
+        (fun ~step ~tid ~sid ~chan ->
+          match
+            chan_decision plan ~step ~tid ~sid ~chan ~last:(fun () ->
+                Hashtbl.find_opt last_delivered chan)
+          with
+          | World.Default -> w.World.on_try_recv ~step ~tid ~sid ~chan
+          | decision -> decision);
+    }

@@ -26,10 +26,11 @@ type t = {
   entries : entry list;
   base_steps : int;
   failure : Failure.t option;
+  faults : Fault.plan option;
 }
 
-let make ~recorder ~entries ~base_steps ~failure =
-  { recorder; entries; base_steps; failure }
+let make ?faults ~recorder ~entries ~base_steps ~failure () =
+  { recorder; entries; base_steps; failure; faults }
 
 let collect f t = List.filter_map f t.entries
 
@@ -127,7 +128,10 @@ let pp_entry ppf = function
   | Mark m -> Format.fprintf ppf "mark %s" m
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>log %s: %d entries over %d steps@,%a@]" t.recorder
+  Format.fprintf ppf "@[<v>log %s: %d entries over %d steps%s@,%a@]" t.recorder
     (entry_count t) t.base_steps
+    (match t.faults with
+    | Some p -> " under faults " ^ Fault.to_string p
+    | None -> "")
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry)
     t.entries

@@ -56,14 +56,21 @@ type t = {
   entries : entry list;  (** recording order *)
   base_steps : int;  (** scheduler steps of the recorded run *)
   failure : Failure.t option;  (** failure observed in the recorded run *)
+  faults : Fault.plan option;
+      (** the fault plan the recorded run executed under, if any: replay
+          must re-create the adversarial environment, so the plan ships
+          with the log *)
 }
 
-(** [make ~recorder ~entries ~base_steps ~failure] assembles a log. *)
+(** [make ?faults ~recorder ~entries ~base_steps ~failure ()] assembles a
+    log. *)
 val make :
+  ?faults:Fault.plan ->
   recorder:string ->
   entries:entry list ->
   base_steps:int ->
   failure:Failure.t option ->
+  unit ->
   t
 
 (** [sched_points t] is the [(tid, sid)] sequence of [Sched] entries. *)

@@ -2,20 +2,70 @@
     shipped from the production machine to the developer's replay session
     (the paper's workflow) and inspected with ordinary tools.
 
-    Format: a header (`ddet-log v1`, recorder name, base steps, observed
-    failure) followed by one entry per line. Values are typed
-    (`i:`/`b:`/`s:`/`u`) with OCaml-escaped quoted strings, so payloads
-    survive arbitrary bytes. *)
+    Format [ddet-log v2]: a header (recorder name, base steps, observed
+    failure, optional fault plan) followed by one entry per line, each
+    prefixed with its CRC32 in 8 hex digits, and closed by an [end N]
+    entry-count trailer. Values are typed ([i:]/[b:]/[s:]/[u]) with
+    OCaml-escaped quoted strings, so payloads survive arbitrary bytes.
+    The checksums and trailer exist because logs travel: a shipped log
+    can arrive bit-rotted or half-written, and the reader must be able to
+    tell — and to keep going.
 
-(** [to_string log] serialises. *)
+    Two loading modes implement the paper's graceful-degradation stance
+    (DF should fall to 1/n, not to 0, when fidelity is lost):
+
+    - [Strict] — any CRC mismatch, unparsable line, or missing/mismatched
+      trailer is an [Error] naming the 1-based line and its text.
+    - [Salvage] — corrupt lines are skipped and a truncated tail is
+      accepted; the valid prefix is returned together with a {!damage}
+      report. A salvaged log replays best-effort: the replayer may only
+      reach the failure through search, and the assessment caps DF at
+      1/n.
+
+    The v1 format (no checksums, no trailer) is still read, in both
+    modes; v1 truncation is undetectable. *)
+
+(** How to treat damage during parsing. *)
+type mode = Strict | Salvage
+
+(** What {!Salvage} had to do to produce a log. *)
+type damage = {
+  total_lines : int;  (** non-blank lines seen, including the header *)
+  salvaged_entries : int;  (** entries that survived *)
+  corrupt_lines : (int * string * string) list;
+      (** skipped lines as (1-based line, reason, offending text) *)
+  truncated : bool;
+      (** the [end N] trailer was missing or disagreed with the number of
+          surviving entries — the tail of the log is gone *)
+}
+
+(** [is_damaged d] — any corrupt line or a truncated tail. *)
+val is_damaged : damage -> bool
+
+val pp_damage : Format.formatter -> damage -> unit
+
+(** [to_string log] serialises in the v2 format. Serialisation is
+    canonical: [of_string] of the result round-trips byte-for-byte. *)
 val to_string : Log.t -> string
 
-(** [of_string s] parses; [Error msg] names the offending line. *)
-val of_string : string -> (Log.t, string) result
+(** [to_string_v1 log] serialises in the legacy v1 format (no checksums,
+    no trailer) — kept for compatibility tests and old tooling. *)
+val to_string_v1 : Log.t -> string
 
-(** [save path log] writes the file. *)
+(** [of_string ?mode s] parses v2 or v1 (default [Strict]). Every
+    [Error] names the 1-based line number and the offending line text. *)
+val of_string : ?mode:mode -> string -> (Log.t, string) result
+
+(** [of_string_report ?mode s] also returns the {!damage} report; under
+    [Strict] a returned report is always clean. *)
+val of_string_report : ?mode:mode -> string -> (Log.t * damage, string) result
+
+(** [save path log] writes the file (v2). *)
 val save : string -> Log.t -> unit
 
-(** [load path] reads a log file back.
+(** [load ?mode path] reads a log file back.
     @raise Sys_error on I/O failure; parse errors come back as [Error]. *)
-val load : string -> (Log.t, string) result
+val load : ?mode:mode -> string -> (Log.t, string) result
+
+(** [load_report ?mode path] is {!load} with the {!damage} report. *)
+val load_report : ?mode:mode -> string -> (Log.t * damage, string) result

@@ -18,7 +18,7 @@ let accumulator ~name () =
       | Some f -> entries @ [ Log.Failure_desc f ]
       | None -> entries
     in
-    Log.make ~recorder:name ~entries ~base_steps:r.steps ~failure:r.failure
+    Log.make ~recorder:name ~entries ~base_steps:r.steps ~failure:r.failure ()
   in
   (add, finalize)
 

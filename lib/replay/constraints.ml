@@ -37,3 +37,31 @@ let output_prefix_abort log =
     | _ -> None
 
 let both a b e = match a e with Some _ as r -> r | None -> b e
+
+(* How far a candidate run got towards the recording: half weight on
+   reproducing the failure, half on the matched per-channel output
+   prefix. Used to rank best-effort candidates when a search exhausts its
+   budget — the score never influences acceptance. *)
+let closeness log (r : Interp.result) =
+  let fail_score = if failure_matches log r then 1. else 0. in
+  match Log.outputs log with
+  | [] -> fail_score
+  | logged ->
+    let prefix_len vs ws =
+      let rec go n = function
+        | v :: vtl, w :: wtl when Value.equal v w -> go (n + 1) (vtl, wtl)
+        | _ -> n
+      in
+      go 0 (vs, ws)
+    in
+    let matched, total =
+      List.fold_left
+        (fun (m, t) (chan, vs) ->
+          let got =
+            Option.value ~default:[]
+              (List.assoc_opt chan r.Interp.outputs)
+          in
+          (m + prefix_len vs got, t + List.length vs))
+        (0, 0) logged
+    in
+    (0.5 *. fail_score) +. (0.5 *. float_of_int matched /. float_of_int (max 1 total))

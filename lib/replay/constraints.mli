@@ -25,3 +25,10 @@ val both :
   (Event.t -> string option) ->
   Event.t ->
   string option
+
+(** [closeness log r] scores in [\[0, 1\]] how near a candidate run came
+    to the recording: 0.5 for reproducing the recorded failure plus 0.5
+    weighted by the matched per-channel output prefix (just the failure
+    half when the log has no outputs). Ranks best-effort candidates for
+    {!Search.partial} outcomes; never used for acceptance. *)
+val closeness : Log.t -> Interp.result -> float

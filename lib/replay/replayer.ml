@@ -1,8 +1,10 @@
 open Mvm
+open Ddet_record
 
 type outcome = {
   model : string;
   result : Interp.result option;
+  partial : Search.partial option;
   attempts : int;
   total_steps : int;
 }
@@ -11,18 +13,40 @@ let of_search model (o : Search.outcome) =
   {
     model;
     result = o.Search.result;
+    partial = o.Search.partial;
     attempts = o.Search.stats.attempts;
     total_steps = o.Search.stats.total_steps;
   }
 
+(* The recorded run may have executed under a fault plan; replay must
+   re-create that adversarial environment or the schedule and deliveries
+   diverge immediately. The plan ships inside the log, and its decisions
+   are pure hashes of (seed, step, ...), so wrapping the replay world in
+   the same plan reproduces the same faults at the same steps. Oracles
+   that force poll outcomes from the log themselves (value and sync
+   determinism) must NOT be wrapped: their forced decisions already embed
+   the recorded faults, and injecting on top would corrupt them. *)
+let env_world (log : Log.t) w =
+  match log.Log.faults with None -> w | Some plan -> Fault.inject plan w
+
 let perfect labeled ~spec log =
   let handle = Oracle.perfect log in
-  let r = Interp.run ~abort:handle.Oracle.abort labeled handle.Oracle.world in
+  let world = env_world log handle.Oracle.world in
+  let r = Interp.run ~abort:handle.Oracle.abort labeled world in
   let r = Spec.apply spec r in
   let ok = (not (handle.Oracle.violated ())) && Constraints.failure_matches log r in
   {
     model = "perfect";
     result = (if ok then Some r else None);
+    partial =
+      (if ok then None
+       else
+         Some
+           {
+             Search.best = r;
+             closeness = Constraints.closeness log r;
+             attempt = 1;
+           });
     attempts = 1;
     total_steps = r.steps;
   }
@@ -31,7 +55,7 @@ let small_budget =
   { Search.max_attempts = 10; max_steps_per_attempt = 100_000; base_seed = 1 }
 
 let value_det ?(budget = small_budget) labeled ~spec log =
-  Search.random_restarts budget
+  Search.random_restarts budget ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       let handle = Oracle.value_det ~seed:(budget.base_seed + attempt) log in
       (handle.Oracle.world, Some handle.Oracle.abort))
@@ -43,27 +67,29 @@ let value_det ?(budget = small_budget) labeled ~spec log =
 let output_det ?(budget = Search.default_budget) ?(exhaustive = true) labeled
     ~spec log =
   let accept = Constraints.outputs_match log in
+  let score = Constraints.closeness log in
   let o =
-    if exhaustive then Search.enumerate_inputs budget ~spec ~accept labeled
+    if exhaustive then Search.enumerate_inputs budget ~score ~spec ~accept labeled
     else
-      Search.random_restarts budget
+      Search.random_restarts budget ~score
         ~make:(fun ~attempt ->
-          ( World.random ~seed:(budget.base_seed + attempt),
+          ( env_world log (World.random ~seed:(budget.base_seed + attempt)),
             Some (Constraints.output_prefix_abort log) ))
         ~spec ~accept labeled
   in
   of_search "output" o
 
 let failure_det ?(budget = Search.default_budget) labeled ~spec log =
-  Search.random_restarts budget
-    ~make:(fun ~attempt -> (World.random ~seed:(budget.base_seed + attempt), None))
+  Search.random_restarts budget ~score:(Constraints.closeness log)
+    ~make:(fun ~attempt ->
+      (env_world log (World.random ~seed:(budget.base_seed + attempt)), None))
     ~spec
     ~accept:(Constraints.failure_matches log)
     labeled
   |> of_search "failure"
 
 let sync_det ?(budget = Search.default_budget) labeled ~spec log =
-  Search.random_restarts budget
+  Search.random_restarts budget ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       let handle = Oracle.sync ~seed:(budget.base_seed + attempt) log in
       ( handle.Oracle.world,
@@ -76,10 +102,10 @@ let sync_det ?(budget = Search.default_budget) labeled ~spec log =
   |> of_search "sync"
 
 let rcse ?(budget = Search.default_budget) ?(strict = true) labeled ~spec log =
-  Search.random_restarts budget
+  Search.random_restarts budget ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       let handle = Oracle.rcse ~strict ~seed:(budget.base_seed + attempt) log in
-      (handle.Oracle.world, Some handle.Oracle.abort))
+      (env_world log handle.Oracle.world, Some handle.Oracle.abort))
     ~spec
     ~accept:(Constraints.failure_matches log)
     labeled
@@ -88,4 +114,9 @@ let rcse ?(budget = Search.default_budget) ?(strict = true) labeled ~spec log =
 let pp_outcome ppf o =
   Format.fprintf ppf "%s: %s after %d attempt(s), %d inference steps" o.model
     (match o.result with Some _ -> "replayed" | None -> "NOT replayed")
-    o.attempts o.total_steps
+    o.attempts o.total_steps;
+  match o.result, o.partial with
+  | None, Some p ->
+    Format.fprintf ppf "; best partial candidate: closeness %.2f (attempt %d)"
+      p.Search.closeness p.Search.attempt
+  | _ -> ()

@@ -14,7 +14,15 @@
     - {!sync_det} — recorded sync order and inputs enforced, race outcomes
       searched until outputs match (ODR's heavier scheme);
     - {!rcse} — recorded control-plane subsequence enforced, data plane
-      searched until the failure reproduces (§3.1). *)
+      searched until the failure reproduces (§3.1).
+
+    When the log carries a fault plan (the recorded run executed under an
+    adversarial environment), drivers that build their own replay worlds
+    (perfect, failure, output random-restarts, rcse) re-inject the plan so
+    the environment — and hence the schedule and deliveries — matches the
+    recording. Value- and sync-determinism oracles force poll outcomes
+    from the log directly; their recorded decisions already embed the
+    faults, so they are not wrapped. *)
 
 open Mvm
 open Ddet_record
@@ -22,6 +30,11 @@ open Ddet_record
 type outcome = {
   model : string;
   result : Interp.result option;  (** the replayed execution, if any *)
+  partial : Search.partial option;
+      (** when the budget ran out (or the oracle diverged): the
+          best-effort candidate and how close it came to the recording —
+          the degraded, DF <= 1/n reproduction the paper asks for instead
+          of all-or-nothing failure *)
   attempts : int;
   total_steps : int;  (** VM steps spent on inference across all attempts *)
 }
@@ -60,5 +73,6 @@ val rcse :
   Log.t ->
   outcome
 
-(** [pp_outcome] prints model, success, attempts and steps. *)
+(** [pp_outcome] prints model, success, attempts and steps — plus the
+    partial candidate's closeness when the replay degraded. *)
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -11,16 +11,50 @@ let default_budget =
 
 type stats = { attempts : int; total_steps : int; success : bool }
 
-type outcome = { result : Interp.result option; stats : stats }
+type partial = { best : Interp.result; closeness : float; attempt : int }
 
-let random_restarts budget ~make ~spec ~accept labeled =
+type outcome = {
+  result : Interp.result option;
+  partial : partial option;
+  stats : stats;
+}
+
+(* Best-effort tracking: when no attempt is accepted, the outcome still
+   carries the highest-scoring candidate seen, so an exhausted budget
+   degrades to a Partial reproduction instead of nothing. The tracker is
+   shared by all engines; [score] defaults to "rank nothing". *)
+let track_best score =
+  let best : partial option ref = ref None in
+  let note attempt r =
+    let c = score r in
+    match !best with
+    | Some b when b.closeness >= c -> ()
+    | _ -> best := Some { best = r; closeness = c; attempt }
+  in
+  (note, fun () -> !best)
+
+let exhausted ~attempts ~total_steps best =
+  {
+    result = None;
+    partial = best ();
+    stats = { attempts; total_steps; success = false };
+  }
+
+let accepted ~attempts ~total_steps r =
+  {
+    result = Some r;
+    partial = None;
+    stats = { attempts; total_steps; success = true };
+  }
+
+let no_score : Interp.result -> float = fun _ -> 0.
+
+let random_restarts ?(score = no_score) budget ~make ~spec ~accept labeled =
   let total_steps = ref 0 in
+  let note, best = track_best score in
   let rec go attempt =
     if attempt > budget.max_attempts then
-      {
-        result = None;
-        stats = { attempts = attempt - 1; total_steps = !total_steps; success = false };
-      }
+      exhausted ~attempts:(attempt - 1) ~total_steps:!total_steps best
     else
       let world, abort = make ~attempt in
       let r =
@@ -28,12 +62,11 @@ let random_restarts budget ~make ~spec ~accept labeled =
       in
       total_steps := !total_steps + r.steps;
       let r = Spec.apply spec r in
-      if accept r then
-        {
-          result = Some r;
-          stats = { attempts = attempt; total_steps = !total_steps; success = true };
-        }
-      else go (attempt + 1)
+      if accept r then accepted ~attempts:attempt ~total_steps:!total_steps r
+      else begin
+        note attempt r;
+        go (attempt + 1)
+      end
   in
   go 1
 
@@ -82,15 +115,13 @@ let advance prefix sizes =
   in
   bump 0
 
-let enumerate_inputs budget ~spec ~accept labeled =
+let enumerate_inputs ?(score = no_score) budget ~spec ~accept labeled =
   let total_steps = ref 0 in
+  let note, best = track_best score in
   let rec go attempt prefix =
     if attempt > budget.max_attempts then
-      {
-        result = None;
-        stats = { attempts = attempt - 1; total_steps = !total_steps; success = false };
-      }
-    else
+      exhausted ~attempts:(attempt - 1) ~total_steps:!total_steps best
+    else begin
       let sizes = ref [] in
       let world = odometer_world prefix sizes in
       let r =
@@ -98,19 +129,14 @@ let enumerate_inputs budget ~spec ~accept labeled =
       in
       total_steps := !total_steps + r.steps;
       let r = Spec.apply spec r in
-      if accept r then
-        {
-          result = Some r;
-          stats = { attempts = attempt; total_steps = !total_steps; success = true };
-        }
-      else
+      if accept r then accepted ~attempts:attempt ~total_steps:!total_steps r
+      else begin
+        note attempt r;
         match advance prefix (List.rev !sizes) with
         | Some prefix' -> go (attempt + 1) prefix'
-        | None ->
-          {
-            result = None;
-            stats = { attempts = attempt; total_steps = !total_steps; success = false };
-          }
+        | None -> exhausted ~attempts:attempt ~total_steps:!total_steps best
+      end
+    end
   in
   go 1 [||]
 
@@ -148,34 +174,25 @@ let schedule_world prefix sizes =
     on_try_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ -> World.Default);
   }
 
-let dfs_schedules budget ~spec ~accept labeled =
+let dfs_schedules ?(score = no_score) budget ~spec ~accept labeled =
   let total_steps = ref 0 in
+  let note, best = track_best score in
   let rec go attempt prefix =
     if attempt > budget.max_attempts then
-      {
-        result = None;
-        stats =
-          { attempts = attempt - 1; total_steps = !total_steps; success = false };
-      }
-    else
+      exhausted ~attempts:(attempt - 1) ~total_steps:!total_steps best
+    else begin
       let sizes = ref [] in
       let world = schedule_world prefix sizes in
       let r = Interp.run ~max_steps:budget.max_steps_per_attempt labeled world in
       total_steps := !total_steps + r.Interp.steps;
       let r = Spec.apply spec r in
-      if accept r then
-        {
-          result = Some r;
-          stats = { attempts = attempt; total_steps = !total_steps; success = true };
-        }
-      else
+      if accept r then accepted ~attempts:attempt ~total_steps:!total_steps r
+      else begin
+        note attempt r;
         match advance prefix (List.rev !sizes) with
         | Some prefix' -> go (attempt + 1) prefix'
-        | None ->
-          {
-            result = None;
-            stats =
-              { attempts = attempt; total_steps = !total_steps; success = false };
-          }
+        | None -> exhausted ~attempts:attempt ~total_steps:!total_steps best
+      end
+    end
   in
   go 1 [||]

@@ -32,16 +32,28 @@ type stats = {
   success : bool;
 }
 
+(** A best-effort reproduction: the highest-scoring rejected candidate
+    when the budget ran out before any attempt was accepted. [closeness]
+    is the caller's [score] of that run (for the replay drivers,
+    {!Constraints.closeness} — how far it diverged from the recording). *)
+type partial = { best : Interp.result; closeness : float; attempt : int }
+
 type outcome = {
   result : Interp.result option;  (** first accepted execution *)
+  partial : partial option;
+      (** best rejected candidate — only when [result = None] and a
+          [score] was supplied *)
   stats : stats;
 }
 
-(** [random_restarts budget ~make ~spec ~accept labeled] runs up to
+(** [random_restarts ?score budget ~make ~spec ~accept labeled] runs up to
     [budget.max_attempts] executions. [make ~attempt] supplies the world
     and an optional streaming abort for each attempt (fresh state per
-    attempt!). Each completed run is judged by [spec] before [accept]. *)
+    attempt!). Each completed run is judged by [spec] before [accept].
+    [score] ranks rejected runs for the {!partial} outcome (default:
+    rank nothing). *)
 val random_restarts :
+  ?score:(Interp.result -> float) ->
   budget ->
   make:(attempt:int -> World.t * (Event.t -> string option) option) ->
   spec:Spec.t ->
@@ -49,10 +61,11 @@ val random_restarts :
   Label.labeled ->
   outcome
 
-(** [enumerate_inputs budget ~spec ~accept labeled] explores input-value
-    assignments in lexicographic domain order under a round-robin schedule;
-    complete up to the attempt budget. *)
+(** [enumerate_inputs ?score budget ~spec ~accept labeled] explores
+    input-value assignments in lexicographic domain order under a
+    round-robin schedule; complete up to the attempt budget. *)
 val enumerate_inputs :
+  ?score:(Interp.result -> float) ->
   budget ->
   spec:Spec.t ->
   accept:(Interp.result -> bool) ->
@@ -68,6 +81,7 @@ val enumerate_inputs :
     synthesis, complete for small programs, exponential in general (which
     is the point of the ABL-SEARCH comparison against random restarts). *)
 val dfs_schedules :
+  ?score:(Interp.result -> float) ->
   budget ->
   spec:Spec.t ->
   accept:(Interp.result -> bool) ->

@@ -1,0 +1,266 @@
+(* Fault-injection tests: plan syntax, injection semantics, liveness of
+   the retry-hardened apps under adversity, per-tier recording of faulted
+   runs, and the salvage → degraded-replay → DF-floor pipeline.
+
+   The suite runs under several base seeds (the fault-suite alias sets
+   DDET_FAULT_SEED to 3, 17 and 29): determinism and liveness claims must
+   hold whatever the world seed. *)
+
+open Mvm
+open Mvm.Dsl
+open Ddet
+open Ddet_record
+open Ddet_apps
+
+let seed_base =
+  match Stdlib.Sys.getenv_opt "DDET_FAULT_SEED" with
+  | Some s -> int_of_string s
+  | None -> 3
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+(* ------------------------------------------------------------------ *)
+(* plan syntax *)
+
+let full_plan =
+  Fault.make ~seed:7
+    [
+      Fault.drop ~prob:0.25 "ack_0";
+      Fault.duplicate ~prob:0.1 "repl";
+      Fault.delay ~chan:"resp_0" ~from_step:100 ~until_step:400;
+      Fault.stall ~tid:2 ~from_step:50 ~until_step:90;
+      Fault.crash ~tid:1 ~at_step:500;
+      Fault.perturb ~prob:0.5 "net";
+    ]
+
+let test_plan_roundtrip () =
+  match Fault.of_string (Fault.to_string full_plan) with
+  | Ok p -> Alcotest.(check bool) "roundtrip" true (p = full_plan)
+  | Error e -> Alcotest.fail e
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_plan_rejects_bad_clause () =
+  (match Fault.of_string "seed=7,bogus:x:0.1" with
+  | Error msg ->
+    Alcotest.(check bool) "error names the clause" true (contains msg "bogus")
+  | Ok _ -> Alcotest.fail "bad clause accepted");
+  match Fault.of_string "seed=7,drop:ack_0:not-a-prob" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad probability accepted"
+
+let test_plan_none_empty () =
+  Alcotest.(check bool) "none is empty" true (Fault.is_empty Fault.none);
+  Alcotest.(check bool) "full plan is not" false (Fault.is_empty full_plan)
+
+(* ------------------------------------------------------------------ *)
+(* injection semantics on small programs *)
+
+let test_inject_none_identity () =
+  let w = World.random ~seed:seed_base in
+  Alcotest.(check bool) "inject none w == w" true (Fault.inject Fault.none w == w)
+
+(* main spawns two incrementers; w2 (tid 2) is crashed from step 0, so the
+   +100 must be absent from main's output even though the scheduler is
+   random — w2 is filtered from candidacy while anyone else can run. *)
+let crash_prog =
+  program ~name:"crashy"
+    ~regions:[ scalar "c" (Value.int 0) ]
+    ~inputs:[] ~main:"main"
+    [
+      func "main" []
+        ([ spawn "w1" []; spawn "w2" [] ]
+        @ [ for_ "k" (i 0) (i 30) [ yield ]; output "o" (g "c") ]);
+      func "w1" [] [ for_ "k" (i 0) (i 5) [ store_g "c" (g "c" +: i 1) ] ];
+      func "w2" [] [ store_g "c" (g "c" +: i 100) ];
+    ]
+
+let test_crash_deschedules () =
+  let plan = Fault.make [ Fault.crash ~tid:2 ~at_step:0 ] in
+  let r =
+    Interp.run crash_prog (Fault.inject plan (World.random ~seed:seed_base))
+  in
+  Alcotest.(check bool) "run completes" true (r.Interp.status = Interp.Done);
+  match List.assoc_opt "o" r.Interp.outputs with
+  | Some [ Value.Vint n ] ->
+    Alcotest.(check bool) "crashed thread contributed nothing" true (n < 100)
+  | _ -> Alcotest.fail "missing output"
+
+(* main blocks on a message only the crashed thread can send: the
+   sole-candidate fallback must let it run rather than wedge the VM. *)
+let fallback_prog =
+  program ~name:"fallback" ~regions:[] ~inputs:[] ~main:"main"
+    [
+      func "main" [] [ spawn "w" []; recv "d" "done"; output "o" (v "d") ];
+      func "w" [] [ send "done" (i 1) ];
+    ]
+
+let test_crash_sole_candidate_fallback () =
+  let plan = Fault.make [ Fault.crash ~tid:1 ~at_step:0 ] in
+  let r =
+    Interp.run fallback_prog (Fault.inject plan (World.random ~seed:seed_base))
+  in
+  Alcotest.(check bool) "no deadlock" true (r.Interp.status = Interp.Done);
+  Alcotest.(check (list value_testable)) "message still arrives"
+    [ Value.int 1 ]
+    (Option.value ~default:[] (List.assoc_opt "o" r.Interp.outputs))
+
+let perturb_prog =
+  program ~name:"perturby" ~regions:[]
+    ~inputs:[ ("sel", [ Value.int 10; Value.int 20; Value.int 30 ]) ]
+    ~main:"main"
+    [ func "main" [] [ input "x" "sel"; output "o" (v "x") ] ]
+
+(* with prob 1.0 the consumed value is a pure hash of the plan seed and
+   the input site — independent of the world's own randomness *)
+let test_perturb_overrides_world () =
+  let plan = Fault.make ~seed:5 [ Fault.perturb ~prob:1.0 "sel" ] in
+  let out seed =
+    (Interp.run perturb_prog (Fault.inject plan (World.random ~seed)))
+      .Interp.outputs
+  in
+  Alcotest.(check bool) "same value whatever the world seed" true
+    (out seed_base = out (seed_base + 1) && out seed_base = out (seed_base + 2))
+
+(* ------------------------------------------------------------------ *)
+(* cloudstore under a >=10% drop plan *)
+
+let drop_plan =
+  Fault.make ~seed:11
+    [
+      Fault.drop ~prob:0.15 "ack_0";
+      Fault.drop ~prob:0.15 "ack_1";
+      Fault.drop ~prob:0.12 "repl";
+    ]
+
+let cloud = Cloudstore.app ()
+
+let test_injected_run_deterministic () =
+  let run () = App.production_run ~faults:drop_plan cloud ~seed:seed_base in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same step count" a.Interp.steps b.Interp.steps;
+  Alcotest.(check bool) "same outputs" true (a.Interp.outputs = b.Interp.outputs);
+  Alcotest.(check bool) "same failure" true (a.Interp.failure = b.Interp.failure)
+
+let test_liveness_under_drops () =
+  (* retry loops must absorb the drops: every run terminates normally *)
+  List.iter
+    (fun seed ->
+      let r = App.production_run ~faults:drop_plan cloud ~seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d terminates" seed)
+        true
+        (r.Interp.status = Interp.Done))
+    (List.init 10 (fun k -> seed_base + k))
+
+let all_models =
+  [
+    Model.Perfect; Model.Value; Model.Sync; Model.Output; Model.Failure_det;
+    Model.Rcse Model.Code_based; Model.Rcse Model.Data_based;
+    Model.Rcse Model.Trigger_based; Model.Rcse Model.Combined;
+  ]
+
+let failing_under_drops =
+  lazy
+    (match Workload.find_failing_seed ~faults:drop_plan cloud with
+    | Some (seed, r) -> (seed, r)
+    | None -> Alcotest.fail "no failing cloudstore seed under the drop plan")
+
+let test_every_tier_records_faulted_failure () =
+  let seed, _ = Lazy.force failing_under_drops in
+  List.iter
+    (fun model ->
+      let prepared = Session.prepare model cloud in
+      let original, log = Session.record ~faults:drop_plan prepared ~seed in
+      Alcotest.(check bool)
+        (Model.name model ^ " records a failing run")
+        true
+        (original.Interp.failure <> None);
+      Alcotest.(check bool)
+        (Model.name model ^ " ships the plan")
+        true
+        (log.Log.faults = Some drop_plan))
+    all_models
+
+(* ------------------------------------------------------------------ *)
+(* salvage a corrupted tail, replay, DF floor *)
+
+let corrupt_tail s =
+  (* chop the trailer and the last couple of entries, then append a line
+     whose checksum cannot match: a half-written, bit-rotted shipped log *)
+  let lines =
+    Stdlib.String.split_on_char '\n' s
+    |> List.filter (fun l -> String.length l > 0)
+  in
+  let keep = List.filteri (fun ix _ -> ix < List.length lines - 3) lines in
+  String.concat "\n" (keep @ [ "00000000 rotted bits" ]) ^ "\n"
+
+let test_salvage_replays_to_failure_with_floor_df () =
+  let seed, _ = Lazy.force failing_under_drops in
+  let prepared = Session.prepare Model.Perfect cloud in
+  let original, log = Session.record ~faults:drop_plan prepared ~seed in
+  let damaged = corrupt_tail (Log_io.to_string log) in
+  (match Log_io.of_string damaged with
+  | Error msg ->
+    Alcotest.(check bool) "strict error names a line" true
+      (String.length msg >= 5 && String.sub msg 0 5 = "line ")
+  | Ok _ -> Alcotest.fail "strict mode accepted a corrupted tail");
+  match Log_io.of_string_report ~mode:Log_io.Salvage damaged with
+  | Error e -> Alcotest.fail e
+  | Ok (salvaged, damage) ->
+    Alcotest.(check bool) "damage reported" true (Log_io.is_damaged damage);
+    Alcotest.(check bool) "tail truncation detected" true damage.Log_io.truncated;
+    Alcotest.(check bool) "prefix survived" true
+      (damage.Log_io.salvaged_entries > 0);
+    let outcome = Session.replay prepared salvaged in
+    (match outcome.Ddet_replay.Replayer.result with
+    | Some r ->
+      Alcotest.(check bool) "same failure reproduced" true
+        (r.Interp.failure = original.Interp.failure)
+    | None -> Alcotest.fail "degraded replay did not reproduce the failure");
+    let a =
+      Session.assess ~salvaged:true prepared ~original ~log:salvaged outcome
+    in
+    Alcotest.(check (float 1e-9)) "DF capped at the 1/n floor" (1. /. 3.)
+      a.Ddet_metrics.Utility.df;
+    Alcotest.(check bool) "assessment marked degraded" true
+      a.Ddet_metrics.Utility.degraded;
+    Alcotest.(check bool) "DU still positive" true
+      (a.Ddet_metrics.Utility.du > 0.)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "rejects bad clause" `Quick test_plan_rejects_bad_clause;
+          Alcotest.test_case "none empty" `Quick test_plan_none_empty;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "none is identity" `Quick test_inject_none_identity;
+          Alcotest.test_case "crash deschedules" `Quick test_crash_deschedules;
+          Alcotest.test_case "sole-candidate fallback" `Quick
+            test_crash_sole_candidate_fallback;
+          Alcotest.test_case "perturb overrides world" `Quick
+            test_perturb_overrides_world;
+        ] );
+      ( "cloudstore-under-drops",
+        [
+          Alcotest.test_case "deterministic" `Quick test_injected_run_deterministic;
+          Alcotest.test_case "liveness" `Quick test_liveness_under_drops;
+          Alcotest.test_case "every tier records the failure" `Quick
+            test_every_tier_records_faulted_failure;
+        ] );
+      ( "salvage",
+        [
+          Alcotest.test_case "corrupted tail replays at DF floor" `Quick
+            test_salvage_replays_to_failure_with_floor_df;
+        ] );
+    ]

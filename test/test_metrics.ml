@@ -132,7 +132,7 @@ let test_explain_names_causes () =
 (* efficiency and utility *)
 
 let outcome ?result ~attempts ~total_steps () =
-  { Ddet_replay.Replayer.model = "test"; result; attempts; total_steps }
+  { Ddet_replay.Replayer.model = "test"; result; partial = None; attempts; total_steps }
 
 let test_de_ratio () =
   let original = run_with 1 0 in
@@ -157,7 +157,7 @@ let test_de_exceeds_one_for_short_synthesis () =
 let test_du_product () =
   let original = run_with 1 0 in
   let replay = run_with 0 1 in
-  let log = Log.make ~recorder:"t" ~entries:[] ~base_steps:original.Interp.steps ~failure:original.Interp.failure in
+  let log = Log.make ~recorder:"t" ~entries:[] ~base_steps:original.Interp.steps ~failure:original.Interp.failure () in
   let o = outcome ~result:replay ~attempts:2 ~total_steps:(2 * original.Interp.steps) () in
   let a = Utility.assess ~catalog ~original ~log o in
   Alcotest.(check (float 1e-9)) "du = df * de" (a.Utility.df *. a.Utility.de)

@@ -154,6 +154,69 @@ let prop_log_io_roundtrip =
         && log'.Log.failure = log.Log.failure
       | Error _ -> false)
 
+(* Serialization survives arbitrary byte strings in payload positions:
+   inputs, read values, marks and crash messages. *)
+let prop_log_io_arbitrary_payloads =
+  QCheck2.Test.make ~name:"log serialization survives arbitrary payloads"
+    ~count:100 ~print:(fun ss -> String.concat "|" (List.map String.escaped ss))
+    QCheck2.Gen.(list_size (int_range 1 8) string)
+    (fun payloads ->
+      let entries =
+        List.concat_map
+          (fun s ->
+            [
+              Log.Input { tid = 0; chan = "c"; value = Value.str s };
+              Log.Read_val
+                { tid = 1; sid = 2; kind = Log.Mem; value = Value.str s };
+              Log.Mark s;
+            ])
+          payloads
+      in
+      let log =
+        Log.make ~recorder:"prop" ~entries ~base_steps:1
+          ~failure:(Some (Mvm.Failure.Crash { sid = 1; msg = List.hd payloads }))
+          ()
+      in
+      match Log_io.of_string (Log_io.to_string log) with
+      | Ok log' -> log'.Log.entries = entries && log'.Log.failure = log.Log.failure
+      | Error _ -> false)
+
+(* Graceful degradation: whatever single line of a valid v2 log is
+   corrupted — magic, header, entry or trailer — salvage loading still
+   returns a log, loses at most that one entry, keeps the survivors in
+   order, and reports the damage. *)
+let prop_salvage_single_line_corruption =
+  QCheck2.Test.make ~name:"salvage survives any single-line corruption"
+    ~count:80
+    ~print:(fun ((pseed, wseed), line) ->
+      Printf.sprintf "%s, corrupt line %d" (print_scenario (pseed, wseed)) line)
+    QCheck2.Gen.(pair scenario_gen (int_range 0 10_000))
+    (fun ((pseed, wseed), line) ->
+      let labeled = program_of pseed in
+      let _, log = record_run (Full_recorder.create ()) labeled wseed in
+      let lines =
+        String.split_on_char '\n' (Log_io.to_string log)
+        |> List.filter (fun l -> String.length l > 0)
+      in
+      let ix = line mod List.length lines in
+      let damaged =
+        String.concat "\n"
+          (List.mapi (fun k l -> if k = ix then "!!corrupted!!" else l) lines)
+      in
+      let rec subsequence xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xs', y :: ys' ->
+          if x = y then subsequence xs' ys' else subsequence xs ys'
+      in
+      match Log_io.of_string_report ~mode:Log_io.Salvage damaged with
+      | Ok (log', damage) ->
+        Log_io.is_damaged damage
+        && List.length log'.Log.entries >= List.length log.Log.entries - 1
+        && subsequence log'.Log.entries log.Log.entries
+      | Error _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* cost model algebra *)
 
@@ -180,14 +243,14 @@ let prop_overhead_lower_bound =
   QCheck2.Test.make ~name:"overhead is at least 1.0" ~count:100
     QCheck2.Gen.(list_size (int_range 0 50) entry_gen)
     (fun entries ->
-      let log = Log.make ~recorder:"t" ~entries ~base_steps:10 ~failure:None in
+      let log = Log.make ~recorder:"t" ~entries ~base_steps:10 ~failure:None () in
       Cost_model.overhead Cost_model.default log >= 1.0)
 
 let prop_cost_additive =
   QCheck2.Test.make ~name:"recording cost is additive over entries" ~count:100
     QCheck2.Gen.(pair (list_size (int_range 0 20) entry_gen) (list_size (int_range 0 20) entry_gen))
     (fun (e1, e2) ->
-      let mk entries = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None in
+      let mk entries = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None () in
       let c l = Cost_model.recording_cost Cost_model.default l in
       abs_float (c (mk (e1 @ e2)) -. (c (mk e1) +. c (mk e2))) < 1e-9)
 
@@ -255,6 +318,8 @@ let () =
             prop_recording_deterministic;
             prop_output_constraint_reflexive;
             prop_log_io_roundtrip;
+            prop_log_io_arbitrary_payloads;
+            prop_salvage_single_line_corruption;
           ] );
       ( "cost-model",
         List.map to_alcotest

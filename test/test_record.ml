@@ -238,7 +238,7 @@ let test_flight_note_and_tax () =
            (List.filter
               (function Log.Flight_note _ -> false | _ -> true)
               log.Log.entries)
-         ~base_steps:log.Log.base_steps ~failure:None)
+         ~base_steps:log.Log.base_steps ~failure:None ())
   in
   Alcotest.(check bool) "ring residency is taxed" true
     (Cost_model.recording_cost Cost_model.default log > no_ring_cost)
@@ -279,7 +279,7 @@ let test_log_io_escapes () =
       Log.Failure_desc (Mvm.Failure.Crash { sid = 3; msg = tricky });
     ]
   in
-  let log = Log.make ~recorder:"esc" ~entries ~base_steps:1 ~failure:(Some Mvm.Failure.Hang) in
+  let log = Log.make ~recorder:"esc" ~entries ~base_steps:1 ~failure:(Some Mvm.Failure.Hang) () in
   match Log_io.of_string (Log_io.to_string log) with
   | Ok log' -> Alcotest.(check bool) "tricky strings survive" true (log'.Log.entries = entries)
   | Error e -> Alcotest.fail e
@@ -291,6 +291,103 @@ let test_log_io_rejects_garbage () =
   match Log_io.of_string "ddet-log v1\nrecorder \"x\"\nbase-steps 1\nfailure none\nbogus entry" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bogus entry accepted"
+
+let test_log_io_v2_canonical () =
+  (* serialisation is canonical: parse + re-serialise is byte-for-byte *)
+  let _, log = record_with (Full_recorder.create ()) in
+  let s = Log_io.to_string log in
+  match Log_io.of_string s with
+  | Ok log' -> Alcotest.(check string) "byte-for-byte" s (Log_io.to_string log')
+  | Error e -> Alcotest.fail e
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let flip_crc line =
+  let b = Bytes.of_string line in
+  Bytes.set b 0 (if Bytes.get b 0 = '0' then '1' else '0');
+  Bytes.to_string b
+
+(* index (0-based) of some entry line: skip magic + header keywords *)
+let an_entry_index lines =
+  let is_entry l =
+    String.length l > 9 && l.[8] = ' '
+    && String.for_all
+         (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+         (String.sub l 0 8)
+  in
+  match List.find_index is_entry lines with
+  | Some ix -> ix
+  | None -> Alcotest.fail "no entry line found"
+
+let test_log_io_strict_rejects_crc_mismatch () =
+  let _, log = record_with (Full_recorder.create ()) in
+  let lines = String.split_on_char '\n' (Log_io.to_string log) in
+  let ix = an_entry_index lines in
+  let damaged =
+    String.concat "\n"
+      (List.mapi (fun k l -> if k = ix then flip_crc l else l) lines)
+  in
+  match Log_io.of_string damaged with
+  | Error msg ->
+    Alcotest.(check bool) "names the 1-based line" true
+      (contains msg (Printf.sprintf "line %d:" (ix + 1)));
+    Alcotest.(check bool) "quotes the offending text" true
+      (contains msg "crc mismatch")
+  | Ok _ -> Alcotest.fail "CRC mismatch accepted in strict mode"
+
+let test_log_io_v1_still_loads () =
+  let _, log = record_with (Value_recorder.create ()) in
+  match Log_io.of_string (Log_io.to_string_v1 log) with
+  | Ok log' ->
+    Alcotest.(check bool) "v1 entries preserved" true
+      (log'.Log.entries = log.Log.entries)
+  | Error e -> Alcotest.fail e
+
+let drop_trailer s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l ->
+         String.length l > 0 && not (String.length l > 4 && String.sub l 0 4 = "end "))
+  |> String.concat "\n"
+
+let test_log_io_trailer_guards_truncation () =
+  let _, log = record_with (Full_recorder.create ()) in
+  let headless = drop_trailer (Log_io.to_string log) in
+  (match Log_io.of_string headless with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing trailer accepted in strict mode");
+  match Log_io.of_string_report ~mode:Log_io.Salvage headless with
+  | Ok (log', damage) ->
+    Alcotest.(check bool) "salvage flags truncation" true damage.Log_io.truncated;
+    Alcotest.(check bool) "entries still recovered" true
+      (log'.Log.entries = log.Log.entries)
+  | Error e -> Alcotest.fail e
+
+let test_log_io_salvage_keeps_valid_prefix () =
+  let _, log = record_with (Full_recorder.create ()) in
+  let lines = String.split_on_char '\n' (Log_io.to_string log) in
+  let ix = an_entry_index lines in
+  let damaged =
+    String.concat "\n"
+      (List.mapi (fun k l -> if k = ix then "not a log line at all" else l) lines)
+  in
+  match Log_io.of_string_report ~mode:Log_io.Salvage damaged with
+  | Ok (log', damage) ->
+    Alcotest.(check int) "one entry lost" (List.length log.Log.entries - 1)
+      (List.length log'.Log.entries);
+    (match damage.Log_io.corrupt_lines with
+    | [ (n, _, text) ] ->
+      Alcotest.(check int) "damage names the line" (ix + 1) n;
+      Alcotest.(check string) "damage quotes the text" "not a log line at all"
+        text
+    | _ -> Alcotest.fail "expected exactly one corrupt line");
+    (* count mismatch vs the trailer is also reported *)
+    Alcotest.(check bool) "count mismatch flagged" true damage.Log_io.truncated
+  | Error e -> Alcotest.fail e
 
 let test_log_io_file () =
   let _, log = record_with (Value_recorder.create ()) in
@@ -358,12 +455,12 @@ let test_cost_mark_free () =
     (Cost_model.entry_cost cm (Log.Mark "x"))
 
 let test_overhead_at_least_one () =
-  let log = Log.make ~recorder:"t" ~entries:[] ~base_steps:100 ~failure:None in
+  let log = Log.make ~recorder:"t" ~entries:[] ~base_steps:100 ~failure:None () in
   Alcotest.(check (float 1e-9)) "empty log overhead 1.0" 1.0
     (Cost_model.overhead cm log)
 
 let test_overhead_monotone_in_entries () =
-  let mk entries = Log.make ~recorder:"t" ~entries ~base_steps:100 ~failure:None in
+  let mk entries = Log.make ~recorder:"t" ~entries ~base_steps:100 ~failure:None () in
   let e = Log.Sched { tid = 0; sid = 1 } in
   Alcotest.(check bool) "more entries, more overhead" true
     (Cost_model.overhead cm (mk [ e; e ]) > Cost_model.overhead cm (mk [ e ]))
@@ -371,7 +468,7 @@ let test_overhead_monotone_in_entries () =
 let test_recording_cost_additive () =
   let e1 = Log.Sched { tid = 0; sid = 1 } in
   let e2 = Log.Input { tid = 0; chan = "c"; value = Value.int 1 } in
-  let mk entries = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None in
+  let mk entries = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None () in
   Alcotest.(check (float 1e-9)) "cost adds up"
     (Cost_model.recording_cost cm (mk [ e1 ]) +. Cost_model.recording_cost cm (mk [ e2 ]))
     (Cost_model.recording_cost cm (mk [ e1; e2 ]))
@@ -387,12 +484,12 @@ let test_payload_bytes () =
       Log.Sched { tid = 0; sid = 1 };
     ]
   in
-  let log = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None in
+  let log = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None () in
   Alcotest.(check int) "4 string bytes + 8 int bytes" 12 (Log.payload_bytes log)
 
 let test_entry_count_skips_marks () =
   let entries = [ Log.Mark "a"; Log.Sched { tid = 0; sid = 1 }; Log.Mark "b" ] in
-  let log = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None in
+  let log = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None () in
   Alcotest.(check int) "marks not counted" 1 (Log.entry_count log)
 
 let test_inputs_per_thread_separated () =
@@ -403,7 +500,7 @@ let test_inputs_per_thread_separated () =
       Log.Input { tid = 0; chan = "c"; value = Value.int 3 };
     ]
   in
-  let log = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None in
+  let log = Log.make ~recorder:"t" ~entries ~base_steps:1 ~failure:None () in
   Alcotest.(check (list value_testable)) "tid 0" [ Value.int 1; Value.int 3 ]
     (Log.inputs_for log 0);
   Alcotest.(check (list value_testable)) "tid 1" [ Value.int 2 ]
@@ -445,6 +542,14 @@ let () =
           Alcotest.test_case "every recorder" `Quick test_log_io_roundtrip_every_recorder;
           Alcotest.test_case "escapes" `Quick test_log_io_escapes;
           Alcotest.test_case "rejects garbage" `Quick test_log_io_rejects_garbage;
+          Alcotest.test_case "v2 canonical" `Quick test_log_io_v2_canonical;
+          Alcotest.test_case "strict rejects crc mismatch" `Quick
+            test_log_io_strict_rejects_crc_mismatch;
+          Alcotest.test_case "v1 still loads" `Quick test_log_io_v1_still_loads;
+          Alcotest.test_case "trailer guards truncation" `Quick
+            test_log_io_trailer_guards_truncation;
+          Alcotest.test_case "salvage keeps valid prefix" `Quick
+            test_log_io_salvage_keeps_valid_prefix;
           Alcotest.test_case "file save/load" `Quick test_log_io_file;
         ] );
       ( "fidelity-level",
