@@ -2,7 +2,13 @@
    (Fig. 1, Fig. 2, the Sec. 2 narratives, plus the RCSE and budget
    ablations) and runs Bechamel microbenchmarks of the actual recorders.
 
-   Usage: main.exe [fig1|fig2|sec2|ablation|budget|flight|open|micro|all]        *)
+   Usage: main.exe [fig1|fig2|sec2|ablation|budget|flight|race|search|open|micro|all]
+                   [--tiny] [--jobs N] [--json]
+
+   --tiny   shrinks every budget so the command finishes in seconds (used
+            by the bench-smoke alias under `dune runtest`)
+   --jobs N times the search engines at N worker domains as well as at 1
+   --json   (search only) also writes BENCH_search.json                  *)
 
 open Ddet
 open Ddet_apps
@@ -114,11 +120,219 @@ let micro () =
   Ddet_metrics.Report.print_section "MICRO recorder wall-clock vs. cost model"
     body
 
+(* ------------------------------------------------------------------ *)
+(* SEARCH: wall-clock comparison of the inference engines, sequential
+   vs. parallel, with and without prefix pruning. Optionally dumps
+   machine-readable results to BENCH_search.json. *)
+
+type search_row = {
+  workload : string;
+  engine : string;
+  sr_jobs : int;
+  wall_s : float;
+  stats : Ddet_replay.Search.stats;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, max 1e-9 (Unix.gettimeofday () -. t0))
+
+let search_bench ~tiny ~jobs ~json () =
+  let open Ddet_replay in
+  let open Mvm in
+  let budget full small = if tiny then small else full in
+  let miniht = Miniht.app () in
+  let cases =
+    [
+      ( "racy-counter",
+        Experiment.racy_counter,
+        Experiment.racy_counter_spec,
+        budget
+          { Search.max_attempts = 3_000; max_steps_per_attempt = 5_000;
+            base_seed = 1 }
+          { Search.max_attempts = 40; max_steps_per_attempt = 1_500;
+            base_seed = 1 } );
+      ( "miniht",
+        miniht.App.labeled,
+        miniht.App.spec,
+        budget
+          { Search.max_attempts = 300; max_steps_per_attempt = 5_000;
+            base_seed = 1 }
+          { Search.max_attempts = 20; max_steps_per_attempt = 1_500;
+            base_seed = 1 } );
+    ]
+  in
+  let job_counts = if jobs > 1 then [ 1; jobs ] else [ 1 ] in
+  let rows =
+    List.concat_map
+      (fun (workload, labeled, spec, budget) ->
+        let seed =
+          let rec scan s =
+            if s > 500 then invalid_arg ("no failing seed for " ^ workload)
+            else
+              let r =
+                Mvm.Spec.apply spec
+                  (Mvm.Interp.run labeled (World.random ~seed:s))
+              in
+              if r.Mvm.Interp.failure <> None then s else scan (s + 1)
+          in
+          scan 1
+        in
+        let _, log =
+          Recorder.record (Failure_recorder.create ()) labeled ~spec
+            ~world:(World.random ~seed)
+        in
+        let accept = Constraints.failure_matches log in
+        let engines =
+          [
+            ( "dfs-pruned",
+              fun j -> Par_search.dfs_schedules ~jobs:j budget ~spec ~accept
+                         labeled );
+            ( "dfs-noprune",
+              fun j -> Par_search.dfs_schedules ~jobs:j ~prune:false budget
+                         ~spec ~accept labeled );
+            ( "restarts",
+              fun j ->
+                Par_search.random_restarts ~jobs:j budget
+                  ~make:(fun ~attempt -> (World.random ~seed:attempt, None))
+                  ~spec ~accept labeled );
+          ]
+        in
+        List.concat_map
+          (fun (engine, run) ->
+            List.map
+              (fun j ->
+                let o, wall_s = time (fun () -> run j) in
+                { workload; engine; sr_jobs = j; wall_s;
+                  stats = o.Search.stats })
+              job_counts)
+          engines)
+      cases
+  in
+  let base r =
+    List.find
+      (fun b ->
+        b.workload = r.workload && b.engine = r.engine && b.sr_jobs = 1)
+      rows
+  in
+  let speedup r = (base r).wall_s /. r.wall_s in
+  let attempts_per_s r = float_of_int r.stats.Ddet_replay.Search.attempts /. r.wall_s in
+  let ns_per_step r =
+    let steps = max 1 r.stats.Ddet_replay.Search.total_steps in
+    r.wall_s *. 1e9 /. float_of_int steps
+  in
+  (* measured pruning factor: DFS machine-steps burned without pruning
+     over steps burned with it, same workload, sequential *)
+  let pruning_factor workload =
+    let steps engine =
+      List.find
+        (fun r -> r.workload = workload && r.engine = engine && r.sr_jobs = 1)
+        rows
+      |> fun r -> float_of_int (max 1 r.stats.Ddet_replay.Search.total_steps)
+    in
+    steps "dfs-noprune" /. steps "dfs-pruned"
+  in
+  let table_rows =
+    List.map
+      (fun r ->
+        [
+          r.workload; r.engine; string_of_int r.sr_jobs;
+          Printf.sprintf "%.3f" r.wall_s;
+          (if r.stats.Ddet_replay.Search.success then "yes" else "NO");
+          string_of_int r.stats.Ddet_replay.Search.attempts;
+          string_of_int r.stats.Ddet_replay.Search.pruned;
+          string_of_int r.stats.Ddet_replay.Search.total_steps;
+          Printf.sprintf "%.0f" (attempts_per_s r);
+          Printf.sprintf "%.0f" (ns_per_step r);
+          Printf.sprintf "%.2f" (speedup r);
+        ])
+      rows
+  in
+  let body =
+    Ddet_metrics.Report.table
+      ~headers:
+        [ "workload"; "engine"; "jobs"; "wall s"; "ok"; "attempts"; "pruned";
+          "steps"; "att/s"; "ns/step"; "speedup" ]
+      table_rows
+    ^ Printf.sprintf
+        "\n\ncores: %d (Domain.recommended_domain_count). Speedup is vs. the\n\
+         same engine at jobs=1; outcomes (ok/attempts/pruned/steps) are\n\
+         identical at every jobs value by construction. Pruning factor\n\
+         (DFS steps without pruning / with pruning, sequential): %s.\n"
+        (Domain.recommended_domain_count ())
+        (String.concat ", "
+           (List.map
+              (fun (w, _, _, _) -> Printf.sprintf "%s %.2fx" w (pruning_factor w))
+              cases))
+  in
+  Ddet_metrics.Report.print_section "SEARCH engine wall-clock" body;
+  if json then begin
+    let file = "BENCH_search.json" in
+    let oc = open_out file in
+    let row_json r =
+      Printf.sprintf
+        "    { \"workload\": %S, \"engine\": %S, \"jobs\": %d, \
+         \"wall_s\": %.6f, \"success\": %b, \"attempts\": %d, \
+         \"pruned\": %d, \"steps\": %d, \"attempts_per_s\": %.1f, \
+         \"ns_per_step\": %.1f, \"speedup_vs_1\": %.3f }"
+        r.workload r.engine r.sr_jobs r.wall_s
+        r.stats.Ddet_replay.Search.success r.stats.Ddet_replay.Search.attempts
+        r.stats.Ddet_replay.Search.pruned
+        r.stats.Ddet_replay.Search.total_steps (attempts_per_s r)
+        (ns_per_step r) (speedup r)
+    in
+    Printf.fprintf oc
+      "{\n  \"cores\": %d,\n  \"jobs\": %d,\n  \"tiny\": %b,\n\
+       \  \"pruning_step_factor\": { %s },\n  \"rows\": [\n%s\n  ]\n}\n"
+      (Domain.recommended_domain_count ())
+      jobs tiny
+      (String.concat ", "
+         (List.map
+            (fun (w, _, _, _) -> Printf.sprintf "%S: %.3f" w (pruning_factor w))
+            cases))
+      (String.concat ",\n" (List.map row_json rows));
+    close_out oc;
+    Printf.printf "wrote %s\n" file
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let tiny_config =
+  {
+    Config.default with
+    Config.budget =
+      { Ddet_replay.Search.max_attempts = 20; max_steps_per_attempt = 2_000;
+        base_seed = 1 };
+    value_budget =
+      { Ddet_replay.Search.max_attempts = 3; max_steps_per_attempt = 20_000;
+        base_seed = 1 };
+  }
+
 let () =
-  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let rec parse (cmd, tiny, json, jobs) = function
+    | [] -> (cmd, tiny, json, jobs)
+    | "--tiny" :: rest -> parse (cmd, true, json, jobs) rest
+    | "--json" :: rest -> parse (cmd, tiny, true, jobs) rest
+    | ("--jobs" | "-j") :: n :: rest ->
+      parse (cmd, tiny, json, int_of_string n) rest
+    | arg :: rest when cmd = None -> parse (Some arg, tiny, json, jobs) rest
+    | arg :: _ ->
+      Printf.eprintf "unexpected argument %S\n" arg;
+      exit 2
+  in
+  let cmd, tiny, json, jobs =
+    parse (None, false, false, 1) (List.tl (Array.to_list Sys.argv))
+  in
+  let cmd = Option.value ~default:"all" cmd in
+  let config = if tiny then tiny_config else Config.default in
+  let fig_args f =
+    if tiny then f ?config:(Some config) ?replays:(Some 1) ()
+    else f ?config:None ?replays:None ()
+  in
   match cmd with
-  | "fig1" -> print (Experiment.render_fig1 (Experiment.fig1 ()))
-  | "fig2" -> print (Experiment.render_fig2 (Experiment.fig2 ()))
+  | "fig1" -> print (Experiment.render_fig1 (fig_args Experiment.fig1))
+  | "fig2" -> print (Experiment.render_fig2 (fig_args Experiment.fig2))
   | "sec2" ->
     print (Experiment.sec2_adder ());
     print (Experiment.sec2_drop ())
@@ -126,7 +340,10 @@ let () =
   | "budget" -> print (Experiment.budget_sweep ())
   | "flight" -> print (Experiment.flight_sweep ())
   | "race" -> print (Experiment.race_detectors ())
-  | "search" -> print (Experiment.search_engines ())
+  | "search" when tiny || json || jobs > 1 -> search_bench ~tiny ~jobs ~json ()
+  | "search" ->
+    print (Experiment.search_engines ~config ());
+    search_bench ~tiny ~jobs ~json ()
   | "open" ->
     print (Explore.experiment ());
     print (Frontier.experiment ())

@@ -89,6 +89,11 @@ let faults_arg =
                Actions: drop/dup/perturb CHAN:PROB, delay CHAN:FROM-TO, \
                stall TID:FROM-TO, crash TID:STEP.")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for seed scans and searched replays. Outcomes \
+               are identical at any $(docv); only wall-clock time changes.")
+
 let salvage_arg =
   Arg.(value & flag & info [ "salvage" ]
          ~doc:"Load the log in salvage mode: keep the longest valid prefix \
@@ -132,8 +137,12 @@ let cmd_run app seed faults =
   describe_run app (App.production_run ?faults app ~seed);
   0
 
-let cmd_find app cause exclusive faults =
-  match Workload.find_failing_seed ?cause ~exclusive ?faults app with
+let config_with_jobs jobs = { Config.default with Config.jobs = max 1 jobs }
+
+let cmd_find app cause exclusive faults jobs =
+  match
+    Workload.find_failing_seed ?cause ~exclusive ?faults ~jobs:(max 1 jobs) app
+  with
   | Some (seed, r) ->
     Printf.printf "seed %d fails:\n" seed;
     describe_run app r;
@@ -158,7 +167,7 @@ let cmd_record app model seed verbose out faults =
   | None -> ());
   0
 
-let cmd_replay app model file salvage =
+let cmd_replay app model file salvage jobs =
   let mode =
     if salvage then Ddet_record.Log_io.Salvage else Ddet_record.Log_io.Strict
   in
@@ -169,7 +178,7 @@ let cmd_replay app model file salvage =
   | Ok (log, damage) ->
     if Ddet_record.Log_io.is_damaged damage then
       Format.printf "%a@." Ddet_record.Log_io.pp_damage damage;
-    let prepared = Session.prepare model app in
+    let prepared = Session.prepare ~config:(config_with_jobs jobs) model app in
     let outcome = Session.replay prepared log in
     Format.printf "%a@." Ddet_replay.Replayer.pp_outcome outcome;
     (match outcome.Ddet_replay.Replayer.result with
@@ -179,8 +188,11 @@ let cmd_replay app model file salvage =
       0
     | None -> 1)
 
-let cmd_debug app model seed replays faults =
-  let a = Session.experiment_ensemble ?faults ~replays model app ~seed in
+let cmd_debug app model seed replays faults jobs =
+  let a =
+    Session.experiment_ensemble ~config:(config_with_jobs jobs) ?faults
+      ~replays model app ~seed
+  in
   Format.printf "%a@." Ddet_metrics.Utility.pp a;
   0
 
@@ -228,7 +240,8 @@ let run_cmd =
 
 let find_cmd =
   Cmd.v (Cmd.info "find" ~exits ~doc:"Scan seeds for a failing production run.")
-    Term.(const cmd_find $ app_arg $ cause_arg $ exclusive_arg $ faults_arg)
+    Term.(const cmd_find $ app_arg $ cause_arg $ exclusive_arg $ faults_arg
+          $ jobs_arg)
 
 let record_cmd =
   Cmd.v (Cmd.info "record" ~exits ~doc:"Record a production run under a model.")
@@ -238,14 +251,15 @@ let record_cmd =
 let replay_cmd =
   Cmd.v
     (Cmd.info "replay" ~exits ~doc:"Replay a saved log under its model.")
-    Term.(const cmd_replay $ app_arg $ model_arg $ in_arg $ salvage_arg)
+    Term.(const cmd_replay $ app_arg $ model_arg $ in_arg $ salvage_arg
+          $ jobs_arg)
 
 let debug_cmd =
   Cmd.v
     (Cmd.info "debug" ~exits
        ~doc:"Record, replay and assess: overhead, DF, DE, DU.")
     Term.(const cmd_debug $ app_arg $ model_arg $ seed_arg $ replays_arg
-          $ faults_arg)
+          $ faults_arg $ jobs_arg)
 
 let classify_cmd =
   Cmd.v

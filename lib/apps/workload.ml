@@ -2,7 +2,7 @@ open Mvm
 open Ddet_metrics
 
 let find_failing_seed ?cause ?(exclusive = false) ?(from = 1) ?(max_seeds = 500)
-    ?faults (app : App.t) =
+    ?faults ?(jobs = 1) (app : App.t) =
   let matches r =
     match Root_cause.observed app.App.catalog r with
     | [] -> false
@@ -13,13 +13,13 @@ let find_failing_seed ?cause ?(exclusive = false) ?(from = 1) ?(max_seeds = 500)
       | None -> true
       | Some id -> String.equal primary.Root_cause.id id)
   in
-  let rec scan seed =
-    if seed >= from + max_seeds then None
-    else
+  (* seeds are independent, so the scan fans over domains; first_success
+     keeps the sequential semantics (lowest matching seed wins) *)
+  Ddet_replay.Par_search.first_success ~jobs ~from ~count:max_seeds
+    ~f:(fun seed ->
       let r = App.production_run ?faults app ~seed in
-      if matches r then Some (seed, r) else scan (seed + 1)
-  in
-  scan from
+      if matches r then Some r else None)
+    ()
 
 let training_runs ?(n = 5) ?(from = 1000) (app : App.t) =
   List.init n (fun k -> App.production_run app ~seed:(from + k))

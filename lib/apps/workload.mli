@@ -8,14 +8,17 @@ open Mvm
     [cause], the primary observed root cause must be that id; with
     [exclusive] (default false), it must be the *only* observed cause —
     clean attribution for the original execution of an experiment. With
-    [faults], every scanned run executes under that fault plan. Returns
-    the seed and the judged run. *)
+    [faults], every scanned run executes under that fault plan. With
+    [jobs > 1] the scan fans over that many OCaml 5 domains; the result
+    is still the lowest matching seed. Returns the seed and the judged
+    run. *)
 val find_failing_seed :
   ?cause:string ->
   ?exclusive:bool ->
   ?from:int ->
   ?max_seeds:int ->
   ?faults:Fault.plan ->
+  ?jobs:int ->
   App.t ->
   (int * Interp.result) option
 

@@ -11,6 +11,7 @@ type t = {
   trigger_window : int;
   flight_ring : int option;
   race_config : Ddet_analysis.Race_detector.config;
+  jobs : int;
 }
 
 let default =
@@ -25,4 +26,5 @@ let default =
     trigger_window = 500;
     flight_ring = Some 250;
     race_config = Ddet_analysis.Race_detector.default_config;
+    jobs = 1;
   }

@@ -21,6 +21,10 @@ type t = {
       (** capacity of the flight-recorder ring used by windowed RCSE
           selections (trigger/data/combined); [None] disables it *)
   race_config : Ddet_analysis.Race_detector.config;
+  jobs : int;
+      (** worker domains for searched replays and seed scans; 1 (the
+          default) keeps everything sequential. Outcomes are identical at
+          any [jobs]; only wall-clock time changes. *)
 }
 
 val default : t

@@ -57,6 +57,13 @@ val flight_sweep : ?config:Config.t -> ?replays:int -> unit -> rendered
     precision (false positives), coverage, and per-access work. *)
 val race_detectors : ?config:Config.t -> unit -> rendered
 
+(** The schedule-only lost-update workload the search comparison runs on:
+    two threads each increment a shared counter four times without locks.
+    Exposed so the bench harness can time the engines on it. *)
+val racy_counter : Mvm.Label.labeled
+
+val racy_counter_spec : Mvm.Spec.t
+
 (** [search_engines ()] compares inference strategies — systematic DFS
     over schedules (ESD-style directed synthesis) against seeded random
     restarts (PRES-style probabilistic replay) — reproducing a recorded

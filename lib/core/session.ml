@@ -112,22 +112,23 @@ let replay ?budget prepared log =
   let labeled = prepared.app.App.labeled in
   let spec = prepared.app.App.spec in
   let budget = Option.value ~default:prepared.config.Config.budget budget in
+  let jobs = prepared.config.Config.jobs in
   match prepared.model with
   | Model.Perfect -> Replayer.perfect labeled ~spec log
   | Model.Value ->
-    Replayer.value_det ~budget:prepared.config.Config.value_budget labeled ~spec
-      log
-  | Model.Sync -> Replayer.sync_det ~budget labeled ~spec log
+    Replayer.value_det ~budget:prepared.config.Config.value_budget ~jobs
+      labeled ~spec log
+  | Model.Sync -> Replayer.sync_det ~budget ~jobs labeled ~spec log
   | Model.Output ->
-    Replayer.output_det ~budget ~exhaustive:(not (has_spawn labeled)) labeled
-      ~spec log
-  | Model.Failure_det -> Replayer.failure_det ~budget labeled ~spec log
+    Replayer.output_det ~budget ~exhaustive:(not (has_spawn labeled)) ~jobs
+      labeled ~spec log
+  | Model.Failure_det -> Replayer.failure_det ~budget ~jobs labeled ~spec log
   | Model.Rcse mode ->
     (* code-based selection records statically-chosen sites, so an
        out-of-order recorded site is real divergence; windowed selections
        revisit their sites outside the window legitimately *)
     let strict = match mode with Model.Code_based -> true | _ -> false in
-    Replayer.rcse ~budget ~strict labeled ~spec log
+    Replayer.rcse ~budget ~strict ~jobs labeled ~spec log
 
 let assess ?salvaged prepared ~original ~log outcome =
   let a =

@@ -45,7 +45,9 @@ val record :
 
 (** [replay ?budget prepared log] reconstructs an execution per the model's
     replay contract. [budget] overrides the config's inference budget (the
-    ensemble assessment varies its base seed). *)
+    ensemble assessment varies its base seed). The config's [jobs] fans
+    searched replays over that many domains — same outcome, less
+    wall-clock. *)
 val replay :
   ?budget:Ddet_replay.Search.budget ->
   prepared ->

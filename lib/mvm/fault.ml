@@ -190,6 +190,9 @@ let inject plan (w : World.t) =
     {
       w with
       World.name = Printf.sprintf "%s+faults(%s)" w.World.name (to_string plan);
+      (* chan_decision hashes the step, so a blocked recv can become
+         runnable as time advances: the candidate cache must stay off *)
+      passive_try_recv = false;
       pick_thread =
         (fun ~step cands ->
           match

@@ -37,13 +37,13 @@ exception Abort_exn of string
 
 let atomic_budget = 10_000
 
-let run ?(max_steps = 200_000) ?(monitors = []) ?abort (labeled : Label.labeled)
-    (world : World.t) =
+let run ?(max_steps = 200_000) ?(monitors = []) ?abort ?trace_capacity
+    (labeled : Label.labeled) (world : World.t) =
   let prog = labeled.Label.prog in
   let mem = Memory.create prog.regions in
   let chans = Channel.create () in
   let locks : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let trace = Trace.create () in
+  let trace = Trace.create ?capacity:trace_capacity () in
   let threads : thread Vec.t = Vec.create () in
   let step_count = ref 0 in
 
@@ -126,7 +126,7 @@ let run ?(max_steps = 200_000) ?(monitors = []) ?abort (labeled : Label.labeled)
       true
   in
 
-  let candidates () =
+  let rebuild_candidates () =
     Vec.fold
       (fun acc th ->
         match next_stmt th with
@@ -136,6 +136,55 @@ let run ?(max_steps = 200_000) ?(monitors = []) ?abort (labeled : Label.labeled)
         | _ -> acc)
       [] threads
     |> List.rev
+  in
+
+  (* Candidate cache (the search fast path). A purely thread-local
+     statement can only change the executing thread's own entry, so under
+     a passive world (see World.passive_try_recv) the cached list is
+     patched in place instead of being rebuilt — search engines execute
+     this scheduler millions of times, and most steps are local. Any
+     statement that touches channels, locks or the thread table
+     invalidates the cache; non-passive worlds bypass it entirely, so
+     replay oracles keep their exact per-step semantics. *)
+  let cand_cache : World.cand list ref = ref [] in
+  let cache_valid = ref false in
+  let use_cache = world.World.passive_try_recv in
+  let candidates () =
+    if not use_cache then rebuild_candidates ()
+    else if !cache_valid then !cand_cache
+    else begin
+      let cs = rebuild_candidates () in
+      cand_cache := cs;
+      cache_valid := true;
+      cs
+    end
+  in
+
+  (* Statements that cannot affect any OTHER thread's runnability: they
+     touch no channel, no lock and spawn nothing. [Fail] ends the run, so
+     its classification never matters; it is kept non-local for safety. *)
+  let local_node = function
+    | Skip | Assign _ | Store _ | Store_scalar _ | If _ | While _ | Input _
+    | Output _ | Yield | Assert _ | Call _ | Return _ ->
+      true
+    | Send _ | Recv _ | Try_recv _ | Lock _ | Unlock _ | Spawn _ | Atomic _
+    | Fail _ ->
+      false
+  in
+
+  let patch_candidate th =
+    match next_stmt th with
+    | Some s when executable th.tid s ->
+      let c =
+        { World.tid = th.tid; sid = s.sid; fname = (List.hd th.frames).fname }
+      in
+      cand_cache :=
+        List.map
+          (fun (c0 : World.cand) -> if c0.World.tid = th.tid then c else c0)
+          !cand_cache
+    | _ ->
+      cand_cache :=
+        List.filter (fun (c0 : World.cand) -> c0.World.tid <> th.tid) !cand_cache
   in
 
   let binop_apply op (a : Value.tagged) (b : Value.tagged) =
@@ -400,7 +449,9 @@ let run ?(max_steps = 200_000) ?(monitors = []) ?abort (labeled : Label.labeled)
         raise (Crash_at (s.sid, msg))
       | Value.Type_error msg ->
         emit ~tid:th.tid ~sid:s.sid ~fname (Event.Crashed msg);
-        raise (Crash_at (s.sid, msg)))
+        raise (Crash_at (s.sid, msg)));
+      if use_cache && !cache_valid then
+        if local_node s.node then patch_candidate th else cache_valid := false
   in
 
   let finish status =

@@ -25,16 +25,27 @@ type result = {
           applied (see {!Spec.apply}) *)
 }
 
-(** [run ?max_steps ?monitors ?abort labeled world] executes the program.
+(** [run ?max_steps ?monitors ?abort ?trace_capacity labeled world]
+    executes the program.
 
     [monitors] observe every event as it is emitted (recorders attach
     here). [abort] may return a reason to stop the run early (replay
     searches use it to prune executions whose outputs already diverge from
-    the recording). Default [max_steps] is 200_000. *)
+    the recording). [trace_capacity] presizes the trace's backing store —
+    search engines pass the previous attempt's event count so appends never
+    reallocate. Default [max_steps] is 200_000.
+
+    When [world.passive_try_recv] is [true] the interpreter caches its
+    scheduling-candidate set between steps, patching only the executing
+    thread's entry after purely thread-local statements; channel, lock and
+    spawn operations rebuild it. The cached list is observationally
+    identical to the recomputed one, so worlds see the same candidates in
+    the same order either way. *)
 val run :
   ?max_steps:int ->
   ?monitors:(Event.t -> unit) list ->
   ?abort:(Event.t -> string option) ->
+  ?trace_capacity:int ->
   Label.labeled ->
   World.t ->
   result

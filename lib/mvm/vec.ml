@@ -1,12 +1,12 @@
-type 'a t = { mutable data : 'a array; mutable len : int }
+type 'a t = { mutable data : 'a array; mutable len : int; hint : int }
 
-let create () = { data = [||]; len = 0 }
+let create ?(capacity = 0) () = { data = [||]; len = 0; hint = capacity }
 
 let length v = v.len
 
 let grow v x =
   let cap = Array.length v.data in
-  let cap' = if cap = 0 then 16 else cap * 2 in
+  let cap' = if cap = 0 then max 16 v.hint else cap * 2 in
   let data' = Array.make cap' x in
   Array.blit v.data 0 data' 0 v.len;
   v.data <- data'

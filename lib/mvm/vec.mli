@@ -3,8 +3,11 @@
 
 type 'a t
 
-(** [create ()] is an empty vector. *)
-val create : unit -> 'a t
+(** [create ()] is an empty vector. [capacity] is a sizing hint: the first
+    push allocates a backing store of at least that many slots, so hot loops
+    that know their eventual size (the interpreter's trace) skip the
+    doubling cascade. No memory is committed before the first push. *)
+val create : ?capacity:int -> unit -> 'a t
 
 (** [length v] is the number of elements currently stored. *)
 val length : 'a t -> int

@@ -10,6 +10,7 @@ type t = {
     actual:Value.tagged -> Value.tagged;
   on_try_recv : step:int -> tid:int -> sid:int -> chan:string ->
     try_recv_decision;
+  passive_try_recv : bool;
 }
 
 and try_recv_decision = Default | Force_fail | Force_value of Value.tagged
@@ -35,6 +36,7 @@ let random ~seed =
     on_read = identity_read;
     on_recv = identity_recv;
     on_try_recv = default_try_recv;
+    passive_try_recv = true;
   }
 
 let round_robin () =
@@ -60,6 +62,7 @@ let round_robin () =
     on_read = identity_read;
     on_recv = identity_recv;
     on_try_recv = default_try_recv;
+    passive_try_recv = true;
   }
 
 let with_name name w = { w with name }

@@ -42,6 +42,16 @@ type t = {
           advances its log. Value- and sync-determinism replay need this:
           the success of a poll is part of a thread's observed values /
           per-object operation order. *)
+  passive_try_recv : bool;
+      (** [true] promises that [on_try_recv] is the constant [Default]
+          answer — it never forces a poll outcome and its result does not
+          depend on [step] or any oracle cursor. Under that promise a
+          blocked [Recv] on an empty channel can only become runnable
+          through a channel operation, which lets the interpreter cache
+          its scheduling-candidate set between steps (the search fast
+          path). Worlds with a stateful or forcing [on_try_recv] (replay
+          oracles, fault plans) must leave this [false]; the interpreter
+          then recomputes candidates every step, exactly as before. *)
 }
 
 and try_recv_decision = Default | Force_fail | Force_value of Value.tagged

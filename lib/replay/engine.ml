@@ -1,0 +1,249 @@
+open Mvm
+
+(* Shared machinery of the enumeration engines: the decision odometers,
+   instrumented worlds, and single-attempt executors that both the
+   sequential drivers (Search) and the domain-parallel drivers
+   (Par_search) are built from. One attempt here is a pure function of
+   its (prefix, budget, shared seen-set snapshot) — that is what lets
+   Par_search run attempts speculatively on worker domains and still
+   reproduce the sequential search byte for byte. *)
+
+(* ------------------------------------------------------------------ *)
+(* seen-set: digests of already-covered scheduling states. Workers on
+   other domains consult it concurrently at one point per run, so it
+   carries its own lock. Only the reducing side ever adds (see
+   Par_search); in sequential search the runner is its own reducer. *)
+
+module Seen = struct
+  type t = { tbl : (int, unit) Hashtbl.t; lock : Mutex.t }
+
+  let create () = { tbl = Hashtbl.create 256; lock = Mutex.create () }
+
+  let mem t d =
+    Mutex.lock t.lock;
+    let r = Hashtbl.mem t.tbl d in
+    Mutex.unlock t.lock;
+    r
+
+  let add t d =
+    Mutex.lock t.lock;
+    Hashtbl.replace t.tbl d ();
+    Mutex.unlock t.lock
+end
+
+(* ------------------------------------------------------------------ *)
+(* odometer *)
+
+let advance prefix sizes =
+  (* little-endian counting over the decision digits: bump the shallowest
+     digit with room and reset everything below it. Varying the earliest
+     decisions first matters for schedule search — races live in the early
+     interleaving, and a deepest-first order would only permute the tail
+     of the run within any realistic budget. *)
+  let sizes = Array.of_list sizes in
+  let n = Array.length sizes in
+  let digits = Array.make (max n 0) 0 in
+  Array.blit prefix 0 digits 0 (min (Array.length prefix) n);
+  let rec bump i =
+    if i >= n then None
+    else if digits.(i) + 1 < sizes.(i) then begin
+      digits.(i) <- digits.(i) + 1;
+      Array.fill digits 0 i 0;
+      Some digits
+    end
+    else bump (i + 1)
+  in
+  bump 0
+
+(* ------------------------------------------------------------------ *)
+(* attempt results *)
+
+type early = Ran | Early_pruned | Early_clamped
+
+type probe = {
+  result : Interp.result;
+  sizes : int list;
+      (* discovered digit fan-outs, shallowest first, already truncated
+         for the pruned/clamped cases so [advance] skips the dead branch *)
+  checkpoint : (int * int * int list) option;
+      (* (digest, steps, sizes) at the first post-prefix decision — what
+         a reducer needs to re-classify a speculatively completed run as
+         pruned after the fact *)
+  plants : int list;
+      (* digests at every post-prefix decision of a completed run, in
+         decision order: the states this run's subtree now covers *)
+  early : early;
+}
+
+let reason_pruned = "pruned: scheduling state already covered"
+let reason_clamped = "clamped: decision fan-out shrank below prefix digit"
+
+(* ------------------------------------------------------------------ *)
+(* input odometer: the k-th input of the run takes the domain value at
+   the position given by the prefix (0 beyond it); the sizes of visited
+   domains are collected so the caller can advance the odometer. *)
+
+let odometer_world prefix sizes =
+  let base = World.round_robin () in
+  let k = ref 0 in
+  {
+    base with
+    World.name = "enumerate-inputs";
+    pick_input =
+      (fun ~step:_ ~tid:_ ~chan:_ ~domain ->
+        let n = max 1 (List.length domain) in
+        let pos = if !k < Array.length prefix then prefix.(!k) else 0 in
+        sizes := n :: !sizes;
+        incr k;
+        match List.nth_opt domain pos with
+        | Some v -> v
+        | None -> ( match domain with [] -> Value.unit | v :: _ -> v));
+  }
+
+let cancel_abort cancel inner e =
+  match cancel with
+  | Some c when c () -> Some "cancelled"
+  | _ -> inner e
+
+let exec_inputs ?trace_capacity ?cancel ~budget:(max_steps : int) ~prefix
+    labeled =
+  let sizes = ref [] in
+  let world = odometer_world prefix sizes in
+  let abort = cancel_abort cancel (fun _ -> None) in
+  let result = Interp.run ~max_steps ~abort ?trace_capacity labeled world in
+  {
+    result;
+    sizes = List.rev !sizes;
+    checkpoint = None;
+    plants = [];
+    early = Ran;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* schedule odometer: decision k picks the prefix[k]-th candidate (sorted
+   by tid); past the prefix, the first candidate. [sizes] collects the
+   fan-out of every decision point of the run so [advance] can bump the
+   shallowest digit with room. Decisions with a single candidate are not
+   digits: they cannot be varied.
+
+   Two instrumentation duties ride along:
+
+   - clamping: if a prefix digit meets a smaller fan-out than when the
+     prefix was generated, the schedule it denotes duplicates the one
+     with digit [n-1]. The run is cut short and the digit's size is
+     recorded as the *actual* fan-out, so [advance] carries past it
+     instead of re-exploring the same schedule under two prefixes.
+
+   - pruning: at the first decision past the prefix the canonical state
+     digest is compared against [seen]; a hit means another explored
+     subtree already covers every continuation of this state, so the run
+     is cut short and its sizes end at the prefix — the whole subtree is
+     skipped. On a miss, completed runs report the digests of all their
+     post-prefix decisions as [plants]. *)
+
+type pruning = { seen : Seen.t; plant : bool }
+
+let schedule_world ?pruning ~prefix ~sizes ~stop ~checkpoint ~plants () =
+  let k = ref 0 in
+  let hash = State_hash.create () in
+  let plen = Array.length prefix in
+  {
+    World.name = "dfs-schedules";
+    pick_thread =
+      (fun ~step cands ->
+        let sorted =
+          List.sort compare (List.map (fun c -> c.World.tid) cands)
+        in
+        match sorted with
+        | [ only ] -> only
+        | _ ->
+          let n = List.length sorted in
+          let i = !k in
+          incr k;
+          if i < plen then begin
+            sizes := n :: !sizes;
+            let pos = prefix.(i) in
+            if pos >= n then begin
+              stop := Some (Early_clamped, reason_clamped);
+              List.hd sorted
+            end
+            else List.nth sorted pos
+          end
+          else begin
+            (match pruning with
+            | None -> sizes := n :: !sizes
+            | Some { seen; plant } ->
+              let d = State_hash.digest hash in
+              if i = plen then begin
+                checkpoint := Some (d, step, List.rev !sizes);
+                if Seen.mem seen d then
+                  stop := Some (Early_pruned, reason_pruned)
+                else begin
+                  if plant then Seen.add seen d;
+                  plants := d :: !plants;
+                  sizes := n :: !sizes
+                end
+              end
+              else begin
+                if plant then Seen.add seen d;
+                plants := d :: !plants;
+                sizes := n :: !sizes
+              end);
+            List.hd sorted
+          end);
+    pick_input =
+      (fun ~step:_ ~tid:_ ~chan:_ ~domain ->
+        match domain with [] -> Value.unit | v :: _ -> v);
+    on_read = (fun ~step:_ ~tid:_ ~sid:_ ~region:_ ~index:_ ~actual -> actual);
+    on_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ ~actual -> actual);
+    on_try_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ -> World.Default);
+    passive_try_recv = true;
+  }
+  |> fun w -> (w, hash)
+
+let exec_schedule ?trace_capacity ?pruning ?cancel ~budget:(max_steps : int)
+    ~prefix labeled =
+  let sizes = ref [] in
+  let stop = ref None in
+  let checkpoint = ref None in
+  let plants = ref [] in
+  let world, hash =
+    schedule_world ?pruning ~prefix ~sizes ~stop ~checkpoint ~plants ()
+  in
+  let monitors =
+    match pruning with None -> [] | Some _ -> [ State_hash.feed hash ]
+  in
+  let abort = cancel_abort cancel (fun _ -> Option.map snd !stop) in
+  let result =
+    Interp.run ~max_steps ~monitors ~abort ?trace_capacity labeled world
+  in
+  let early = match !stop with Some (e, _) -> e | None -> Ran in
+  {
+    result;
+    sizes = List.rev !sizes;
+    checkpoint = !checkpoint;
+    plants = List.rev !plants;
+    early;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* authoritative classification: what the in-order reducer does with a
+   probe that may have been executed speculatively. A run that completed
+   on a worker before an earlier attempt planted its checkpoint state is
+   re-classified as pruned here, charged only the steps the sequential
+   search would have executed before cutting it short. *)
+
+type verdict =
+  | Attempt of Interp.result * int list  (** judge it; advance with sizes *)
+  | Skipped of { steps : int; sizes : int list }
+      (** pruned or clamped: uncounted, advance with the truncated sizes *)
+
+let classify ?seen probe =
+  match probe.early with
+  | Early_clamped | Early_pruned ->
+    Skipped { steps = probe.result.Interp.steps; sizes = probe.sizes }
+  | Ran -> (
+    match (seen, probe.checkpoint) with
+    | Some seen, Some (d, steps, sizes) when Seen.mem seen d ->
+      Skipped { steps; sizes }
+    | _ -> Attempt (probe.result, probe.sizes))

@@ -1,0 +1,98 @@
+(** Shared machinery of the enumeration engines: decision odometers,
+    instrumented worlds, and single-attempt executors.
+
+    {!Search} composes these sequentially; {!Par_search} fans the same
+    attempts over worker domains. One attempt is a pure function of its
+    decision prefix (plus a read-only glance at the shared {!Seen} set),
+    which is what makes speculative parallel execution reproduce the
+    sequential search exactly. *)
+
+open Mvm
+
+(** Digest set of already-covered scheduling states, safe to consult from
+    other domains. Discipline: anyone may {!Seen.mem}; only the side that
+    processes attempts in sequential order may {!Seen.add} — that keeps
+    every concurrent lookup an under-approximation of what the sequential
+    search would know, so an early hit is always authoritative. *)
+module Seen : sig
+  type t
+
+  val create : unit -> t
+  val mem : t -> int -> bool
+  val add : t -> int -> unit
+end
+
+(** [advance prefix sizes] steps the decision odometer: bump the
+    shallowest digit with room, reset everything below it, [None] when
+    the space is exhausted. [sizes] are the digit fan-outs discovered by
+    running [prefix] (shallowest first); digits beyond [sizes] are
+    dropped. Varying the earliest decisions first matters for schedule
+    search — races live in the early interleaving. *)
+val advance : int array -> int list -> int array option
+
+type early =
+  | Ran  (** the attempt ran to its natural end *)
+  | Early_pruned  (** cut at the checkpoint: state already covered *)
+  | Early_clamped  (** cut at a prefix digit whose fan-out shrank *)
+
+type probe = {
+  result : Interp.result;
+  sizes : int list;
+      (** discovered digit fan-outs, shallowest first, already truncated
+          for the pruned/clamped cases so {!advance} skips the dead
+          branch *)
+  checkpoint : (int * int * int list) option;
+      (** (digest, steps, sizes) at the first post-prefix decision *)
+  plants : int list;
+      (** digests of every post-prefix decision of a completed run — the
+          states whose subtrees this run's enumeration now covers *)
+  early : early;
+}
+
+(** [exec_inputs ~budget ~prefix labeled] runs one input-odometer attempt;
+    [budget] is the step cap. [cancel] is polled at every event: parallel
+    workers use it to abandon speculative runs that can no longer be
+    processed (the result is then discarded, never judged). *)
+val exec_inputs :
+  ?trace_capacity:int ->
+  ?cancel:(unit -> bool) ->
+  budget:int ->
+  prefix:int array ->
+  Label.labeled ->
+  probe
+
+type pruning = {
+  seen : Seen.t;
+  plant : bool;
+      (** [true]: plant post-prefix digests into [seen] during the run
+          (sequential search, where runner and reducer coincide).
+          [false]: only report them in {!probe.plants} (parallel workers;
+          the reducer plants). *)
+}
+
+(** [exec_schedule ?pruning ~budget ~prefix labeled] runs one
+    schedule-odometer attempt. With [pruning], the run is cut short at
+    the first post-prefix decision if its canonical state digest is
+    already in [seen]. *)
+val exec_schedule :
+  ?trace_capacity:int ->
+  ?pruning:pruning ->
+  ?cancel:(unit -> bool) ->
+  budget:int ->
+  prefix:int array ->
+  Label.labeled ->
+  probe
+
+type verdict =
+  | Attempt of Interp.result * int list
+      (** count and judge it; advance the odometer with these sizes *)
+  | Skipped of { steps : int; sizes : int list }
+      (** pruned or clamped: not an attempt; [steps] is the inference
+          work the sequential search would have spent before cutting the
+          run short *)
+
+(** [classify ?seen probe] is the in-order reducer's authoritative ruling
+    on a (possibly speculatively executed) probe. With [seen], a run that
+    completed on a worker before an earlier attempt planted its
+    checkpoint state is re-classified as pruned after the fact. *)
+val classify : ?seen:Seen.t -> probe -> verdict

@@ -69,6 +69,7 @@ let perfect log =
       on_read = (fun ~step:_ ~tid:_ ~sid:_ ~region:_ ~index:_ ~actual -> actual);
       on_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ ~actual -> actual);
       on_try_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ -> World.Default);
+      passive_try_recv = true;
     }
   in
   { world; abort = abort_of violated; violated = (fun () -> !violated) }
@@ -125,6 +126,7 @@ let value_det ~seed log =
           match peek reads tid with
           | Some (s, Log.Msg, v) when s = sid -> World.Force_value (Value.untainted v)
           | Some _ | None -> World.Force_fail);
+      passive_try_recv = false;
     }
   in
   let never = ref false in
@@ -243,6 +245,7 @@ let subsequence ~name ~seed ~points ~event_matches ~marked_inputs ~strict log =
       on_read = (fun ~step:_ ~tid:_ ~sid:_ ~region:_ ~index:_ ~actual -> actual);
       on_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ ~actual -> actual);
       on_try_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ -> World.Default);
+      passive_try_recv = true;
     }
   in
   { world; abort; violated = (fun () -> !violated) }
@@ -352,6 +355,7 @@ let sync ~seed log =
           | Some (t, _) when t = tid -> World.Default
           | Some _ -> World.Force_fail
           | None -> World.Force_fail);
+      passive_try_recv = false;
     }
   in
   { world; abort; violated = (fun () -> !violated_set) }

@@ -1,0 +1,408 @@
+open Mvm
+
+(* Domain-parallel search with deterministic first-hit semantics.
+
+   Workers on OCaml 5 domains execute candidate attempts speculatively;
+   a single in-order reducer (the calling thread) replays the sequential
+   engines' bookkeeping exactly — attempts are judged in attempt-index
+   order, the accepted result is the lowest-index accepting attempt, and
+   [note]/[total_steps] accounting only covers attempts the sequential
+   search would have run. Consequently every engine here returns a
+   byte-identical {!Search.outcome} to its sequential counterpart; only
+   wall-clock time changes.
+
+   Two pool shapes:
+
+   - {!indexed_pool}: attempts are independent functions of their index
+     (random restarts, seed scans). Workers claim indices from an atomic
+     frontier, bounded to a window ahead of the reducer so speculation
+     cannot run away.
+
+   - {!chain_pool}: each attempt's successor depends on fan-out sizes its
+     run discovers (the odometer engines). Successor prefixes are
+     speculated with the last authoritative sizes and validated by the
+     reducer; a misspeculation invalidates only the chain suffix, whose
+     in-flight runs are cancelled through the interpreter's abort hook. *)
+
+let window_of jobs = max 2 (jobs * 4)
+
+(* ------------------------------------------------------------------ *)
+
+let indexed_pool ~jobs ~first ~last ~make_exec ~process ~exhausted =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let results : (int, ('a, exn) result) Hashtbl.t = Hashtbl.create 64 in
+  let next_claim = ref first in
+  let next_proc = ref first in
+  let stop = Atomic.make false in
+  let window = window_of jobs in
+  let worker () =
+    let exec = make_exec () in
+    let cancel () = Atomic.get stop in
+    let rec loop () =
+      Mutex.lock m;
+      while
+        (not (Atomic.get stop))
+        && !next_claim <= last
+        && !next_claim >= !next_proc + window
+      do
+        Condition.wait c m
+      done;
+      if Atomic.get stop || !next_claim > last then Mutex.unlock m
+      else begin
+        let i = !next_claim in
+        incr next_claim;
+        Mutex.unlock m;
+        let r = try Ok (exec ~cancel i) with e -> Error e in
+        Mutex.lock m;
+        Hashtbl.replace results i r;
+        Condition.broadcast c;
+        Mutex.unlock m;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+  let stop_all () =
+    Mutex.lock m;
+    Atomic.set stop true;
+    Condition.broadcast c;
+    Mutex.unlock m;
+    List.iter Domain.join domains
+  in
+  let rec reduce () =
+    if !next_proc > last then begin
+      stop_all ();
+      exhausted ()
+    end
+    else begin
+      Mutex.lock m;
+      while not (Hashtbl.mem results !next_proc) do
+        Condition.wait c m
+      done;
+      let r = Hashtbl.find results !next_proc in
+      Hashtbl.remove results !next_proc;
+      Mutex.unlock m;
+      match r with
+      | Error e ->
+        stop_all ();
+        raise e
+      | Ok a -> (
+        match (try process !next_proc a with e -> stop_all (); raise e) with
+        | `Stop out ->
+          stop_all ();
+          out
+        | `Continue ->
+          Mutex.lock m;
+          incr next_proc;
+          Condition.broadcast c;
+          Mutex.unlock m;
+          reduce ())
+    end
+  in
+  reduce ()
+
+(* ------------------------------------------------------------------ *)
+
+type chain_state =
+  | Pending
+  | Running
+  | Done of Engine.probe
+
+type chain_entry = { prefix : int array; mutable st : chain_state }
+
+let chain_pool ~jobs ~make_exec ~process ~exhausted =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let chain : (int, chain_entry) Hashtbl.t = Hashtbl.create 64 in
+  let version = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let error : exn option ref = ref None in
+  let next_proc = ref 0 in
+  let spec_hi = ref 1 in
+  let guess : int list ref = ref [] in
+  let window = window_of jobs in
+  Hashtbl.replace chain 0 { prefix = [||]; st = Pending };
+  (* speculative generation: extend the chain with the reducer's best
+     guess of successor prefixes (advance under the last authoritative
+     sizes). Caller holds [m]. *)
+  let rec gen () =
+    if !spec_hi < !next_proc + window then
+      match Hashtbl.find_opt chain (!spec_hi - 1) with
+      | Some prev -> (
+        match Engine.advance prev.prefix !guess with
+        | Some p ->
+          Hashtbl.replace chain !spec_hi { prefix = p; st = Pending };
+          incr spec_hi;
+          gen ()
+        | None -> ())
+      | None -> ()
+  in
+  let worker () =
+    let exec = make_exec () in
+    let rec loop () =
+      Mutex.lock m;
+      let rec find i =
+        if i >= !spec_hi then None
+        else
+          match Hashtbl.find_opt chain i with
+          | Some e when e.st = Pending -> Some e
+          | _ -> find (i + 1)
+      in
+      let rec wait_task () =
+        if Atomic.get stop then None
+        else
+          match find !next_proc with
+          | Some e -> Some e
+          | None ->
+            Condition.wait c m;
+            wait_task ()
+      in
+      match wait_task () with
+      | None -> Mutex.unlock m
+      | Some e ->
+        e.st <- Running;
+        let myv = Atomic.get version in
+        Mutex.unlock m;
+        let cancel () = Atomic.get stop || Atomic.get version <> myv in
+        let r = try Ok (exec ~cancel e.prefix) with ex -> Error ex in
+        Mutex.lock m;
+        (if Atomic.get version = myv then
+           match r with
+           | Ok probe ->
+             e.st <- Done probe;
+             Condition.broadcast c
+           | Error ex ->
+             if !error = None then error := Some ex;
+             Atomic.set stop true;
+             Condition.broadcast c);
+        Mutex.unlock m;
+        loop ()
+    in
+    loop ()
+  in
+  let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+  let stop_all () =
+    Mutex.lock m;
+    Atomic.set stop true;
+    Condition.broadcast c;
+    Mutex.unlock m;
+    List.iter Domain.join domains
+  in
+  let rec reduce () =
+    Mutex.lock m;
+    let entry = Hashtbl.find chain !next_proc in
+    while
+      (match entry.st with Done _ -> false | Pending | Running -> true)
+      && !error = None
+    do
+      Condition.wait c m
+    done;
+    match !error with
+    | Some ex ->
+      Mutex.unlock m;
+      stop_all ();
+      raise ex
+    | None -> (
+      let probe = match entry.st with Done p -> p | _ -> assert false in
+      Mutex.unlock m;
+      match
+        (try process ~prefix:entry.prefix probe
+         with e -> stop_all (); raise e)
+      with
+      | `Stop out ->
+        stop_all ();
+        out
+      | `Advance sizes -> (
+        Mutex.lock m;
+        guess := sizes;
+        match Engine.advance entry.prefix sizes with
+        | None ->
+          Mutex.unlock m;
+          stop_all ();
+          exhausted ()
+        | Some np ->
+          let j = !next_proc in
+          (match Hashtbl.find_opt chain (j + 1) with
+          | Some e1 when e1.prefix = np -> ()
+          | _ ->
+            (* misspeculation: drop the chain suffix; stale in-flight runs
+               see the version bump and cancel themselves *)
+            Atomic.incr version;
+            let rec drop i =
+              if Hashtbl.mem chain i then begin
+                Hashtbl.remove chain i;
+                drop (i + 1)
+              end
+            in
+            drop (j + 1);
+            Hashtbl.replace chain (j + 1) { prefix = np; st = Pending };
+            spec_hi := j + 2);
+          Hashtbl.remove chain j;
+          next_proc := j + 1;
+          gen ();
+          Condition.broadcast c;
+          Mutex.unlock m;
+          reduce ()))
+  in
+  reduce ()
+
+(* ------------------------------------------------------------------ *)
+(* engines *)
+
+let random_restarts ?(jobs = 1) ?(score = Search.no_score) budget ~make ~spec
+    ~accept labeled =
+  if jobs <= 1 then Search.random_restarts ~score budget ~make ~spec ~accept labeled
+  else begin
+    let total_steps = ref 0 in
+    let note, best = Search.track_best score in
+    let make_exec () =
+      let cap = ref None in
+      fun ~cancel attempt ->
+        let world, abort = make ~attempt in
+        let inner = match abort with Some a -> a | None -> fun _ -> None in
+        let abort e = if cancel () then Some "cancelled" else inner e in
+        let r =
+          Interp.run ~max_steps:budget.Search.max_steps_per_attempt ~abort
+            ?trace_capacity:!cap labeled world
+        in
+        cap := Some (Trace.length r.Interp.trace);
+        r
+    in
+    indexed_pool ~jobs ~first:1 ~last:budget.Search.max_attempts ~make_exec
+      ~process:(fun i r ->
+        total_steps := !total_steps + r.Interp.steps;
+        let r = Spec.apply spec r in
+        if accept r then
+          `Stop (Search.accepted ~attempts:i ~total_steps:!total_steps r)
+        else begin
+          note i r;
+          `Continue
+        end)
+      ~exhausted:(fun () ->
+        Search.exhausted ~attempts:budget.Search.max_attempts
+          ~total_steps:!total_steps best)
+  end
+
+let enumerate_inputs ?(jobs = 1) ?(score = Search.no_score) budget ~spec
+    ~accept labeled =
+  if jobs <= 1 then Search.enumerate_inputs ~score budget ~spec ~accept labeled
+  else begin
+    let total_steps = ref 0 in
+    let attempts = ref 0 in
+    let note, best = Search.track_best score in
+    let make_exec () =
+      let cap = ref None in
+      fun ~cancel prefix ->
+        let p =
+          Engine.exec_inputs ~cancel ?trace_capacity:!cap
+            ~budget:budget.Search.max_steps_per_attempt ~prefix labeled
+        in
+        cap := Some (Trace.length p.Engine.result.Interp.trace);
+        p
+    in
+    let stats_exhausted () =
+      Search.exhausted ~attempts:!attempts ~total_steps:!total_steps best
+    in
+    chain_pool ~jobs ~make_exec
+      ~process:(fun ~prefix:_ probe ->
+        if !attempts >= budget.Search.max_attempts then `Stop (stats_exhausted ())
+        else begin
+          incr attempts;
+          let r = probe.Engine.result in
+          total_steps := !total_steps + r.Interp.steps;
+          let r = Spec.apply spec r in
+          if accept r then
+            `Stop
+              (Search.accepted ~attempts:!attempts ~total_steps:!total_steps r)
+          else begin
+            note !attempts r;
+            if !attempts >= budget.Search.max_attempts then
+              `Stop (stats_exhausted ())
+            else `Advance probe.Engine.sizes
+          end
+        end)
+      ~exhausted:stats_exhausted
+  end
+
+let dfs_schedules ?(jobs = 1) ?(score = Search.no_score) ?(prune = true) budget
+    ~spec ~accept labeled =
+  if jobs <= 1 then Search.dfs_schedules ~score ~prune budget ~spec ~accept labeled
+  else begin
+    let seen = if prune then Some (Engine.Seen.create ()) else None in
+    let pruning =
+      Option.map (fun seen -> { Engine.seen; plant = false }) seen
+    in
+    let total_steps = ref 0 in
+    let attempts = ref 0 in
+    let pruned = ref 0 in
+    let note, best = Search.track_best score in
+    let make_exec () =
+      let cap = ref None in
+      fun ~cancel prefix ->
+        let p =
+          Engine.exec_schedule ~cancel ?pruning ?trace_capacity:!cap
+            ~budget:budget.Search.max_steps_per_attempt ~prefix labeled
+        in
+        cap := Some (Trace.length p.Engine.result.Interp.trace);
+        p
+    in
+    let stats_exhausted () =
+      Search.exhausted ~attempts:!attempts ~total_steps:!total_steps
+        ~pruned:!pruned best
+    in
+    chain_pool ~jobs ~make_exec
+      ~process:(fun ~prefix:_ probe ->
+        (* Workers run with [plant = false], so a checkpoint hit inside a
+           worker only ever reflects plants from attempts this reducer
+           already processed — always authoritative. Runs that completed
+           before an earlier attempt's plants landed are re-classified
+           here, charged only the steps the sequential search would have
+           executed before cutting them short. *)
+        match Engine.classify ?seen probe with
+        | Engine.Skipped { steps; sizes } ->
+          incr pruned;
+          total_steps := !total_steps + steps;
+          `Advance sizes
+        | Engine.Attempt (r0, sizes) ->
+          if !attempts >= budget.Search.max_attempts then
+            `Stop (stats_exhausted ())
+          else begin
+            incr attempts;
+            (match seen with
+            | Some s -> List.iter (Engine.Seen.add s) probe.Engine.plants
+            | None -> ());
+            total_steps := !total_steps + r0.Interp.steps;
+            let r = Spec.apply spec r0 in
+            if accept r then
+              `Stop
+                (Search.accepted ~attempts:!attempts
+                   ~total_steps:!total_steps ~pruned:!pruned r)
+            else begin
+              note !attempts r;
+              if !attempts >= budget.Search.max_attempts then
+                `Stop (stats_exhausted ())
+              else `Advance sizes
+            end
+          end)
+      ~exhausted:stats_exhausted
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let first_success ?(jobs = 1) ~from ~count ~f () =
+  let last = from + count - 1 in
+  if jobs <= 1 then begin
+    let rec go i =
+      if i > last then None
+      else match f i with Some v -> Some (i, v) | None -> go (i + 1)
+    in
+    go from
+  end
+  else
+    indexed_pool ~jobs ~first:from ~last
+      ~make_exec:(fun () -> fun ~cancel:_ i -> f i)
+      ~process:(fun i v ->
+        match v with Some v -> `Stop (Some (i, v)) | None -> `Continue)
+      ~exhausted:(fun () -> None)

@@ -1,0 +1,78 @@
+(** Domain-parallel search engines with deterministic first-hit semantics.
+
+    Each engine fans its candidate attempts — restart seeds, input-odometer
+    prefixes, schedule-odometer prefixes — over [jobs] OCaml 5 domains
+    pulling from a shared work queue, while a single in-order reducer (the
+    calling thread) replays the sequential engine's bookkeeping exactly:
+    attempts are judged in attempt-index order and the accepted result is
+    the one with the {e lowest} attempt index, regardless of which worker
+    finished first. The returned {!Search.outcome} — accepted trace,
+    partial, attempts, total steps, pruned count — is byte-identical to
+    the sequential engine's at the same settings; only wall-clock time
+    changes. With [jobs <= 1] (the default) each engine simply calls its
+    {!Search} counterpart.
+
+    The odometer engines cannot know attempt [k+1]'s prefix until attempt
+    [k] reports its decision fan-outs, so successors are {e speculated}
+    from the last authoritative sizes and validated by the reducer;
+    misspeculated suffixes are cancelled through the interpreter's abort
+    hook and regenerated. Random restarts are embarrassingly parallel and
+    skip all that.
+
+    Note for debugging-efficiency (DE) accounting: [total_steps] — the
+    paper-facing inference-work metric — is unchanged by [jobs], but
+    wall-clock reproduction time now depends on cores, so DE figures
+    derived from wall-clock must record the [jobs] used. *)
+
+open Mvm
+
+(** Parallel {!Search.random_restarts}. [make] is called on worker
+    domains: it must build fresh per-attempt state (all drivers in this
+    repository do). *)
+val random_restarts :
+  ?jobs:int ->
+  ?score:(Interp.result -> float) ->
+  Search.budget ->
+  make:(attempt:int -> World.t * (Event.t -> string option) option) ->
+  spec:Spec.t ->
+  accept:(Interp.result -> bool) ->
+  Label.labeled ->
+  Search.outcome
+
+(** Parallel {!Search.enumerate_inputs}. *)
+val enumerate_inputs :
+  ?jobs:int ->
+  ?score:(Interp.result -> float) ->
+  Search.budget ->
+  spec:Spec.t ->
+  accept:(Interp.result -> bool) ->
+  Label.labeled ->
+  Search.outcome
+
+(** Parallel {!Search.dfs_schedules}, including state-hash pruning: the
+    shared seen-set is written only by the reducer, so worker-side
+    checkpoint hits are always authoritative, and runs that completed
+    speculatively before an earlier attempt's plants landed are
+    re-classified (and re-charged) by the reducer after the fact. *)
+val dfs_schedules :
+  ?jobs:int ->
+  ?score:(Interp.result -> float) ->
+  ?prune:bool ->
+  Search.budget ->
+  spec:Spec.t ->
+  accept:(Interp.result -> bool) ->
+  Label.labeled ->
+  Search.outcome
+
+(** [first_success ~jobs ~from ~count ~f ()] is the parallel analogue of
+    scanning [f from], [f (from+1)], … and returning the first [Some] —
+    deterministically the {e lowest} index whose [f] succeeds, with
+    higher indices probed speculatively. [f] runs on worker domains.
+    Used by workload seed scans. *)
+val first_success :
+  ?jobs:int ->
+  from:int ->
+  count:int ->
+  f:(int -> 'a option) ->
+  unit ->
+  (int * 'a) option

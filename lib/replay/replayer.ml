@@ -54,8 +54,8 @@ let perfect labeled ~spec log =
 let small_budget =
   { Search.max_attempts = 10; max_steps_per_attempt = 100_000; base_seed = 1 }
 
-let value_det ?(budget = small_budget) labeled ~spec log =
-  Search.random_restarts budget ~score:(Constraints.closeness log)
+let value_det ?(budget = small_budget) ?(jobs = 1) labeled ~spec log =
+  Par_search.random_restarts ~jobs budget ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       let handle = Oracle.value_det ~seed:(budget.base_seed + attempt) log in
       (handle.Oracle.world, Some handle.Oracle.abort))
@@ -64,14 +64,15 @@ let value_det ?(budget = small_budget) labeled ~spec log =
     labeled
   |> of_search "value"
 
-let output_det ?(budget = Search.default_budget) ?(exhaustive = true) labeled
-    ~spec log =
+let output_det ?(budget = Search.default_budget) ?(exhaustive = true)
+    ?(jobs = 1) labeled ~spec log =
   let accept = Constraints.outputs_match log in
   let score = Constraints.closeness log in
   let o =
-    if exhaustive then Search.enumerate_inputs budget ~score ~spec ~accept labeled
+    if exhaustive then
+      Par_search.enumerate_inputs ~jobs budget ~score ~spec ~accept labeled
     else
-      Search.random_restarts budget ~score
+      Par_search.random_restarts ~jobs budget ~score
         ~make:(fun ~attempt ->
           ( env_world log (World.random ~seed:(budget.base_seed + attempt)),
             Some (Constraints.output_prefix_abort log) ))
@@ -79,8 +80,9 @@ let output_det ?(budget = Search.default_budget) ?(exhaustive = true) labeled
   in
   of_search "output" o
 
-let failure_det ?(budget = Search.default_budget) labeled ~spec log =
-  Search.random_restarts budget ~score:(Constraints.closeness log)
+let failure_det ?(budget = Search.default_budget) ?(jobs = 1) labeled ~spec
+    log =
+  Par_search.random_restarts ~jobs budget ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       (env_world log (World.random ~seed:(budget.base_seed + attempt)), None))
     ~spec
@@ -88,8 +90,8 @@ let failure_det ?(budget = Search.default_budget) labeled ~spec log =
     labeled
   |> of_search "failure"
 
-let sync_det ?(budget = Search.default_budget) labeled ~spec log =
-  Search.random_restarts budget ~score:(Constraints.closeness log)
+let sync_det ?(budget = Search.default_budget) ?(jobs = 1) labeled ~spec log =
+  Par_search.random_restarts ~jobs budget ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       let handle = Oracle.sync ~seed:(budget.base_seed + attempt) log in
       ( handle.Oracle.world,
@@ -101,8 +103,9 @@ let sync_det ?(budget = Search.default_budget) labeled ~spec log =
     labeled
   |> of_search "sync"
 
-let rcse ?(budget = Search.default_budget) ?(strict = true) labeled ~spec log =
-  Search.random_restarts budget ~score:(Constraints.closeness log)
+let rcse ?(budget = Search.default_budget) ?(strict = true) ?(jobs = 1)
+    labeled ~spec log =
+  Par_search.random_restarts ~jobs budget ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       let handle = Oracle.rcse ~strict ~seed:(budget.base_seed + attempt) log in
       (env_world log handle.Oracle.world, Some handle.Oracle.abort))

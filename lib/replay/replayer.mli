@@ -42,8 +42,16 @@ type outcome = {
 val perfect : Label.labeled -> spec:Spec.t -> Log.t -> outcome
 
 (** [value_det] tries a few seeds; per-thread value forcing makes each
-    attempt cheap. *)
-val value_det : ?budget:Search.budget -> Label.labeled -> spec:Spec.t -> Log.t -> outcome
+    attempt cheap. All searching drivers take [jobs] (default 1): with
+    [jobs > 1] the search fans over that many OCaml 5 domains via
+    {!Par_search}, with outcomes identical to the sequential search. *)
+val value_det :
+  ?budget:Search.budget ->
+  ?jobs:int ->
+  Label.labeled ->
+  spec:Spec.t ->
+  Log.t ->
+  outcome
 
 (** [output_det ~exhaustive] — when [exhaustive] (default true) and the
     program's only recorded nondeterminism is inputs, enumerate input
@@ -51,16 +59,27 @@ val value_det : ?budget:Search.budget -> Label.labeled -> spec:Spec.t -> Log.t -
 val output_det :
   ?budget:Search.budget ->
   ?exhaustive:bool ->
+  ?jobs:int ->
   Label.labeled ->
   spec:Spec.t ->
   Log.t ->
   outcome
 
 val failure_det :
-  ?budget:Search.budget -> Label.labeled -> spec:Spec.t -> Log.t -> outcome
+  ?budget:Search.budget ->
+  ?jobs:int ->
+  Label.labeled ->
+  spec:Spec.t ->
+  Log.t ->
+  outcome
 
 val sync_det :
-  ?budget:Search.budget -> Label.labeled -> spec:Spec.t -> Log.t -> outcome
+  ?budget:Search.budget ->
+  ?jobs:int ->
+  Label.labeled ->
+  spec:Spec.t ->
+  Log.t ->
+  outcome
 
 (** [strict] (default true) treats out-of-order recorded sites as
     divergence; pass [false] for windowed (trigger/invariant) logs — see
@@ -68,6 +87,7 @@ val sync_det :
 val rcse :
   ?budget:Search.budget ->
   ?strict:bool ->
+  ?jobs:int ->
   Label.labeled ->
   spec:Spec.t ->
   Log.t ->

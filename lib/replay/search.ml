@@ -9,7 +9,12 @@ type budget = {
 let default_budget =
   { max_attempts = 2_000; max_steps_per_attempt = 50_000; base_seed = 1 }
 
-type stats = { attempts : int; total_steps : int; success : bool }
+type stats = {
+  attempts : int;
+  total_steps : int;
+  pruned : int;
+  success : bool;
+}
 
 type partial = { best : Interp.result; closeness : float; attempt : int }
 
@@ -33,18 +38,18 @@ let track_best score =
   in
   (note, fun () -> !best)
 
-let exhausted ~attempts ~total_steps best =
+let exhausted ~attempts ~total_steps ?(pruned = 0) best =
   {
     result = None;
     partial = best ();
-    stats = { attempts; total_steps; success = false };
+    stats = { attempts; total_steps; pruned; success = false };
   }
 
-let accepted ~attempts ~total_steps r =
+let accepted ~attempts ~total_steps ?(pruned = 0) r =
   {
     result = Some r;
     partial = None;
-    stats = { attempts; total_steps; success = true };
+    stats = { attempts; total_steps; pruned; success = true };
   }
 
 let no_score : Interp.result -> float = fun _ -> 0.
@@ -52,14 +57,17 @@ let no_score : Interp.result -> float = fun _ -> 0.
 let random_restarts ?(score = no_score) budget ~make ~spec ~accept labeled =
   let total_steps = ref 0 in
   let note, best = track_best score in
+  let cap = ref None in
   let rec go attempt =
     if attempt > budget.max_attempts then
       exhausted ~attempts:(attempt - 1) ~total_steps:!total_steps best
     else
       let world, abort = make ~attempt in
       let r =
-        Interp.run ~max_steps:budget.max_steps_per_attempt ?abort labeled world
+        Interp.run ~max_steps:budget.max_steps_per_attempt ?abort
+          ?trace_capacity:!cap labeled world
       in
+      cap := Some (Trace.length r.Interp.trace);
       total_steps := !total_steps + r.steps;
       let r = Spec.apply spec r in
       if accept r then accepted ~attempts:attempt ~total_steps:!total_steps r
@@ -70,69 +78,28 @@ let random_restarts ?(score = no_score) budget ~make ~spec ~accept labeled =
   in
   go 1
 
-(* Odometer world: the k-th input of the run takes the domain value at the
-   position given by the prefix (0 beyond it); the sizes of visited domains
-   are collected so the caller can advance the odometer. *)
-let odometer_world prefix sizes =
-  let base = World.round_robin () in
-  let k = ref 0 in
-  let n_sizes = ref (List.length !sizes) in
-  {
-    base with
-    World.name = "enumerate-inputs";
-    pick_input =
-      (fun ~step:_ ~tid:_ ~chan:_ ~domain ->
-        let n = max 1 (List.length domain) in
-        let pos = if !k < Array.length prefix then prefix.(!k) else 0 in
-        (if !k >= !n_sizes then begin
-           sizes := n :: !sizes;
-           incr n_sizes
-         end);
-        incr k;
-        match List.nth_opt domain pos with
-        | Some v -> v
-        | None -> ( match domain with [] -> Value.unit | v :: _ -> v));
-  }
-
-let advance prefix sizes =
-  (* little-endian counting over the decision digits: bump the shallowest
-     digit with room and reset everything below it. Varying the earliest
-     decisions first matters for schedule search — races live in the early
-     interleaving, and a deepest-first order would only permute the tail
-     of the run within any realistic budget. *)
-  let sizes = Array.of_list sizes in
-  let n = Array.length sizes in
-  let digits = Array.make (max n 0) 0 in
-  Array.blit prefix 0 digits 0 (min (Array.length prefix) n);
-  let rec bump i =
-    if i >= n then None
-    else if digits.(i) + 1 < sizes.(i) then begin
-      digits.(i) <- digits.(i) + 1;
-      Array.fill digits 0 i 0;
-      Some digits
-    end
-    else bump (i + 1)
-  in
-  bump 0
+let advance = Engine.advance
 
 let enumerate_inputs ?(score = no_score) budget ~spec ~accept labeled =
   let total_steps = ref 0 in
   let note, best = track_best score in
+  let cap = ref None in
   let rec go attempt prefix =
     if attempt > budget.max_attempts then
       exhausted ~attempts:(attempt - 1) ~total_steps:!total_steps best
     else begin
-      let sizes = ref [] in
-      let world = odometer_world prefix sizes in
-      let r =
-        Interp.run ~max_steps:budget.max_steps_per_attempt labeled world
+      let p =
+        Engine.exec_inputs ?trace_capacity:!cap
+          ~budget:budget.max_steps_per_attempt ~prefix labeled
       in
+      cap := Some (Trace.length p.Engine.result.Interp.trace);
+      let r = p.Engine.result in
       total_steps := !total_steps + r.steps;
       let r = Spec.apply spec r in
       if accept r then accepted ~attempts:attempt ~total_steps:!total_steps r
       else begin
         note attempt r;
-        match advance prefix (List.rev !sizes) with
+        match advance prefix p.Engine.sizes with
         | Some prefix' -> go (attempt + 1) prefix'
         | None -> exhausted ~attempts:attempt ~total_steps:!total_steps best
       end
@@ -140,59 +107,60 @@ let enumerate_inputs ?(score = no_score) budget ~spec ~accept labeled =
   in
   go 1 [||]
 
-(* Schedule odometer: decision k picks the prefix[k]-th candidate (sorted
-   by tid); past the prefix, the first candidate. [sizes] collects the
-   fan-out of every decision point of the run so [advance] can bump the
-   deepest digit with room. Decisions with a single candidate are not
-   digits: they cannot be varied. *)
-let schedule_world prefix sizes =
-  let k = ref 0 in
-  let n_sizes = ref (List.length !sizes) in
-  {
-    World.name = "dfs-schedules";
-    pick_thread =
-      (fun ~step:_ cands ->
-        let sorted =
-          List.sort compare (List.map (fun c -> c.World.tid) cands)
-        in
-        match sorted with
-        | [ only ] -> only
-        | _ ->
-          let n = List.length sorted in
-          let pos = if !k < Array.length prefix then prefix.(!k) else 0 in
-          (if !k >= !n_sizes then begin
-             sizes := n :: !sizes;
-             incr n_sizes
-           end);
-          incr k;
-          List.nth sorted (min pos (n - 1)));
-    pick_input =
-      (fun ~step:_ ~tid:_ ~chan:_ ~domain ->
-        match domain with [] -> Value.unit | v :: _ -> v);
-    on_read = (fun ~step:_ ~tid:_ ~sid:_ ~region:_ ~index:_ ~actual -> actual);
-    on_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ ~actual -> actual);
-    on_try_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ -> World.Default);
-  }
-
-let dfs_schedules ?(score = no_score) budget ~spec ~accept labeled =
+let dfs_schedules ?(score = no_score) ?(prune = true) ?on_prune budget ~spec
+    ~accept labeled =
+  let pruning =
+    if prune then Some { Engine.seen = Engine.Seen.create (); plant = true }
+    else None
+  in
   let total_steps = ref 0 in
+  let pruned = ref 0 in
   let note, best = track_best score in
+  let cap = ref None in
   let rec go attempt prefix =
     if attempt > budget.max_attempts then
-      exhausted ~attempts:(attempt - 1) ~total_steps:!total_steps best
+      exhausted ~attempts:(attempt - 1) ~total_steps:!total_steps
+        ~pruned:!pruned best
     else begin
-      let sizes = ref [] in
-      let world = schedule_world prefix sizes in
-      let r = Interp.run ~max_steps:budget.max_steps_per_attempt labeled world in
-      total_steps := !total_steps + r.Interp.steps;
-      let r = Spec.apply spec r in
-      if accept r then accepted ~attempts:attempt ~total_steps:!total_steps r
-      else begin
-        note attempt r;
-        match advance prefix (List.rev !sizes) with
-        | Some prefix' -> go (attempt + 1) prefix'
-        | None -> exhausted ~attempts:attempt ~total_steps:!total_steps best
-      end
+      let p =
+        Engine.exec_schedule ?trace_capacity:!cap ?pruning
+          ~budget:budget.max_steps_per_attempt ~prefix labeled
+      in
+      cap := Some (Trace.length p.Engine.result.Interp.trace);
+      (* The live seen-set check inside the run is authoritative here —
+         the runner IS the reducer — so classification reads the probe's
+         own verdict rather than re-consulting [seen] (which would see
+         the run's own plants). *)
+      match Engine.classify p with
+      | Engine.Skipped { steps; sizes } -> (
+        incr pruned;
+        total_steps := !total_steps + steps;
+        (match on_prune with
+        | Some f when p.Engine.early = Engine.Early_pruned -> f ~prefix
+        | _ -> ());
+        match advance prefix sizes with
+        | Some prefix' -> go attempt prefix'
+        | None ->
+          exhausted ~attempts:(attempt - 1) ~total_steps:!total_steps
+            ~pruned:!pruned best)
+      | Engine.Attempt (r, sizes) -> (
+        total_steps := !total_steps + r.Interp.steps;
+        let r = Spec.apply spec r in
+        if accept r then
+          accepted ~attempts:attempt ~total_steps:!total_steps ~pruned:!pruned
+            r
+        else begin
+          note attempt r;
+          match advance prefix sizes with
+          | Some prefix' -> go (attempt + 1) prefix'
+          | None ->
+            exhausted ~attempts:attempt ~total_steps:!total_steps
+              ~pruned:!pruned best
+        end)
     end
   in
   go 1 [||]
+
+let run_schedule_prefix ?(max_steps = 50_000) ~prefix labeled =
+  let p = Engine.exec_schedule ~budget:max_steps ~prefix labeled in
+  (p.Engine.result, p.Engine.sizes)

@@ -1,7 +1,7 @@
 (** Inference engines: reconstruct unrecorded nondeterminism by searching
     the space of worlds for an execution satisfying the model's constraint.
 
-    Two strategies:
+    Three strategies:
 
     - {!random_restarts} — seeded random executions with streaming abort
       (PRES-style probabilistic replay). Scales to schedule nondeterminism;
@@ -12,9 +12,12 @@
       assignments under a deterministic schedule (ESD-style synthesis for
       input-dependent bugs). Complete for programs whose only
       nondeterminism is input data.
+    - {!dfs_schedules} — systematic interleaving enumeration with
+      state-hash pruning.
 
     All work is accounted in VM steps so debugging efficiency (DE) can be
-    computed uniformly. *)
+    computed uniformly. The engines here are sequential; {!Par_search}
+    fans the same attempts over OCaml 5 domains with identical outcomes. *)
 
 open Mvm
 
@@ -27,8 +30,12 @@ type budget = {
 val default_budget : budget
 
 type stats = {
-  attempts : int;  (** executions actually run *)
+  attempts : int;  (** executions actually run and judged *)
   total_steps : int;  (** VM steps across all attempts (inference work) *)
+  pruned : int;
+      (** schedule prefixes skipped by the DFS pruner (state already
+          covered, or a clamped digit); their probe steps are included in
+          [total_steps], but they are not [attempts] *)
   success : bool;
 }
 
@@ -72,18 +79,62 @@ val enumerate_inputs :
   Label.labeled ->
   outcome
 
-(** [dfs_schedules budget ~spec ~accept labeled] systematically enumerates
-    thread interleavings depth-first: each run follows a decision prefix
-    and extends it with a default policy (lowest thread id), recording the
-    fan-out at every scheduling point; backtracking bumps the deepest
-    decision with room. Inputs are fixed to each domain's first value, so
-    the engine explores schedule nondeterminism only — ESD-style directed
+(** [dfs_schedules ?prune budget ~spec ~accept labeled] systematically
+    enumerates thread interleavings depth-first: each run follows a
+    decision prefix and extends it with a default policy (lowest thread
+    id), recording the fan-out at every scheduling point; backtracking
+    bumps the {e shallowest} decision with room and resets everything
+    below it, so the earliest interleaving choices — where races live —
+    vary first. Inputs are fixed to each domain's first value, so the
+    engine explores schedule nondeterminism only — ESD-style directed
     synthesis, complete for small programs, exponential in general (which
-    is the point of the ABL-SEARCH comparison against random restarts). *)
+    is the point of the ABL-SEARCH comparison against random restarts).
+
+    [prune] (default [true]) enables state-hash subtree pruning — a poor
+    man's partial-order reduction: at the first decision past its prefix,
+    a run whose canonical state digest (see {!State_hash}) was already
+    reached by an explored subtree is cut short and its whole subtree
+    skipped, since every continuation reproduces already-judged status,
+    outputs and failure. Pruning assumes [accept] judges runs through
+    those interleaving-invariant projections (every driver in this
+    repository does); pass [~prune:false] for an accept that inspects raw
+    global event order. Skipped prefixes are counted in [stats.pruned].
+    A prefix digit that meets a smaller fan-out than it was generated
+    against is treated as an exhausted branch (the schedule it denotes
+    duplicates an already-enumerated one) and also counts as pruned.
+
+    [on_prune] is a debug/test hook invoked with each state-hash-pruned
+    prefix. *)
 val dfs_schedules :
   ?score:(Interp.result -> float) ->
+  ?prune:bool ->
+  ?on_prune:(prefix:int array -> unit) ->
   budget ->
   spec:Spec.t ->
   accept:(Interp.result -> bool) ->
   Label.labeled ->
   outcome
+
+(** [run_schedule_prefix ~prefix labeled] executes the single schedule
+    denoted by [prefix] (default policy past it), with no pruning,
+    returning the run and the discovered decision fan-outs — the tool
+    tests use to check that a pruned prefix really was redundant. *)
+val run_schedule_prefix :
+  ?max_steps:int ->
+  prefix:int array ->
+  Label.labeled ->
+  Interp.result * int list
+
+(**/**)
+
+(* internal: shared with Par_search *)
+val no_score : Interp.result -> float
+val track_best :
+  (Interp.result -> float) ->
+  (int -> Interp.result -> unit) * (unit -> partial option)
+val exhausted :
+  attempts:int -> total_steps:int -> ?pruned:int ->
+  (unit -> partial option) -> outcome
+val accepted :
+  attempts:int -> total_steps:int -> ?pruned:int -> Interp.result -> outcome
+val advance : int array -> int list -> int array option

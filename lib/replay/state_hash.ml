@@ -1,0 +1,117 @@
+open Mvm
+
+(* Mixing: a splitmix64-style finalizer over native ints. Quality matters
+   more than speed here — a collision between genuinely different states
+   makes the pruner skip a schedule it should have explored. *)
+let mix h x =
+  let z = h + 0x165667B19E3779F9 + x in
+  let z = (z lxor (z lsr 30)) * 0x27D4EB2F165667C5 in
+  let z = (z lxor (z lsr 27)) * 0x2545F4914F6CDD1D in
+  z lxor (z lsr 31)
+
+let hash_value (v : Value.tagged) = Hashtbl.hash v.Value.v
+
+type t = {
+  (* tid -> rolling hash of that thread's own event sequence (site + kind,
+     global step excluded). The per-thread projection is invariant under
+     reorderings of commuting operations, which is exactly the equivalence
+     the pruner wants to collapse. *)
+  per_tid : (int, int) Hashtbl.t;
+  mutable tid_sum : int;
+  (* (region, index) -> hash of the cell's current value. Captures the
+     part of history that per-thread projections cannot: the winner of
+     racing writes to the same cell. *)
+  mem : (string * int option, int) Hashtbl.t;
+  mutable mem_sum : int;
+  (* per-channel rolling hashes of the global send / recv / output value
+     sequences: queue contents and emission order are real state. *)
+  chan_send : (string, int) Hashtbl.t;
+  chan_recv : (string, int) Hashtbl.t;
+  chan_out : (string, int) Hashtbl.t;
+  mutable chan_sum : int;
+  (* mutex -> owner tid *)
+  locks : (string, int) Hashtbl.t;
+  mutable lock_sum : int;
+}
+
+let create () =
+  {
+    per_tid = Hashtbl.create 8;
+    tid_sum = 0;
+    mem = Hashtbl.create 32;
+    mem_sum = 0;
+    chan_send = Hashtbl.create 8;
+    chan_recv = Hashtbl.create 8;
+    chan_out = Hashtbl.create 8;
+    chan_sum = 0;
+    locks = Hashtbl.create 4;
+    lock_sum = 0;
+  }
+
+(* Each component is a sum of per-key terms, so updating one key is
+   "subtract old term, add new term" — O(1) per event, commutative over
+   keys, order-sensitive within a key's own rolling hash. *)
+
+let salt_tid = 11
+let salt_mem = 13
+let salt_send = 17
+let salt_recv = 19
+let salt_out = 23
+let salt_lock = 29
+
+let term salt key h = mix (mix salt (Hashtbl.hash key)) h
+
+let update_tid t tid h' =
+  let old = Option.value ~default:0 (Hashtbl.find_opt t.per_tid tid) in
+  Hashtbl.replace t.per_tid tid h';
+  t.tid_sum <- t.tid_sum - term salt_tid tid old + term salt_tid tid h'
+
+let roll salt tbl key x sum_get sum_set =
+  let old = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+  let h' = mix old x in
+  Hashtbl.replace tbl key h';
+  sum_set (sum_get () - term salt key old + term salt key h')
+
+let feed t (e : Event.t) =
+  (* per-thread projection: every event, keyed by site and kind but not by
+     global step *)
+  let old = Option.value ~default:0 (Hashtbl.find_opt t.per_tid e.Event.tid) in
+  update_tid t e.Event.tid
+    (mix (mix old e.Event.sid) (Hashtbl.hash e.Event.kind));
+  match e.Event.kind with
+  | Event.Write { region; index; value } ->
+    let key = (region, index) in
+    let old_v = Hashtbl.find_opt t.mem key in
+    let v' = hash_value value in
+    Hashtbl.replace t.mem key v';
+    let sub = match old_v with Some o -> term salt_mem key o | None -> 0 in
+    t.mem_sum <- t.mem_sum - sub + term salt_mem key v'
+  | Event.Msg_send { chan; value } ->
+    roll salt_send t.chan_send chan (hash_value value)
+      (fun () -> t.chan_sum)
+      (fun s -> t.chan_sum <- s)
+  | Event.Msg_recv { chan; value } ->
+    roll salt_recv t.chan_recv chan (hash_value value)
+      (fun () -> t.chan_sum)
+      (fun s -> t.chan_sum <- s)
+  | Event.Out { chan; value } ->
+    roll salt_out t.chan_out chan (hash_value value)
+      (fun () -> t.chan_sum)
+      (fun s -> t.chan_sum <- s)
+  | Event.Lock_acq m ->
+    Hashtbl.replace t.locks m e.Event.tid;
+    t.lock_sum <- t.lock_sum + term salt_lock m e.Event.tid
+  | Event.Lock_rel m ->
+    (match Hashtbl.find_opt t.locks m with
+    | Some owner ->
+      Hashtbl.remove t.locks m;
+      t.lock_sum <- t.lock_sum - term salt_lock m owner
+    | None -> ())
+  | Event.Step | Event.Read _ | Event.In _ | Event.Spawned _ | Event.Crashed _
+    ->
+    ()
+
+let digest t =
+  mix
+    (mix (mix (mix 0 t.tid_sum) t.mem_sum) t.chan_sum)
+    t.lock_sum

@@ -1,0 +1,299 @@
+(* Parallel search must be observationally identical to sequential search:
+   byte-identical accepted traces, identical stats, at any jobs count —
+   on schedule races, input enumeration, and fault-injected worlds. Also
+   covers the DFS pruner: pruning shrinks the work, a clamped prefix digit
+   is an exhausted branch. *)
+
+open Mvm
+open Mvm.Dsl
+open Ddet
+open Ddet_record
+open Ddet_replay
+open Ddet_apps
+
+let jobs = 4
+
+(* ------------------------------------------------------------------ *)
+(* workloads *)
+
+(* The adder race: two unsynchronised workers each increment a shared
+   counter [iters] times. *)
+let counter_prog ~iters =
+  program ~name:"counter"
+    ~regions:[ scalar "c" (Value.int 0) ]
+    ~inputs:[] ~main:"main"
+    [
+      func "main" []
+        [
+          spawn "w" []; spawn "w" [];
+          recv "d1" "done"; recv "d2" "done";
+          output "out" (g "c");
+        ];
+      func "w" []
+        [
+          for_ "k" (i 0) (i iters)
+            [ assign "t" (g "c"); store_g "c" (v "t" +: i 1) ];
+          send "done" (i 1);
+        ];
+    ]
+
+let spec_out n =
+  Spec.make "sum" (fun r ->
+      match Trace.outputs_on r.Interp.trace "out" with
+      | [ Value.Vint k ] when k = n -> Ok ()
+      | _ -> Error "lost-update")
+
+let adder_prog =
+  program ~name:"adder" ~regions:[]
+    ~inputs:[ ("a", List.init 6 Value.int); ("b", List.init 6 Value.int) ]
+    ~main:"main"
+    [
+      func "main" []
+        [ input "a" "a"; input "b" "b"; output "sum" (v "a" +: v "b") ];
+    ]
+
+let find_failing_seed labeled spec =
+  let rec scan s =
+    if s > 500 then Alcotest.fail "no failing seed"
+    else
+      let r = Spec.apply spec (Interp.run labeled (World.random ~seed:s)) in
+      if r.Interp.failure <> None then s else scan (s + 1)
+  in
+  scan 1
+
+let failure_log labeled spec seed =
+  let _, log =
+    Recorder.record (Failure_recorder.create ()) labeled ~spec
+      ~world:(World.random ~seed)
+  in
+  log
+
+(* ------------------------------------------------------------------ *)
+(* parity checks *)
+
+let check_same_result name (a : Interp.result option) (b : Interp.result option)
+    =
+  match (a, b) with
+  | Some r1, Some r2 ->
+    Alcotest.(check bool)
+      (name ^ ": byte-identical accepted trace")
+      true
+      (Trace.events r1.Interp.trace = Trace.events r2.Interp.trace);
+    Alcotest.(check bool)
+      (name ^ ": same outputs")
+      true
+      (r1.Interp.outputs = r2.Interp.outputs);
+    Alcotest.(check bool)
+      (name ^ ": same failure")
+      true
+      (r1.Interp.failure = r2.Interp.failure)
+  | None, None -> ()
+  | _ -> Alcotest.fail (name ^ ": one engine accepted, the other did not")
+
+let check_same_outcome name (s : Search.outcome) (p : Search.outcome) =
+  Alcotest.(check int) (name ^ ": attempts") s.Search.stats.Search.attempts
+    p.Search.stats.Search.attempts;
+  Alcotest.(check int)
+    (name ^ ": total steps")
+    s.Search.stats.Search.total_steps p.Search.stats.Search.total_steps;
+  Alcotest.(check int) (name ^ ": pruned") s.Search.stats.Search.pruned
+    p.Search.stats.Search.pruned;
+  Alcotest.(check bool) (name ^ ": success") s.Search.stats.Search.success
+    p.Search.stats.Search.success;
+  check_same_result name s.Search.result p.Search.result
+
+(* ------------------------------------------------------------------ *)
+(* adder race (racy counter): restarts and DFS *)
+
+let test_restarts_parity_counter () =
+  let labeled = counter_prog ~iters:10 and spec = spec_out 20 in
+  let seed = find_failing_seed labeled spec in
+  let log = failure_log labeled spec seed in
+  let accept = Constraints.failure_matches log in
+  let budget =
+    { Search.max_attempts = 200; max_steps_per_attempt = 5_000; base_seed = 1 }
+  in
+  let make ~attempt = (World.random ~seed:attempt, None) in
+  let s = Search.random_restarts budget ~make ~spec ~accept labeled in
+  let p = Par_search.random_restarts ~jobs budget ~make ~spec ~accept labeled in
+  Alcotest.(check bool) "restarts reproduce the race" true
+    s.Search.stats.Search.success;
+  check_same_outcome "restarts/counter" s p
+
+let test_dfs_parity_counter () =
+  let labeled = counter_prog ~iters:4 and spec = spec_out 8 in
+  let seed = find_failing_seed labeled spec in
+  let log = failure_log labeled spec seed in
+  let accept = Constraints.failure_matches log in
+  let budget =
+    { Search.max_attempts = 300; max_steps_per_attempt = 5_000; base_seed = 1 }
+  in
+  let s = Search.dfs_schedules budget ~spec ~accept labeled in
+  let p = Par_search.dfs_schedules ~jobs budget ~spec ~accept labeled in
+  Alcotest.(check bool) "dfs reproduces the race" true
+    s.Search.stats.Search.success;
+  Alcotest.(check bool) "pruning fired" true (s.Search.stats.Search.pruned > 0);
+  check_same_outcome "dfs/counter" s p
+
+let test_enumerate_inputs_parity_adder () =
+  let spec = Spec.accept_all in
+  let accept r =
+    Trace.outputs_on r.Interp.trace "sum" = [ Value.int 7 ]
+  in
+  let budget =
+    { Search.max_attempts = 50; max_steps_per_attempt = 1_000; base_seed = 1 }
+  in
+  let s = Search.enumerate_inputs budget ~spec ~accept adder_prog in
+  let p = Par_search.enumerate_inputs ~jobs budget ~spec ~accept adder_prog in
+  Alcotest.(check bool) "enumeration reaches sum=7" true
+    s.Search.stats.Search.success;
+  check_same_outcome "inputs/adder" s p
+
+(* ------------------------------------------------------------------ *)
+(* miniht issue-63 race, through the failure-determinism driver *)
+
+let test_replayer_parity_miniht () =
+  let app = Miniht.app () in
+  let labeled = app.App.labeled and spec = app.App.spec in
+  let seed = find_failing_seed labeled spec in
+  let log = failure_log labeled spec seed in
+  let budget =
+    { Search.max_attempts = 300; max_steps_per_attempt = 5_000; base_seed = 1 }
+  in
+  let s = Replayer.failure_det ~budget labeled ~spec log in
+  let p = Replayer.failure_det ~budget ~jobs labeled ~spec log in
+  Alcotest.(check int) "miniht: attempts" s.Replayer.attempts
+    p.Replayer.attempts;
+  Alcotest.(check int) "miniht: steps" s.Replayer.total_steps
+    p.Replayer.total_steps;
+  Alcotest.(check bool) "miniht: reproduced" true
+    (s.Replayer.result <> None);
+  check_same_result "miniht" s.Replayer.result p.Replayer.result
+
+(* ------------------------------------------------------------------ *)
+(* a fault-injected world, through the whole Session pipeline *)
+
+let drop_plan =
+  Fault.make ~seed:11
+    [
+      Fault.drop ~prob:0.15 "ack_0";
+      Fault.drop ~prob:0.15 "ack_1";
+      Fault.drop ~prob:0.12 "repl";
+    ]
+
+let test_session_parity_faulted_cloudstore () =
+  let cloud = Cloudstore.app () in
+  match Workload.find_failing_seed ~faults:drop_plan cloud with
+  | None -> Alcotest.fail "no failing cloudstore seed under the drop plan"
+  | Some (seed, _) ->
+    let outcome_at jobs =
+      let config = { Config.default with Config.jobs } in
+      let prepared = Session.prepare ~config Model.Failure_det cloud in
+      let _, log = Session.record ~faults:drop_plan prepared ~seed in
+      Session.replay prepared log
+    in
+    let s = outcome_at 1 and p = outcome_at jobs in
+    Alcotest.(check int) "faulted: attempts" s.Replayer.attempts
+      p.Replayer.attempts;
+    Alcotest.(check int) "faulted: steps" s.Replayer.total_steps
+      p.Replayer.total_steps;
+    check_same_result "faulted" s.Replayer.result p.Replayer.result
+
+(* ------------------------------------------------------------------ *)
+(* seed scans *)
+
+let test_first_success_parity () =
+  let f n = if n * n > 50 then Some (n * n) else None in
+  let s = Par_search.first_success ~from:0 ~count:20 ~f () in
+  let p = Par_search.first_success ~jobs ~from:0 ~count:20 ~f () in
+  Alcotest.(check (option (pair int int))) "lowest index wins" (Some (8, 64)) s;
+  Alcotest.(check (option (pair int int))) "parallel agrees" s p;
+  let none = Par_search.first_success ~jobs ~from:0 ~count:5 ~f () in
+  Alcotest.(check (option (pair int int))) "exhausted scan" None none
+
+let test_find_failing_seed_parity () =
+  let app = Miniht.app () in
+  let s = Workload.find_failing_seed app in
+  let p = Workload.find_failing_seed ~jobs app in
+  match (s, p) with
+  | Some (s1, r1), Some (s2, r2) ->
+    Alcotest.(check int) "same seed" s1 s2;
+    Alcotest.(check bool) "same run" true
+      (Trace.events r1.Interp.trace = Trace.events r2.Interp.trace)
+  | None, None -> Alcotest.fail "miniht should have a failing seed"
+  | _ -> Alcotest.fail "scan outcomes disagree"
+
+(* ------------------------------------------------------------------ *)
+(* pruning mechanics *)
+
+let test_pruning_shrinks_dfs () =
+  let labeled = counter_prog ~iters:4 and spec = spec_out 8 in
+  let seed = find_failing_seed labeled spec in
+  let log = failure_log labeled spec seed in
+  let accept = Constraints.failure_matches log in
+  let budget =
+    { Search.max_attempts = 300; max_steps_per_attempt = 5_000; base_seed = 1 }
+  in
+  let pruned = Search.dfs_schedules budget ~spec ~accept labeled in
+  let plain = Search.dfs_schedules ~prune:false budget ~spec ~accept labeled in
+  Alcotest.(check bool) "both reproduce" true
+    (pruned.Search.stats.Search.success && plain.Search.stats.Search.success);
+  Alcotest.(check bool) "subtrees were pruned" true
+    (pruned.Search.stats.Search.pruned > 0);
+  Alcotest.(check bool) "pruning never needs more attempts" true
+    (pruned.Search.stats.Search.attempts <= plain.Search.stats.Search.attempts);
+  Alcotest.(check bool) "pruning never burns more steps" true
+    (pruned.Search.stats.Search.total_steps
+    <= plain.Search.stats.Search.total_steps)
+
+let test_clamped_digit_is_exhausted () =
+  let labeled = counter_prog ~iters:2 in
+  (* digit 99 can never be a real branch index: the probe must stop at the
+     clamped decision and report the true fan-out so the odometer carries
+     past the dead branch instead of re-running its clamped duplicate *)
+  let probe =
+    Engine.exec_schedule ~budget:5_000 ~prefix:[| 99 |] labeled
+  in
+  (match probe.Engine.early with
+  | Engine.Early_clamped -> ()
+  | Engine.Ran | Engine.Early_pruned ->
+    Alcotest.fail "out-of-range digit should clamp");
+  (match Engine.classify probe with
+  | Engine.Skipped _ -> ()
+  | Engine.Attempt _ -> Alcotest.fail "clamped probe must not be an attempt");
+  (match probe.Engine.sizes with
+  | [ n ] -> Alcotest.(check bool) "fan-out recorded" true (n >= 1)
+  | _ -> Alcotest.fail "clamped probe should report exactly the clamped digit");
+  Alcotest.(check bool) "odometer treats the branch as exhausted" true
+    (Engine.advance [| 99 |] probe.Engine.sizes = None)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "par_search"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "restarts on the adder race" `Quick
+            test_restarts_parity_counter;
+          Alcotest.test_case "dfs on the adder race" `Quick
+            test_dfs_parity_counter;
+          Alcotest.test_case "input enumeration on adder" `Quick
+            test_enumerate_inputs_parity_adder;
+          Alcotest.test_case "failure-det driver on miniht" `Slow
+            test_replayer_parity_miniht;
+          Alcotest.test_case "session on fault-injected cloudstore" `Slow
+            test_session_parity_faulted_cloudstore;
+          Alcotest.test_case "first_success scan" `Quick
+            test_first_success_parity;
+          Alcotest.test_case "find_failing_seed scan" `Quick
+            test_find_failing_seed_parity;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "pruning shrinks the dfs" `Quick
+            test_pruning_shrinks_dfs;
+          Alcotest.test_case "clamped digit is exhausted" `Quick
+            test_clamped_digit_is_exhausted;
+        ] );
+    ]
