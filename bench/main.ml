@@ -2,13 +2,13 @@
    (Fig. 1, Fig. 2, the Sec. 2 narratives, plus the RCSE and budget
    ablations) and runs Bechamel microbenchmarks of the actual recorders.
 
-   Usage: main.exe [fig1|fig2|sec2|ablation|budget|flight|race|search|open|micro|all]
+   Usage: main.exe [fig1|fig2|sec2|ablation|budget|flight|race|search|crash|open|micro|all]
                    [--tiny] [--jobs N] [--json]
 
    --tiny   shrinks every budget so the command finishes in seconds (used
             by the bench-smoke alias under `dune runtest`)
    --jobs N times the search engines at N worker domains as well as at 1
-   --json   (search only) also writes BENCH_search.json                  *)
+   --json   (search/crash) also writes BENCH_search.json / BENCH_crash.json *)
 
 open Ddet
 open Ddet_apps
@@ -150,17 +150,17 @@ let search_bench ~tiny ~jobs ~json () =
         Experiment.racy_counter_spec,
         budget
           { Search.max_attempts = 3_000; max_steps_per_attempt = 5_000;
-            base_seed = 1 }
+            base_seed = 1; deadline_s = None }
           { Search.max_attempts = 40; max_steps_per_attempt = 1_500;
-            base_seed = 1 } );
+            base_seed = 1; deadline_s = None } );
       ( "miniht",
         miniht.App.labeled,
         miniht.App.spec,
         budget
           { Search.max_attempts = 300; max_steps_per_attempt = 5_000;
-            base_seed = 1 }
+            base_seed = 1; deadline_s = None }
           { Search.max_attempts = 20; max_steps_per_attempt = 1_500;
-            base_seed = 1 } );
+            base_seed = 1; deadline_s = None } );
     ]
   in
   let job_counts = if jobs > 1 then [ 1; jobs ] else [ 1 ] in
@@ -297,16 +297,222 @@ let search_bench ~tiny ~jobs ~json () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* CRASH: checkpoint overhead and resume cost. Measures the wall-clock
+   tax of ticking a checkpoint sink at several intervals, then simulates
+   a kill at half the search (truncated budget + flushed frontier — the
+   same file a SIGKILL leaves behind), resumes, and checks the resumed
+   outcome is identical to the uninterrupted run's. *)
+
+type crash_row = {
+  cr_workload : string;
+  cr_engine : string;
+  plain_s : float;  (** no checkpointing *)
+  ckpt1_s : float;  (** sink writing every judged attempt *)
+  ckpt32_s : float;  (** sink at the default interval *)
+  killed_s : float;  (** first half, up to the simulated kill *)
+  resume_s : float;  (** second half, resumed from the checkpoint *)
+  parity : bool;  (** resumed outcome = uninterrupted outcome *)
+  cr_attempts : int;
+}
+
+let crash_bench ~tiny ~json () =
+  let open Ddet_replay in
+  let open Mvm in
+  let budget full small = if tiny then small else full in
+  let miniht = Miniht.app () in
+  let cases =
+    [
+      ( "racy-counter",
+        Experiment.racy_counter,
+        Experiment.racy_counter_spec,
+        budget
+          { Search.max_attempts = 3_000; max_steps_per_attempt = 5_000;
+            base_seed = 1; deadline_s = None }
+          { Search.max_attempts = 40; max_steps_per_attempt = 1_500;
+            base_seed = 1; deadline_s = None } );
+      ( "miniht",
+        miniht.App.labeled,
+        miniht.App.spec,
+        budget
+          { Search.max_attempts = 300; max_steps_per_attempt = 5_000;
+            base_seed = 1; deadline_s = None }
+          { Search.max_attempts = 20; max_steps_per_attempt = 1_500;
+            base_seed = 1; deadline_s = None } );
+    ]
+  in
+  let same (a : Search.outcome) (b : Search.outcome) =
+    a.Search.result = b.Search.result
+    && a.Search.partial = b.Search.partial
+    && a.Search.stats.Search.attempts = b.Search.stats.Search.attempts
+    && a.Search.stats.Search.total_steps = b.Search.stats.Search.total_steps
+    && a.Search.stats.Search.pruned = b.Search.stats.Search.pruned
+  in
+  let rows =
+    List.concat_map
+      (fun (cr_workload, labeled, spec, bud) ->
+        let seed =
+          let rec scan s =
+            if s > 500 then invalid_arg ("no failing seed for " ^ cr_workload)
+            else
+              let r =
+                Mvm.Spec.apply spec
+                  (Mvm.Interp.run labeled (World.random ~seed:s))
+              in
+              if r.Mvm.Interp.failure <> None then s else scan (s + 1)
+          in
+          scan 1
+        in
+        let _, log =
+          Recorder.record (Failure_recorder.create ()) labeled ~spec
+            ~world:(World.random ~seed)
+        in
+        let accept = Constraints.failure_matches log in
+        let engines :
+            (string
+            * (?checkpoint:Checkpoint.sink ->
+               ?resume:Checkpoint.t ->
+               Search.budget ->
+               Search.outcome))
+            list =
+          [
+            ( "restarts",
+              fun ?checkpoint ?resume b ->
+                Par_search.random_restarts ?checkpoint ?resume b
+                  ~make:(fun ~attempt -> (World.random ~seed:attempt, None))
+                  ~spec ~accept labeled );
+            ( "dfs-pruned",
+              fun ?checkpoint ?resume b ->
+                Par_search.dfs_schedules ?checkpoint ?resume b ~spec ~accept
+                  labeled );
+          ]
+        in
+        List.map
+          (fun
+            ( cr_engine,
+              (run :
+                ?checkpoint:Checkpoint.sink ->
+                ?resume:Checkpoint.t ->
+                Search.budget ->
+                Search.outcome) )
+          ->
+            let plain, plain_s = time (fun () -> run bud) in
+            let ckpt_file = Filename.temp_file "ddet_bench" ".ckpt" in
+            let timed_sink every =
+              let _, s =
+                time (fun () ->
+                    run ~checkpoint:(Checkpoint.sink ~every ckpt_file) bud)
+              in
+              s
+            in
+            let ckpt1_s = timed_sink 1 in
+            let ckpt32_s = timed_sink 32 in
+            (* simulated kill: a truncated budget that exhausts and
+               flushes its frontier — exactly the file the periodic sink
+               leaves after a SIGKILL at that point. Kill strictly before
+               the hit (or at half the attempts when the search never
+               hits); a search that hits on attempt 1 has no mid-flight
+               frontier to crash at, so skip the kill for it. *)
+            let kill_at =
+              if plain.Search.stats.Search.success then
+                plain.Search.stats.Search.attempts - 1
+              else plain.Search.stats.Search.attempts / 2
+            in
+            let killed_s, resume_s, parity =
+              if kill_at < 1 then (0., 0., true)
+              else begin
+                let _, killed_s =
+                  time (fun () ->
+                      run
+                        ~checkpoint:(Checkpoint.sink ~every:1 ckpt_file)
+                        { bud with Search.max_attempts = kill_at })
+                in
+                let c =
+                  match Checkpoint.load ckpt_file with
+                  | Ok c -> c
+                  | Error e -> invalid_arg ("bench checkpoint: " ^ e)
+                in
+                let resumed, resume_s = time (fun () -> run ~resume:c bud) in
+                (killed_s, resume_s, same plain resumed)
+              end
+            in
+            Sys.remove ckpt_file;
+            {
+              cr_workload;
+              cr_engine;
+              plain_s;
+              ckpt1_s;
+              ckpt32_s;
+              killed_s;
+              resume_s;
+              parity;
+              cr_attempts = plain.Search.stats.Search.attempts;
+            })
+          engines)
+      cases
+  in
+  let pct over base = 100. *. ((over /. base) -. 1.) in
+  let table_rows =
+    List.map
+      (fun r ->
+        [
+          r.cr_workload; r.cr_engine; string_of_int r.cr_attempts;
+          Printf.sprintf "%.3f" r.plain_s;
+          Printf.sprintf "%+.1f%%" (pct r.ckpt1_s r.plain_s);
+          Printf.sprintf "%+.1f%%" (pct r.ckpt32_s r.plain_s);
+          Printf.sprintf "%.3f" r.killed_s;
+          Printf.sprintf "%.3f" r.resume_s;
+          Printf.sprintf "%+.1f%%"
+            (pct (r.killed_s +. r.resume_s) r.plain_s);
+          (if r.parity then "yes" else "NO");
+        ])
+      rows
+  in
+  let body =
+    Ddet_metrics.Report.table
+      ~headers:
+        [ "workload"; "engine"; "attempts"; "plain s"; "every=1"; "every=32";
+          "killed s"; "resume s"; "kill+resume"; "parity" ]
+      table_rows
+    ^ "\n\nevery=N columns: wall-clock overhead of a checkpoint sink that\n\
+       writes every Nth judged attempt, vs. the same search with no sink.\n\
+       killed/resume: the search is cut at half its attempts (truncated\n\
+       budget flushing its frontier - byte-identical to the file a SIGKILL\n\
+       leaves), then resumed to completion; kill+resume is the total\n\
+       wall-clock tax of crashing once. parity: the resumed outcome\n\
+       (result, partial, attempts, steps, pruned) equals the\n\
+       uninterrupted run's.\n"
+  in
+  Ddet_metrics.Report.print_section "CRASH checkpoint overhead and resume"
+    body;
+  if json then begin
+    let file = "BENCH_crash.json" in
+    let oc = open_out file in
+    let row_json r =
+      Printf.sprintf
+        "    { \"workload\": %S, \"engine\": %S, \"attempts\": %d, \
+         \"plain_s\": %.6f, \"ckpt_every1_s\": %.6f, \
+         \"ckpt_every32_s\": %.6f, \"killed_s\": %.6f, \
+         \"resume_s\": %.6f, \"parity\": %b }"
+        r.cr_workload r.cr_engine r.cr_attempts r.plain_s r.ckpt1_s
+        r.ckpt32_s r.killed_s r.resume_s r.parity
+    in
+    Printf.fprintf oc "{\n  \"tiny\": %b,\n  \"rows\": [\n%s\n  ]\n}\n" tiny
+      (String.concat ",\n" (List.map row_json rows));
+    close_out oc;
+    Printf.printf "wrote %s\n" file
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let tiny_config =
   {
     Config.default with
     Config.budget =
       { Ddet_replay.Search.max_attempts = 20; max_steps_per_attempt = 2_000;
-        base_seed = 1 };
+        base_seed = 1; deadline_s = None };
     value_budget =
       { Ddet_replay.Search.max_attempts = 3; max_steps_per_attempt = 20_000;
-        base_seed = 1 };
+        base_seed = 1; deadline_s = None };
   }
 
 let () =
@@ -344,6 +550,7 @@ let () =
   | "search" ->
     print (Experiment.search_engines ~config ());
     search_bench ~tiny ~jobs ~json ()
+  | "crash" -> crash_bench ~tiny ~json ()
   | "open" ->
     print (Explore.experiment ());
     print (Frontier.experiment ())
@@ -355,6 +562,6 @@ let () =
     micro ()
   | other ->
     Printf.eprintf
-      "unknown command %S (expected fig1|fig2|sec2|ablation|budget|flight|race|search|open|micro|all)\n"
+      "unknown command %S (expected fig1|fig2|sec2|ablation|budget|flight|race|search|crash|open|micro|all)\n"
       other;
     exit 2

@@ -100,6 +100,54 @@ let salvage_arg =
                of a damaged file, report the damage, and attempt a degraded \
                replay instead of refusing.")
 
+let deadline_arg =
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SEC"
+         ~doc:"Wall-clock budget for the replay search, in seconds. When it \
+               expires the search stops cooperatively and degrades to its \
+               best partial candidate (exit code 3) or reports exhaustion \
+               (exit code 5).")
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Persist the search frontier to $(docv) (atomic, CRC-sealed \
+               writes) so a killed search can be continued with \
+               $(b,--resume).")
+
+let resume_arg =
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE"
+         ~doc:"Continue a search from a checkpoint written by \
+               $(b,--checkpoint). The resumed search provably reaches the \
+               same outcome as an uninterrupted run.")
+
+let attempts_arg =
+  Arg.(value & opt (some int) None & info [ "attempts" ] ~docv:"N"
+         ~doc:"Override the search budget's maximum attempts.")
+
+let segments_arg =
+  Arg.(value & opt (some int) None & info [ "segments" ] ~docv:"N"
+         ~doc:"Save the recording segmented, $(docv) entries per segment, \
+               instead of monolithic: crash-tolerant persistence where a \
+               torn write loses at most one unsealed segment. Produces \
+               FILE.header, FILE.NNNN.seg and FILE.manifest; $(b,replay) \
+               detects the segment set automatically.")
+
+(* resume files and engine/seed mismatches surface as Invalid_argument
+   from the search layer; turn them into diagnostics, not backtraces *)
+let guard f =
+  try f () with Invalid_argument msg ->
+    Printf.eprintf "ddreplay: %s\n" msg;
+    1
+
+let with_resume resume k =
+  match resume with
+  | None -> k None
+  | Some path -> (
+    match Ddet_replay.Checkpoint.load path with
+    | Ok c -> k (Some c)
+    | Error msg ->
+      Printf.eprintf "cannot resume from %s: %s\n" path msg;
+      1)
+
 (* ------------------------------------------------------------------ *)
 (* command bodies *)
 
@@ -137,11 +185,24 @@ let cmd_run app seed faults =
   describe_run app (App.production_run ?faults app ~seed);
   0
 
-let config_with_jobs jobs = { Config.default with Config.jobs = max 1 jobs }
+let config_with ?deadline ?attempts jobs =
+  let base = Config.default in
+  let b = base.Config.budget in
+  let b = { b with Ddet_replay.Search.deadline_s = deadline } in
+  let b =
+    match attempts with
+    | None -> b
+    | Some n -> { b with Ddet_replay.Search.max_attempts = n }
+  in
+  { base with Config.jobs = max 1 jobs; budget = b }
 
-let cmd_find app cause exclusive faults jobs =
+let cmd_find app cause exclusive faults jobs checkpoint resume =
+  guard @@ fun () ->
+  let checkpoint = Option.map Ddet_replay.Checkpoint.sink checkpoint in
+  with_resume resume @@ fun resume ->
   match
-    Workload.find_failing_seed ?cause ~exclusive ?faults ~jobs:(max 1 jobs) app
+    Workload.find_failing_seed ?cause ~exclusive ?faults ~jobs:(max 1 jobs)
+      ?checkpoint ?resume app
   with
   | Some (seed, r) ->
     Printf.printf "seed %d fails:\n" seed;
@@ -149,9 +210,9 @@ let cmd_find app cause exclusive faults jobs =
     0
   | None ->
     Printf.eprintf "no failing seed found in the scanned range\n";
-    1
+    Ddet_replay.Replayer.exit_deadline
 
-let cmd_record app model seed verbose out faults =
+let cmd_record app model seed verbose out faults segments =
   let prepared = Session.prepare model app in
   let original, log = Session.record ?faults prepared ~seed in
   describe_run app original;
@@ -161,40 +222,84 @@ let cmd_record app model seed verbose out faults =
     (Ddet_record.Cost_model.overhead Ddet_record.Cost_model.default log);
   if verbose then Format.printf "%a@." Ddet_record.Log.pp log;
   (match out with
-  | Some path ->
-    Ddet_record.Log_io.save path log;
-    Printf.printf "saved to %s\n" path
+  | Some path -> (
+    match segments with
+    | Some n ->
+      Ddet_record.Log_segments.save ~segment_entries:(max 1 n) path log;
+      Printf.printf "saved segmented to %s (.header, .NNNN.seg, .manifest)\n"
+        path
+    | None ->
+      Ddet_record.Log_io.save path log;
+      Printf.printf "saved to %s\n" path)
   | None -> ());
   0
 
-let cmd_replay app model file salvage jobs =
-  let mode =
-    if salvage then Ddet_record.Log_io.Salvage else Ddet_record.Log_io.Strict
-  in
-  match Ddet_record.Log_io.load_report ~mode file with
+(* Monolithic file if it exists; otherwise a segmented base path. Either
+   way the result is (log, damaged) or an error. *)
+let load_any ~salvage file =
+  if Sys.file_exists file then begin
+    let mode =
+      if salvage then Ddet_record.Log_io.Salvage else Ddet_record.Log_io.Strict
+    in
+    match Ddet_record.Log_io.load_report ~mode file with
+    | Error msg -> Error msg
+    | Ok (log, damage) ->
+      if Ddet_record.Log_io.is_damaged damage then
+        Format.printf "%a@." Ddet_record.Log_io.pp_damage damage;
+      Ok (log, Ddet_record.Log_io.is_damaged damage)
+  end
+  else if Ddet_record.Log_segments.exists file then begin
+    match Ddet_record.Log_segments.load file with
+    | Error msg -> Error msg
+    | Ok (log, recovery) ->
+      if Ddet_record.Log_segments.is_damaged recovery then
+        Format.printf "%a@." Ddet_record.Log_segments.pp_recovery recovery;
+      Ok (log, Ddet_record.Log_segments.is_damaged recovery)
+  end
+  else Error "no such file (and no segmented recording at that base path)"
+
+let cmd_replay app model file salvage jobs deadline checkpoint resume attempts
+    =
+  guard @@ fun () ->
+  match load_any ~salvage file with
   | Error msg ->
     Printf.eprintf "cannot load %s: %s\n" file msg;
     1
-  | Ok (log, damage) ->
-    if Ddet_record.Log_io.is_damaged damage then
-      Format.printf "%a@." Ddet_record.Log_io.pp_damage damage;
-    let prepared = Session.prepare ~config:(config_with_jobs jobs) model app in
-    let outcome = Session.replay prepared log in
+  | Ok (log, damaged) ->
+    let checkpoint = Option.map Ddet_replay.Checkpoint.sink checkpoint in
+    with_resume resume @@ fun resume ->
+    let config = config_with ?deadline ?attempts jobs in
+    let prepared = Session.prepare ~config model app in
+    let outcome = Session.replay ?checkpoint ?resume prepared log in
     Format.printf "%a@." Ddet_replay.Replayer.pp_outcome outcome;
     (match outcome.Ddet_replay.Replayer.result with
     | Some r ->
       print_newline ();
-      describe_run app r;
-      0
-    | None -> 1)
+      describe_run app r
+    | None -> ());
+    Ddet_replay.Replayer.exit_code ~damaged outcome
 
-let cmd_debug app model seed replays faults jobs =
-  let a =
-    Session.experiment_ensemble ~config:(config_with_jobs jobs) ?faults
-      ~replays model app ~seed
-  in
-  Format.printf "%a@." Ddet_metrics.Utility.pp a;
-  0
+let cmd_debug app model seed replays faults jobs deadline checkpoint resume =
+  guard @@ fun () ->
+  let config = config_with ?deadline jobs in
+  match (checkpoint, resume) with
+  | None, None ->
+    let a =
+      Session.experiment_ensemble ~config ?faults ~replays model app ~seed
+    in
+    Format.printf "%a@." Ddet_metrics.Utility.pp a;
+    0
+  | _ ->
+    (* checkpointing identifies ONE search; run a single replay rather
+       than the seed-varied ensemble so the frontier stays meaningful *)
+    let checkpoint = Option.map Ddet_replay.Checkpoint.sink checkpoint in
+    with_resume resume @@ fun resume ->
+    let prepared = Session.prepare ~config model app in
+    let original, log = Session.record ?faults prepared ~seed in
+    let outcome = Session.replay ?checkpoint ?resume prepared log in
+    let a = Session.assess prepared ~original ~log outcome in
+    Format.printf "%a@." Ddet_metrics.Utility.pp a;
+    Ddet_replay.Replayer.exit_code outcome
 
 let cmd_classify app =
   let prepared = Session.prepare (Model.Rcse Model.Code_based) app in
@@ -230,6 +335,24 @@ let cmd_invariants app =
 
 let exits = Cmd.Exit.defaults
 
+(* the replay exit-code contract (Ddet_replay.Replayer.exit_code), shown
+   in --help for every command that searches *)
+let search_exits =
+  Cmd.Exit.info Ddet_replay.Replayer.exit_ok
+    ~doc:"the recorded failure (or seed scan target) was reproduced."
+  :: Cmd.Exit.info Ddet_replay.Replayer.exit_partial
+       ~doc:"budget exhausted; the replay degraded to its best partial \
+             candidate (the DF 1/n floor)."
+  :: Cmd.Exit.info Ddet_replay.Replayer.exit_salvaged
+       ~doc:"the log was damaged and salvaged; the replay ran against the \
+             recovered prefix."
+  :: Cmd.Exit.info Ddet_replay.Replayer.exit_deadline
+       ~doc:"deadline or budget ran out with nothing to show."
+  :: List.filter
+       (* our 0 entry replaces the stock "on success" one *)
+       (fun e -> Cmd.Exit.info_code e <> Ddet_replay.Replayer.exit_ok)
+       Cmd.Exit.defaults
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~exits ~doc:"List applications and models.")
     Term.(const cmd_list $ const ())
@@ -239,27 +362,33 @@ let run_cmd =
     Term.(const cmd_run $ app_arg $ seed_arg $ faults_arg)
 
 let find_cmd =
-  Cmd.v (Cmd.info "find" ~exits ~doc:"Scan seeds for a failing production run.")
+  Cmd.v
+    (Cmd.info "find" ~exits:search_exits
+       ~doc:"Scan seeds for a failing production run.")
     Term.(const cmd_find $ app_arg $ cause_arg $ exclusive_arg $ faults_arg
-          $ jobs_arg)
+          $ jobs_arg $ checkpoint_arg $ resume_arg)
 
 let record_cmd =
   Cmd.v (Cmd.info "record" ~exits ~doc:"Record a production run under a model.")
     Term.(const cmd_record $ app_arg $ model_arg $ seed_arg $ verbose_arg
-          $ out_arg $ faults_arg)
+          $ out_arg $ faults_arg $ segments_arg)
 
 let replay_cmd =
   Cmd.v
-    (Cmd.info "replay" ~exits ~doc:"Replay a saved log under its model.")
+    (Cmd.info "replay" ~exits:search_exits
+       ~doc:"Replay a saved log (monolithic file or segmented base path) \
+             under its model.")
     Term.(const cmd_replay $ app_arg $ model_arg $ in_arg $ salvage_arg
-          $ jobs_arg)
+          $ jobs_arg $ deadline_arg $ checkpoint_arg $ resume_arg
+          $ attempts_arg)
 
 let debug_cmd =
   Cmd.v
-    (Cmd.info "debug" ~exits
+    (Cmd.info "debug" ~exits:search_exits
        ~doc:"Record, replay and assess: overhead, DF, DE, DU.")
     Term.(const cmd_debug $ app_arg $ model_arg $ seed_arg $ replays_arg
-          $ faults_arg $ jobs_arg)
+          $ faults_arg $ jobs_arg $ deadline_arg $ checkpoint_arg
+          $ resume_arg)
 
 let classify_cmd =
   Cmd.v

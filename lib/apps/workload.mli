@@ -10,8 +10,10 @@ open Mvm
     clean attribution for the original execution of an experiment. With
     [faults], every scanned run executes under that fault plan. With
     [jobs > 1] the scan fans over that many OCaml 5 domains; the result
-    is still the lowest matching seed. Returns the seed and the judged
-    run. *)
+    is still the lowest matching seed. [checkpoint]/[resume] persist and
+    restore the scan frontier so a killed scan continues where it
+    stopped — see {!Ddet_replay.Par_search.first_success}. Returns the
+    seed and the judged run. *)
 val find_failing_seed :
   ?cause:string ->
   ?exclusive:bool ->
@@ -19,6 +21,8 @@ val find_failing_seed :
   ?max_seeds:int ->
   ?faults:Fault.plan ->
   ?jobs:int ->
+  ?checkpoint:Ddet_replay.Checkpoint.sink ->
+  ?resume:Ddet_replay.Checkpoint.t ->
   App.t ->
   (int * Interp.result) option
 

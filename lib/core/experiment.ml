@@ -275,6 +275,7 @@ let budget_sweep ?config () =
                       Ddet_replay.Search.max_attempts;
                       max_steps_per_attempt = 50_000;
                       base_seed = 1 + (7919 * k);
+                      deadline_s = None;
                     }
                   in
                   let outcome = Session.replay ~budget prepared log in
@@ -439,9 +440,9 @@ let search_engines ?config () =
          step cap matters: a systematic scheduler happily spins a polling
          server for the whole budget, so each attempt is bounded. *)
       ("racy-counter", racy_counter, racy_counter_spec,
-       { Search.max_attempts = 3_000; max_steps_per_attempt = 5_000; base_seed = 1 });
+       { Search.max_attempts = 3_000; max_steps_per_attempt = 5_000; base_seed = 1; deadline_s = None });
       ("miniht", (Miniht.app ()).App.labeled, (Miniht.app ()).App.spec,
-       { Search.max_attempts = 300; max_steps_per_attempt = 5_000; base_seed = 1 });
+       { Search.max_attempts = 300; max_steps_per_attempt = 5_000; base_seed = 1; deadline_s = None });
     ]
   in
   let rows =

@@ -108,7 +108,7 @@ let has_spawn labeled =
     (fun acc _ s -> acc || match s.Ast.node with Ast.Spawn _ -> true | _ -> false)
     false labeled.Label.prog
 
-let replay ?budget prepared log =
+let replay ?budget ?checkpoint ?resume prepared log =
   let labeled = prepared.app.App.labeled in
   let spec = prepared.app.App.spec in
   let budget = Option.value ~default:prepared.config.Config.budget budget in
@@ -116,19 +116,27 @@ let replay ?budget prepared log =
   match prepared.model with
   | Model.Perfect -> Replayer.perfect labeled ~spec log
   | Model.Value ->
-    Replayer.value_det ~budget:prepared.config.Config.value_budget ~jobs
-      labeled ~spec log
-  | Model.Sync -> Replayer.sync_det ~budget ~jobs labeled ~spec log
+    (* the value budget inherits the caller's deadline: an explicit
+       wall-clock allowance should bound every model's search *)
+    let budget =
+      { prepared.config.Config.value_budget with
+        Ddet_replay.Search.deadline_s = budget.Ddet_replay.Search.deadline_s
+      }
+    in
+    Replayer.value_det ~budget ~jobs ?checkpoint ?resume labeled ~spec log
+  | Model.Sync ->
+    Replayer.sync_det ~budget ~jobs ?checkpoint ?resume labeled ~spec log
   | Model.Output ->
     Replayer.output_det ~budget ~exhaustive:(not (has_spawn labeled)) ~jobs
-      labeled ~spec log
-  | Model.Failure_det -> Replayer.failure_det ~budget ~jobs labeled ~spec log
+      ?checkpoint ?resume labeled ~spec log
+  | Model.Failure_det ->
+    Replayer.failure_det ~budget ~jobs ?checkpoint ?resume labeled ~spec log
   | Model.Rcse mode ->
     (* code-based selection records statically-chosen sites, so an
        out-of-order recorded site is real divergence; windowed selections
        revisit their sites outside the window legitimately *)
     let strict = match mode with Model.Code_based -> true | _ -> false in
-    Replayer.rcse ~budget ~strict ~jobs labeled ~spec log
+    Replayer.rcse ~budget ~strict ~jobs ?checkpoint ?resume labeled ~spec log
 
 let assess ?salvaged prepared ~original ~log outcome =
   let a =

@@ -37,7 +37,7 @@ exception Abort_exn of string
 
 let atomic_budget = 10_000
 
-let run ?(max_steps = 200_000) ?(monitors = []) ?abort ?trace_capacity
+let run ?(max_steps = 200_000) ?(monitors = []) ?abort ?cancel ?trace_capacity
     (labeled : Label.labeled) (world : World.t) =
   let prog = labeled.Label.prog in
   let mem = Memory.create prog.regions in
@@ -464,9 +464,21 @@ let run ?(max_steps = 200_000) ?(monitors = []) ?abort ?trace_capacity
     { status; trace; steps = !step_count; outputs = Trace.outputs trace; failure }
   in
 
+  (* Cooperative cancellation, polled in the step loop rather than per
+     event: [cancel] exists for wall-clock deadlines whose check (a
+     gettimeofday) is too expensive for the per-event abort hook, so it
+     is consulted only every 128 steps. *)
+  let cancelled () =
+    match cancel with
+    | Some check when !step_count land 127 = 0 -> check ()
+    | _ -> None
+  in
   let rec loop () =
     if !step_count >= max_steps then finish Step_limit
     else
+      match cancelled () with
+      | Some reason -> finish (Aborted reason)
+      | None -> (
       match candidates () with
       | [] ->
         let alive = Vec.exists (fun th -> th.frames <> []) threads in
@@ -481,7 +493,7 @@ let run ?(max_steps = 200_000) ?(monitors = []) ?abort ?trace_capacity
             invalid_arg "Interp: world picked a non-candidate thread";
           exec_step th;
           incr step_count;
-          loop ())
+          loop ()))
   in
   try loop () with
   | Crash_at (sid, msg) -> finish (Crashed (Failure.Crash { sid; msg }))

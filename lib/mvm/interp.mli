@@ -31,9 +31,13 @@ type result = {
     [monitors] observe every event as it is emitted (recorders attach
     here). [abort] may return a reason to stop the run early (replay
     searches use it to prune executions whose outputs already diverge from
-    the recording). [trace_capacity] presizes the trace's backing store —
-    search engines pass the previous attempt's event count so appends never
-    reallocate. Default [max_steps] is 200_000.
+    the recording). [cancel] is a cheaper cousin of [abort] polled in the
+    step loop only every 128 steps: search engines use it for wall-clock
+    deadline checks, whose cost (a system clock read) would be prohibitive
+    per event; a [Some reason] finishes the run as [Aborted reason].
+    [trace_capacity] presizes the trace's backing store — search engines
+    pass the previous attempt's event count so appends never reallocate.
+    Default [max_steps] is 200_000.
 
     When [world.passive_try_recv] is [true] the interpreter caches its
     scheduling-candidate set between steps, patching only the executing
@@ -45,6 +49,7 @@ val run :
   ?max_steps:int ->
   ?monitors:(Event.t -> unit) list ->
   ?abort:(Event.t -> string option) ->
+  ?cancel:(unit -> string option) ->
   ?trace_capacity:int ->
   Label.labeled ->
   World.t ->

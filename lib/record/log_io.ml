@@ -482,11 +482,27 @@ let of_string_report ?(mode = Strict) s =
 
 let of_string ?mode s = Result.map fst (of_string_report ?mode s)
 
-let save path log =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string log))
+(* Atomic file replacement: write the whole payload to a fresh temp file
+   in the destination directory, then rename over the target. A crash at
+   any point leaves either the old file or the new one — never a
+   Strict-rejected half log — because rename within a directory is atomic
+   on POSIX filesystems. *)
+let atomic_write path s =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".ddet" ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc s;
+         flush oc)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let save path log = atomic_write path (to_string log)
 
 let load_report ?mode path =
   let ic = open_in path in

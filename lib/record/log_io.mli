@@ -60,7 +60,11 @@ val of_string : ?mode:mode -> string -> (Log.t, string) result
     [Strict] a returned report is always clean. *)
 val of_string_report : ?mode:mode -> string -> (Log.t * damage, string) result
 
-(** [save path log] writes the file (v2). *)
+(** [save path log] writes the file (v2) {e atomically}: the payload goes
+    to a fresh temp file in the destination directory which is then
+    renamed over [path], so a crash mid-write can never leave a
+    half-written log behind — readers see the old file or the new one,
+    nothing in between. *)
 val save : string -> Log.t -> unit
 
 (** [load ?mode path] reads a log file back.
@@ -69,3 +73,26 @@ val load : ?mode:mode -> string -> (Log.t, string) result
 
 (** [load_report ?mode path] is {!load} with the {!damage} report. *)
 val load_report : ?mode:mode -> string -> (Log.t * damage, string) result
+
+(**/**)
+
+(* internal: shared with Log_segments (segmented persistence) and the
+   replay layer's Checkpoint (CRC'd atomic frontier files) *)
+
+val atomic_write : string -> string -> unit
+val crc_hex : string -> string
+val enc_entry : Log.entry -> string
+val dec_entry : string -> Log.entry
+val split_crc_line : string -> (string * string) option
+val header_lines : Log.t -> string
+val numbered_lines : string -> (int * string) list
+
+type header = {
+  mutable h_recorder : string;
+  mutable h_base_steps : int;
+  mutable h_failure : Mvm.Failure.t option;
+  mutable h_faults : Mvm.Fault.plan option;
+}
+
+val fresh_header : unit -> header
+val parse_header_line : header -> string -> bool

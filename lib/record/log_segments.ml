@@ -1,0 +1,341 @@
+(* Segmented persistence. Layout for base path [p]:
+
+     p.header     "ddet-seg-header v1" + recorder line  (atomic, first)
+     p.NNNN.seg   "ddet-seg v1 N", CRC'd entry lines, "end N" trailer
+     p.manifest   "ddet-manifest v1", header lines, per-segment CRCs,
+                  "end <nsegs>"                         (atomic, last)
+
+   Sealed segments are immutable and self-validating (line CRCs + entry
+   trailer); the manifest additionally records each segment's whole-file
+   CRC so post-seal bit rot is caught even when the lines still parse.
+   Only the tail segment is ever in a half-written state, which bounds
+   what a crash can lose. *)
+
+let seg_path base i = Printf.sprintf "%s.%04d.seg" base i
+let manifest_path base = base ^ ".manifest"
+let header_path base = base ^ ".header"
+
+let seg_magic = "ddet-seg v1"
+let manifest_magic = "ddet-manifest v1"
+let header_magic = "ddet-seg-header v1"
+
+let exists base =
+  Sys.file_exists (manifest_path base)
+  || Sys.file_exists (header_path base)
+  || Sys.file_exists (seg_path base 0)
+
+let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* writer *)
+
+type writer = {
+  base : string;
+  recorder : string;
+  segment_entries : int;
+  mutable seg : int;  (* index of the segment being written *)
+  mutable count : int;  (* entries in that segment *)
+  mutable oc : out_channel option;
+  buf : Buffer.t;  (* exact bytes of the open segment, for its CRC *)
+  mutable sealed : (int * int * string) list;  (* rev (index, entries, crc) *)
+  mutable closed : bool;
+}
+
+let create ?(segment_entries = 64) ~recorder base =
+  if segment_entries < 1 then invalid_arg "Log_segments.create: segment_entries";
+  remove_if_exists (manifest_path base);
+  let rec clean i =
+    if Sys.file_exists (seg_path base i) then begin
+      remove_if_exists (seg_path base i);
+      clean (i + 1)
+    end
+  in
+  clean 0;
+  (* the header ships before any entry: a recovery that races a crash
+     still learns which recorder produced the segments *)
+  Log_io.atomic_write (header_path base)
+    (Printf.sprintf "%s\nrecorder \"%s\"\n" header_magic
+       (String.escaped recorder));
+  {
+    base;
+    recorder;
+    segment_entries;
+    seg = 0;
+    count = 0;
+    oc = None;
+    buf = Buffer.create 4096;
+    sealed = [];
+    closed = false;
+  }
+
+let put w s =
+  (match w.oc with Some oc -> output_string oc s | None -> assert false);
+  Buffer.add_string w.buf s
+
+let seal w =
+  match w.oc with
+  | None -> ()
+  | Some oc ->
+    put w (Printf.sprintf "end %d\n" w.count);
+    close_out oc;
+    w.sealed <- (w.seg, w.count, Log_io.crc_hex (Buffer.contents w.buf)) :: w.sealed;
+    w.oc <- None;
+    Buffer.clear w.buf;
+    w.seg <- w.seg + 1;
+    w.count <- 0
+
+let append w entry =
+  if w.closed then invalid_arg "Log_segments.append: writer is closed";
+  if w.oc = None then begin
+    w.oc <- Some (open_out (seg_path w.base w.seg));
+    put w (Printf.sprintf "%s %d\n" seg_magic w.seg)
+  end;
+  let line = Log_io.enc_entry entry in
+  put w (Printf.sprintf "%s %s\n" (Log_io.crc_hex line) line);
+  (* flush per entry: a crash loses at most the line being written *)
+  (match w.oc with Some oc -> flush oc | None -> ());
+  w.count <- w.count + 1;
+  if w.count >= w.segment_entries then seal w
+
+let close w ~base_steps ~failure ?faults () =
+  if not w.closed then begin
+    seal w;
+    w.closed <- true;
+    let hdr_log =
+      Log.make ?faults ~recorder:w.recorder ~entries:[] ~base_steps ~failure ()
+    in
+    let b = Buffer.create 1024 in
+    Buffer.add_string b (manifest_magic ^ "\n");
+    Buffer.add_string b (Log_io.header_lines hdr_log);
+    let sealed = List.rev w.sealed in
+    List.iter
+      (fun (i, n, crc) ->
+        Buffer.add_string b (Printf.sprintf "segment %04d %d %s\n" i n crc))
+      sealed;
+    Buffer.add_string b (Printf.sprintf "end %d\n" (List.length sealed));
+    Log_io.atomic_write (manifest_path w.base) (Buffer.contents b)
+  end
+
+let save ?segment_entries base (log : Log.t) =
+  let w = create ?segment_entries ~recorder:log.Log.recorder base in
+  List.iter (append w) log.Log.entries;
+  close w ~base_steps:log.Log.base_steps ~failure:log.Log.failure
+    ?faults:log.Log.faults ()
+
+(* ------------------------------------------------------------------ *)
+(* recovery *)
+
+type recovery = {
+  segments_found : int;
+  segments_complete : int;
+  entries : int;
+  tail_entries : int;
+  complete : bool;
+}
+
+let is_damaged r = not r.complete
+
+let pp_recovery ppf r =
+  if r.complete then
+    Format.fprintf ppf "segmented log intact: %d entries in %d segment(s)"
+      r.entries r.segments_found
+  else
+    Format.fprintf ppf
+      "recovered %d entries (%d complete segment(s)%s) from a crashed \
+       recording of %d segment file(s)"
+      r.entries r.segments_complete
+      (if r.tail_entries > 0 then
+         Printf.sprintf " + %d salvaged tail entries" r.tail_entries
+       else "")
+      r.segments_found
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> In_channel.input_all ic)
+
+(* Parse one segment file: entries that validate, and whether the segment
+   is sealed (correct magic, every line CRC-clean, trailer agrees). A bad
+   line ends the valid prefix — later lines of a torn segment are not
+   trusted. *)
+let parse_segment ~index contents =
+  match Log_io.numbered_lines contents with
+  | [] -> ([], false)
+  | (_, magic) :: rest ->
+    if not (String.equal (String.trim magic) (Printf.sprintf "%s %d" seg_magic index))
+    then ([], false)
+    else begin
+      let entries = ref [] in
+      let sealed = ref false in
+      let bad = ref false in
+      List.iter
+        (fun (_, line) ->
+          if not (!bad || !sealed) then
+            match Log_io.split_crc_line line with
+            | Some (crc, body) when String.equal crc (Log_io.crc_hex body) -> (
+              match Log_io.dec_entry body with
+              | e -> entries := e :: !entries
+              | exception _ -> bad := true)
+            | Some _ -> bad := true
+            | None -> (
+              match String.split_on_char ' ' (String.trim line) with
+              | [ "end"; n ] when int_of_string_opt n = Some (List.length !entries)
+                ->
+                sealed := true
+              | _ -> bad := true))
+        rest;
+      (List.rev !entries, !sealed && not !bad)
+    end
+
+type manifest = {
+  m_header : Log_io.header;
+  m_segments : (int * int * string) list;  (* (index, entries, crc) *)
+}
+
+let parse_manifest contents =
+  match Log_io.numbered_lines contents with
+  | (_, magic) :: rest when String.equal (String.trim magic) manifest_magic ->
+    let hdr = Log_io.fresh_header () in
+    let segs = ref [] in
+    let trailer = ref None in
+    let ok = ref true in
+    List.iter
+      (fun (_, line) ->
+        if !ok then
+          match String.split_on_char ' ' (String.trim line) with
+          | [ "segment"; i; n; crc ] -> (
+            match (int_of_string_opt i, int_of_string_opt n) with
+            | Some i, Some n -> segs := (i, n, crc) :: !segs
+            | _ -> ok := false)
+          | [ "end"; n ] -> trailer := int_of_string_opt n
+          | _ -> (
+            match Log_io.parse_header_line hdr line with
+            | true -> ()
+            | false -> ok := false
+            | exception _ -> ok := false))
+      rest;
+    let segs = List.rev !segs in
+    if !ok && !trailer = Some (List.length segs) then
+      Some { m_header = hdr; m_segments = segs }
+    else None
+  | _ | (exception _) -> None
+
+let read_header base =
+  let path = header_path base in
+  if not (Sys.file_exists path) then None
+  else
+    match Log_io.numbered_lines (read_file path) with
+    | (_, magic) :: rest when String.equal (String.trim magic) header_magic ->
+      let hdr = Log_io.fresh_header () in
+      List.iter
+        (fun (_, line) ->
+          try ignore (Log_io.parse_header_line hdr line) with _ -> ())
+        rest;
+      Some hdr
+    | _ | (exception _) -> None
+
+(* Crash recovery: walk segment files in order; sealed segments are
+   recovered whole, the first unsealed (or missing) one contributes its
+   valid prefix and ends the walk — the writer is strictly sequential, so
+   nothing after a torn segment can be trusted to belong to this
+   recording. *)
+let scan_segments base =
+  let rec go i found complete acc tail =
+    let path = seg_path base i in
+    if not (Sys.file_exists path) then (found, complete, List.rev acc, tail)
+    else
+      let entries, sealed = parse_segment ~index:i (read_file path) in
+      if sealed then go (i + 1) (found + 1) (complete + 1) (List.rev_append entries acc) tail
+      else (found + 1, complete, List.rev (List.rev_append entries acc), List.length entries)
+  in
+  go 0 0 0 [] 0
+
+let load base =
+  let manifest =
+    let path = manifest_path base in
+    if Sys.file_exists path then parse_manifest (read_file path) else None
+  in
+  let validated =
+    match manifest with
+    | None -> None
+    | Some m -> (
+      let all =
+        List.for_all
+          (fun (i, n, crc) ->
+            let path = seg_path base i in
+            Sys.file_exists path
+            &&
+            let contents = read_file path in
+            String.equal crc (Log_io.crc_hex contents)
+            &&
+            let entries, sealed = parse_segment ~index:i contents in
+            sealed && List.length entries = n)
+          m.m_segments
+      in
+      if not all then None
+      else
+        Some
+          ( m,
+            List.concat_map
+              (fun (i, _, _) -> fst (parse_segment ~index:i (read_file (seg_path base i))))
+              m.m_segments ))
+  in
+  match validated with
+  | Some (m, entries) ->
+    let log =
+      Log.make ?faults:m.m_header.Log_io.h_faults
+        ~recorder:m.m_header.Log_io.h_recorder ~entries
+        ~base_steps:m.m_header.Log_io.h_base_steps
+        ~failure:m.m_header.Log_io.h_failure ()
+    in
+    Ok
+      ( log,
+        {
+          segments_found = List.length m.m_segments;
+          segments_complete = List.length m.m_segments;
+          entries = List.length entries;
+          tail_entries = 0;
+          complete = true;
+        } )
+  | None ->
+    let found, complete, entries, tail_entries = scan_segments base in
+    let hdr = read_header base in
+    if found = 0 && hdr = None && manifest = None then
+      Error (Printf.sprintf "no segmented recording at %s" base)
+    else
+      (* degraded header: prefer the manifest's (if it parsed at all),
+         then the header file; the failure descriptor is recovered from
+         the entries when the recorder logged one before the crash *)
+      let recorder, base_steps, failure, faults =
+        match (manifest, hdr) with
+        | Some m, _ ->
+          ( m.m_header.Log_io.h_recorder,
+            m.m_header.Log_io.h_base_steps,
+            m.m_header.Log_io.h_failure,
+            m.m_header.Log_io.h_faults )
+        | None, Some h ->
+          (h.Log_io.h_recorder, h.Log_io.h_base_steps, h.Log_io.h_failure,
+           h.Log_io.h_faults)
+        | None, None -> ("unknown", 0, None, None)
+      in
+      let failure =
+        match failure with
+        | Some _ -> failure
+        | None ->
+          List.find_map
+            (function Log.Failure_desc f -> Some f | _ -> None)
+            entries
+      in
+      let log =
+        Log.make ?faults ~recorder ~entries ~base_steps ~failure ()
+      in
+      Ok
+        ( log,
+          {
+            segments_found = found;
+            segments_complete = complete;
+            entries = List.length entries;
+            tail_entries;
+            complete = false;
+          } )

@@ -1,0 +1,82 @@
+(** Segmented log persistence: crash-tolerant recording for long runs.
+
+    {!Log_io.save} is atomic but monolithic — nothing hits the disk until
+    the recording is over, so a crash mid-record loses everything. The
+    segmented writer instead streams entries into fixed-size segment
+    files, sealing each one with the v2 CRC-per-line discipline and an
+    [end N] trailer as soon as it fills, and finishes by writing a
+    manifest (atomically) that names every segment with its byte CRC and
+    carries the log header. The file set for base path [p] is:
+
+    {v
+    p.header          recorder name, written first (atomic)
+    p.0000.seg        sealed segments: magic, CRC'd entries, `end N`
+    p.0001.seg        ...
+    p.manifest        header + per-segment CRCs + `end N` (atomic, last)
+    v}
+
+    Recovery after a crash mid-record walks the segments in order: every
+    sealed segment is recovered whole (its trailer and line CRCs prove
+    completeness), and the unsealed tail segment contributes its valid
+    prefix — the same salvage guarantee {!Log_io} gives a truncated
+    monolithic log, but the loss is bounded by one segment instead of the
+    whole recording. *)
+
+(** Streaming writer. Not thread-safe; one recording each. *)
+type writer
+
+(** [create ?segment_entries ~recorder base] starts a segmented recording
+    at [base] (default 64 entries per segment). Stale artifacts of a
+    previous recording under [base] are removed, and [base.header] is
+    written immediately so recovery knows the recorder even if the crash
+    comes before the manifest. *)
+val create : ?segment_entries:int -> recorder:string -> string -> writer
+
+(** [append w entry] writes one CRC'd entry line to the current segment
+    (flushed per entry), sealing the segment and opening the next when it
+    reaches [segment_entries]. *)
+val append : writer -> Log.entry -> unit
+
+(** [close w ~base_steps ~failure ?faults ()] seals the tail segment and
+    atomically writes the manifest. After close, {!load} reconstructs the
+    full log exactly. *)
+val close :
+  writer ->
+  base_steps:int ->
+  failure:Mvm.Failure.t option ->
+  ?faults:Mvm.Fault.plan ->
+  unit ->
+  unit
+
+(** [save ?segment_entries base log] is the one-shot convenience:
+    create, append every entry, close. *)
+val save : ?segment_entries:int -> string -> Log.t -> unit
+
+(** What recovery found. [complete] means the manifest was present,
+    intact, and every listed segment validated — the load is the whole
+    recording. Otherwise the load is the crash-recovered prefix:
+    [segments_complete] sealed segments plus [tail_entries] salvaged from
+    the unsealed tail. *)
+type recovery = {
+  segments_found : int;
+  segments_complete : int;
+  entries : int;  (** total entries recovered *)
+  tail_entries : int;  (** salvaged from an unsealed/damaged tail segment *)
+  complete : bool;
+}
+
+val is_damaged : recovery -> bool
+val pp_recovery : Format.formatter -> recovery -> unit
+
+(** [load base] reconstructs a log from the segment file set. With an
+    intact manifest this is exact (header included); after a crash it
+    recovers all complete segments plus the valid prefix of the tail,
+    taking the recorder from [base.header] and the failure from a
+    recovered [faildesc] entry when one made it to disk. [Error] only
+    when nothing of the recording exists. *)
+val load : string -> (Log.t * recovery, string) result
+
+(** [exists base] — some artifact of a segmented recording (manifest,
+    header or first segment) is present; how the CLI distinguishes a
+    segmented base path from a monolithic log file. *)
+val exists : string -> bool

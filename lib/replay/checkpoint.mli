@@ -1,0 +1,71 @@
+(** Search checkpoints: the persisted frontier of a replay search.
+
+    A search engine's progress is tiny compared to the work it represents:
+    the next decision-vector prefix (or restart attempt index), the
+    counters, the best partial execution's identity, and — for pruning
+    engines — the set of state digests already explored. A checkpoint file
+    captures exactly that, so a search killed mid-flight (machine crash,
+    OOM kill, deadline) can be resumed with [--resume] and provably reach
+    the same first-hit outcome as an uninterrupted run: engines judge
+    candidates in attempt order, so restarting from the frontier replays
+    the same decision sequence.
+
+    Format [ddet-ckpt v1] is line-oriented text like the log formats: one
+    key per line, closeness serialised as a hex float ([%h]) for exact
+    round-trips, closed by an [end <crc>] trailer whose CRC32 covers the
+    whole payload. Files are written atomically (temp file + rename), so a
+    crash during a checkpoint write leaves the previous checkpoint intact
+    — the resume point is always a real frontier, never a torn one. *)
+
+(** Identity of the best partial execution seen so far. The heavyweight
+    {!Mvm.Interp.result} is deliberately not serialised; instead the
+    checkpoint stores enough to re-derive it deterministically on demand:
+    the attempt index (restart engines re-seed from it) or the decision
+    prefix (enumeration engines re-execute it). *)
+type best = {
+  b_closeness : float;
+  b_attempt : int;
+  b_prefix : int array option;
+      (** [Some] for decision-vector engines; [None] when [b_attempt]
+          itself is the rerun key (random restarts) *)
+}
+
+type t = {
+  engine : string;  (** "restarts", "inputs", "dfs" or "scan" *)
+  base_seed : int;  (** of the budget that produced this checkpoint *)
+  attempt : int;  (** attempts fully judged so far *)
+  total_steps : int;
+  pruned : int;
+  prefix : int array option;
+      (** next decision-vector to try, for enumeration engines *)
+  best : best option;
+  seen : int list;  (** pruned-state digests to replant (DFS engine) *)
+}
+
+(** [write path t] serialises atomically with a CRC trailer. *)
+val write : string -> t -> unit
+
+(** [load path] parses and validates a checkpoint file. Damage (bad magic,
+    CRC mismatch, unparsable line) is an [Error] naming the problem — a
+    torn checkpoint must never silently resume from the wrong frontier. *)
+val load : string -> (t, string) result
+
+(** A sink owns the checkpoint path and decides when ticks become writes.
+    Engines call {!tick} once per judged attempt at iteration boundaries
+    only — the frontier on disk is always a consistent "everything before
+    attempt [n] is done" statement. *)
+type sink
+
+(** [sink ?every path] writes every [every]-th tick (default 32). *)
+val sink : ?every:int -> string -> sink
+
+(** [tick s frontier] counts one judged attempt; on every [every]-th call
+    it evaluates [frontier] and writes the checkpoint. The thunk keeps
+    frontier capture lazy — off-tick attempts pay one increment. *)
+val tick : sink -> (unit -> t) -> unit
+
+(** [flush s frontier] writes unconditionally (engines call it when a
+    search ends so the file reflects the final frontier). *)
+val flush : sink -> (unit -> t) -> unit
+
+val path : sink -> string

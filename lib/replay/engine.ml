@@ -29,6 +29,13 @@ module Seen = struct
     Mutex.lock t.lock;
     Hashtbl.replace t.tbl d ();
     Mutex.unlock t.lock
+
+  (* snapshot for checkpointing; replant with [add] on resume *)
+  let elements t =
+    Mutex.lock t.lock;
+    let r = Hashtbl.fold (fun d () acc -> d :: acc) t.tbl [] in
+    Mutex.unlock t.lock;
+    List.sort compare r
 end
 
 (* ------------------------------------------------------------------ *)
@@ -105,12 +112,14 @@ let cancel_abort cancel inner e =
   | Some c when c () -> Some "cancelled"
   | _ -> inner e
 
-let exec_inputs ?trace_capacity ?cancel ~budget:(max_steps : int) ~prefix
-    labeled =
+let exec_inputs ?trace_capacity ?cancel ?wall ~budget:(max_steps : int)
+    ~prefix labeled =
   let sizes = ref [] in
   let world = odometer_world prefix sizes in
   let abort = cancel_abort cancel (fun _ -> None) in
-  let result = Interp.run ~max_steps ~abort ?trace_capacity labeled world in
+  let result =
+    Interp.run ~max_steps ~abort ?cancel:wall ?trace_capacity labeled world
+  in
   {
     result;
     sizes = List.rev !sizes;
@@ -201,8 +210,8 @@ let schedule_world ?pruning ~prefix ~sizes ~stop ~checkpoint ~plants () =
   }
   |> fun w -> (w, hash)
 
-let exec_schedule ?trace_capacity ?pruning ?cancel ~budget:(max_steps : int)
-    ~prefix labeled =
+let exec_schedule ?trace_capacity ?pruning ?cancel ?wall
+    ~budget:(max_steps : int) ~prefix labeled =
   let sizes = ref [] in
   let stop = ref None in
   let checkpoint = ref None in
@@ -215,7 +224,8 @@ let exec_schedule ?trace_capacity ?pruning ?cancel ~budget:(max_steps : int)
   in
   let abort = cancel_abort cancel (fun _ -> Option.map snd !stop) in
   let result =
-    Interp.run ~max_steps ~monitors ~abort ?trace_capacity labeled world
+    Interp.run ~max_steps ~monitors ~abort ?cancel:wall ?trace_capacity labeled
+      world
   in
   let early = match !stop with Some (e, _) -> e | None -> Ran in
   {

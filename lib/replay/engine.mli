@@ -20,6 +20,10 @@ module Seen : sig
   val create : unit -> t
   val mem : t -> int -> bool
   val add : t -> int -> unit
+
+  (** [elements t] snapshots the digests (sorted) — what a checkpoint
+      persists so a resumed DFS can replant its pruning state. *)
+  val elements : t -> int list
 end
 
 (** [advance prefix sizes] steps the decision odometer: bump the
@@ -52,10 +56,13 @@ type probe = {
 (** [exec_inputs ~budget ~prefix labeled] runs one input-odometer attempt;
     [budget] is the step cap. [cancel] is polled at every event: parallel
     workers use it to abandon speculative runs that can no longer be
-    processed (the result is then discarded, never judged). *)
+    processed (the result is then discarded, never judged). [wall] is the
+    coarse cousin forwarded to {!Interp.run}'s [cancel] (polled every 128
+    steps): deadline budgets use it to cut a long attempt mid-run. *)
 val exec_inputs :
   ?trace_capacity:int ->
   ?cancel:(unit -> bool) ->
+  ?wall:(unit -> string option) ->
   budget:int ->
   prefix:int array ->
   Label.labeled ->
@@ -78,6 +85,7 @@ val exec_schedule :
   ?trace_capacity:int ->
   ?pruning:pruning ->
   ?cancel:(unit -> bool) ->
+  ?wall:(unit -> string option) ->
   budget:int ->
   prefix:int array ->
   Label.labeled ->

@@ -22,22 +22,73 @@ open Mvm
      run discovers (the odometer engines). Successor prefixes are
      speculated with the last authoritative sizes and validated by the
      reducer; a misspeculation invalidates only the chain suffix, whose
-     in-flight runs are cancelled through the interpreter's abort hook. *)
+     in-flight runs are cancelled through the interpreter's abort hook.
+
+   Supervision: a worker whose attempt raises does not tear the search
+   down. The job is retried in place (bounded by
+   [Search.max_job_retries]); a job that keeps failing is delivered to
+   the reducer as poisoned, which records an incident and carries on —
+   skipping the attempt where the engine can advance without it (indexed
+   attempts), ending the search gracefully where it cannot (a poisoned
+   odometer attempt never reports its fan-outs, so the chain has no
+   successor). *)
 
 let window_of jobs = max 2 (jobs * 4)
+
+(* what a worker delivers for one job: the attempt's value, possibly with
+   a requeue incident (it succeeded on retry), or a poison notice *)
+type 'a job =
+  | Job_ok of 'a * Search.incident option
+  | Job_poisoned of Search.incident
+
+(* bounded in-place retry, run on the worker domain. [attempt] may be a
+   placeholder for chain jobs (the reducer knows the real attempt index
+   and rewrites it before recording the incident). *)
+let attempt_job ~attempt ~worker f =
+  let rec go ~retries ~last_error =
+    match f () with
+    | v ->
+      let inc =
+        Option.map
+          (fun error ->
+            {
+              Search.at_attempt = attempt;
+              worker = Some worker;
+              error;
+              retries;
+              poisoned = false;
+            })
+          last_error
+      in
+      Job_ok (v, inc)
+    | exception e ->
+      let error = Printexc.to_string e in
+      if retries < Search.max_job_retries then
+        go ~retries:(retries + 1) ~last_error:(Some error)
+      else
+        Job_poisoned
+          {
+            Search.at_attempt = attempt;
+            worker = Some worker;
+            error;
+            retries;
+            poisoned = true;
+          }
+  in
+  go ~retries:0 ~last_error:None
 
 (* ------------------------------------------------------------------ *)
 
 let indexed_pool ~jobs ~first ~last ~make_exec ~process ~exhausted =
   let m = Mutex.create () in
   let c = Condition.create () in
-  let results : (int, ('a, exn) result) Hashtbl.t = Hashtbl.create 64 in
+  let results : (int, 'a) Hashtbl.t = Hashtbl.create 64 in
   let next_claim = ref first in
   let next_proc = ref first in
   let stop = Atomic.make false in
   let window = window_of jobs in
-  let worker () =
-    let exec = make_exec () in
+  let worker w () =
+    let exec = make_exec w in
     let cancel () = Atomic.get stop in
     let rec loop () =
       Mutex.lock m;
@@ -53,7 +104,7 @@ let indexed_pool ~jobs ~first ~last ~make_exec ~process ~exhausted =
         let i = !next_claim in
         incr next_claim;
         Mutex.unlock m;
-        let r = try Ok (exec ~cancel i) with e -> Error e in
+        let r = exec ~cancel i in
         Mutex.lock m;
         Hashtbl.replace results i r;
         Condition.broadcast c;
@@ -63,7 +114,7 @@ let indexed_pool ~jobs ~first ~last ~make_exec ~process ~exhausted =
     in
     loop ()
   in
-  let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+  let domains = List.init jobs (fun w -> Domain.spawn (worker w)) in
   let stop_all () =
     Mutex.lock m;
     Atomic.set stop true;
@@ -84,21 +135,16 @@ let indexed_pool ~jobs ~first ~last ~make_exec ~process ~exhausted =
       let r = Hashtbl.find results !next_proc in
       Hashtbl.remove results !next_proc;
       Mutex.unlock m;
-      match r with
-      | Error e ->
+      match (try process !next_proc r with e -> stop_all (); raise e) with
+      | `Stop out ->
         stop_all ();
-        raise e
-      | Ok a -> (
-        match (try process !next_proc a with e -> stop_all (); raise e) with
-        | `Stop out ->
-          stop_all ();
-          out
-        | `Continue ->
-          Mutex.lock m;
-          incr next_proc;
-          Condition.broadcast c;
-          Mutex.unlock m;
-          reduce ())
+        out
+      | `Continue ->
+        Mutex.lock m;
+        incr next_proc;
+        Condition.broadcast c;
+        Mutex.unlock m;
+        reduce ()
     end
   in
   reduce ()
@@ -108,22 +154,21 @@ let indexed_pool ~jobs ~first ~last ~make_exec ~process ~exhausted =
 type chain_state =
   | Pending
   | Running
-  | Done of Engine.probe
+  | Done of Engine.probe job
 
 type chain_entry = { prefix : int array; mutable st : chain_state }
 
-let chain_pool ~jobs ~make_exec ~process ~exhausted =
+let chain_pool ?(init_prefix = [||]) ~jobs ~make_exec ~process ~exhausted () =
   let m = Mutex.create () in
   let c = Condition.create () in
   let chain : (int, chain_entry) Hashtbl.t = Hashtbl.create 64 in
   let version = Atomic.make 0 in
   let stop = Atomic.make false in
-  let error : exn option ref = ref None in
   let next_proc = ref 0 in
   let spec_hi = ref 1 in
   let guess : int list ref = ref [] in
   let window = window_of jobs in
-  Hashtbl.replace chain 0 { prefix = [||]; st = Pending };
+  Hashtbl.replace chain 0 { prefix = init_prefix; st = Pending };
   (* speculative generation: extend the chain with the reducer's best
      guess of successor prefixes (advance under the last authoritative
      sizes). Caller holds [m]. *)
@@ -139,8 +184,8 @@ let chain_pool ~jobs ~make_exec ~process ~exhausted =
         | None -> ())
       | None -> ()
   in
-  let worker () =
-    let exec = make_exec () in
+  let worker w () =
+    let exec = make_exec w in
     let rec loop () =
       Mutex.lock m;
       let rec find i =
@@ -166,23 +211,18 @@ let chain_pool ~jobs ~make_exec ~process ~exhausted =
         let myv = Atomic.get version in
         Mutex.unlock m;
         let cancel () = Atomic.get stop || Atomic.get version <> myv in
-        let r = try Ok (exec ~cancel e.prefix) with ex -> Error ex in
+        let r = exec ~cancel e.prefix in
         Mutex.lock m;
-        (if Atomic.get version = myv then
-           match r with
-           | Ok probe ->
-             e.st <- Done probe;
-             Condition.broadcast c
-           | Error ex ->
-             if !error = None then error := Some ex;
-             Atomic.set stop true;
-             Condition.broadcast c);
+        (if Atomic.get version = myv then begin
+           e.st <- Done r;
+           Condition.broadcast c
+         end);
         Mutex.unlock m;
         loop ()
     in
     loop ()
   in
-  let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+  let domains = List.init jobs (fun w -> Domain.spawn (worker w)) in
   let stop_all () =
     Mutex.lock m;
     Atomic.set stop true;
@@ -193,216 +233,472 @@ let chain_pool ~jobs ~make_exec ~process ~exhausted =
   let rec reduce () =
     Mutex.lock m;
     let entry = Hashtbl.find chain !next_proc in
-    while
-      (match entry.st with Done _ -> false | Pending | Running -> true)
-      && !error = None
-    do
+    while match entry.st with Done _ -> false | Pending | Running -> true do
       Condition.wait c m
     done;
-    match !error with
-    | Some ex ->
-      Mutex.unlock m;
+    let job = match entry.st with Done j -> j | _ -> assert false in
+    Mutex.unlock m;
+    match
+      (try process ~prefix:entry.prefix job with e -> stop_all (); raise e)
+    with
+    | `Stop out ->
       stop_all ();
-      raise ex
-    | None -> (
-      let probe = match entry.st with Done p -> p | _ -> assert false in
-      Mutex.unlock m;
-      match
-        (try process ~prefix:entry.prefix probe
-         with e -> stop_all (); raise e)
-      with
-      | `Stop out ->
+      out
+    | `Advance sizes -> (
+      Mutex.lock m;
+      guess := sizes;
+      match Engine.advance entry.prefix sizes with
+      | None ->
+        Mutex.unlock m;
         stop_all ();
-        out
-      | `Advance sizes -> (
-        Mutex.lock m;
-        guess := sizes;
-        match Engine.advance entry.prefix sizes with
-        | None ->
-          Mutex.unlock m;
-          stop_all ();
-          exhausted ()
-        | Some np ->
-          let j = !next_proc in
-          (match Hashtbl.find_opt chain (j + 1) with
-          | Some e1 when e1.prefix = np -> ()
-          | _ ->
-            (* misspeculation: drop the chain suffix; stale in-flight runs
-               see the version bump and cancel themselves *)
-            Atomic.incr version;
-            let rec drop i =
-              if Hashtbl.mem chain i then begin
-                Hashtbl.remove chain i;
-                drop (i + 1)
-              end
-            in
-            drop (j + 1);
-            Hashtbl.replace chain (j + 1) { prefix = np; st = Pending };
-            spec_hi := j + 2);
-          Hashtbl.remove chain j;
-          next_proc := j + 1;
-          gen ();
-          Condition.broadcast c;
-          Mutex.unlock m;
-          reduce ()))
+        exhausted ()
+      | Some np ->
+        let j = !next_proc in
+        (match Hashtbl.find_opt chain (j + 1) with
+        | Some e1 when e1.prefix = np -> ()
+        | _ ->
+          (* misspeculation: drop the chain suffix; stale in-flight runs
+             see the version bump and cancel themselves *)
+          Atomic.incr version;
+          let rec drop i =
+            if Hashtbl.mem chain i then begin
+              Hashtbl.remove chain i;
+              drop (i + 1)
+            end
+          in
+          drop (j + 1);
+          Hashtbl.replace chain (j + 1) { prefix = np; st = Pending };
+          spec_hi := j + 2);
+        Hashtbl.remove chain j;
+        next_proc := j + 1;
+        gen ();
+        Condition.broadcast c;
+        Mutex.unlock m;
+        reduce ())
   in
   reduce ()
 
 (* ------------------------------------------------------------------ *)
 (* engines *)
 
-let random_restarts ?(jobs = 1) ?(score = Search.no_score) budget ~make ~spec
-    ~accept labeled =
-  if jobs <= 1 then Search.random_restarts ~score budget ~make ~spec ~accept labeled
+let random_restarts ?(jobs = 1) ?(score = Search.no_score) ?checkpoint ?resume
+    budget ~make ~spec ~accept labeled =
+  if jobs <= 1 then
+    Search.random_restarts ~score ?checkpoint ?resume budget ~make ~spec
+      ~accept labeled
   else begin
-    let total_steps = ref 0 in
-    let note, best = Search.track_best score in
-    let make_exec () =
+    let resume = Search.check_resume ~engine:"restarts" budget resume in
+    let total_steps =
+      ref (match resume with Some c -> c.Checkpoint.total_steps | None -> 0)
+    in
+    let incidents = ref [] in
+    let deadline = Search.deadline_of budget in
+    let rerun attempt =
+      let world, abort = make ~attempt in
+      let r =
+        Interp.run ~max_steps:budget.Search.max_steps_per_attempt ?abort
+          labeled world
+      in
+      Spec.apply spec r
+    in
+    let note, best, peek =
+      Search.track_best ?stored:(Search.stored_attempt resume) ~rerun score
+    in
+    let frontier attempt () =
+      {
+        Checkpoint.engine = "restarts";
+        base_seed = budget.Search.base_seed;
+        attempt;
+        total_steps = !total_steps;
+        pruned = 0;
+        prefix = None;
+        best = Search.ckpt_best_attempt peek;
+        seen = [];
+      }
+    in
+    let tick a =
+      Option.iter (fun s -> Checkpoint.tick s (frontier a)) checkpoint
+    in
+    let fail ~attempts ?deadline_hit () =
+      Option.iter (fun s -> Checkpoint.flush s (frontier attempts)) checkpoint;
+      Search.exhausted ~attempts ~total_steps:!total_steps ?deadline_hit
+        ~incidents:(List.rev !incidents) best
+    in
+    let make_exec w =
       let cap = ref None in
       fun ~cancel attempt ->
-        let world, abort = make ~attempt in
-        let inner = match abort with Some a -> a | None -> fun _ -> None in
-        let abort e = if cancel () then Some "cancelled" else inner e in
-        let r =
-          Interp.run ~max_steps:budget.Search.max_steps_per_attempt ~abort
-            ?trace_capacity:!cap labeled world
-        in
-        cap := Some (Trace.length r.Interp.trace);
-        r
+        attempt_job ~attempt ~worker:w (fun () ->
+            let world, abort = make ~attempt in
+            let inner = match abort with Some a -> a | None -> fun _ -> None in
+            let abort e = if cancel () then Some "cancelled" else inner e in
+            let r =
+              Interp.run ~max_steps:budget.Search.max_steps_per_attempt ~abort
+                ?cancel:(Search.wall_cancel deadline) ?trace_capacity:!cap
+                labeled world
+            in
+            cap := Some (Trace.length r.Interp.trace);
+            r)
     in
-    indexed_pool ~jobs ~first:1 ~last:budget.Search.max_attempts ~make_exec
-      ~process:(fun i r ->
-        total_steps := !total_steps + r.Interp.steps;
-        let r = Spec.apply spec r in
-        if accept r then
-          `Stop (Search.accepted ~attempts:i ~total_steps:!total_steps r)
-        else begin
-          note i r;
-          `Continue
-        end)
-      ~exhausted:(fun () ->
-        Search.exhausted ~attempts:budget.Search.max_attempts
-          ~total_steps:!total_steps best)
+    let first =
+      match resume with Some c -> c.Checkpoint.attempt + 1 | None -> 1
+    in
+    indexed_pool ~jobs ~first ~last:budget.Search.max_attempts ~make_exec
+      ~process:(fun i job ->
+        if Search.deadline_passed deadline then
+          `Stop (fail ~attempts:(i - 1) ~deadline_hit:true ())
+        else
+          match job with
+          | Job_poisoned inc ->
+            incidents := inc :: !incidents;
+            tick i;
+            `Continue
+          | Job_ok (r, inc) ->
+            Option.iter (fun inc -> incidents := inc :: !incidents) inc;
+            total_steps := !total_steps + r.Interp.steps;
+            let r = Spec.apply spec r in
+            if accept r then
+              `Stop
+                (Search.accepted ~attempts:i ~total_steps:!total_steps
+                   ~incidents:(List.rev !incidents) r)
+            else begin
+              note i i r;
+              tick i;
+              `Continue
+            end)
+      ~exhausted:(fun () -> fail ~attempts:budget.Search.max_attempts ())
   end
 
-let enumerate_inputs ?(jobs = 1) ?(score = Search.no_score) budget ~spec
-    ~accept labeled =
-  if jobs <= 1 then Search.enumerate_inputs ~score budget ~spec ~accept labeled
+let enumerate_inputs ?(jobs = 1) ?(score = Search.no_score) ?checkpoint
+    ?resume budget ~spec ~accept labeled =
+  if jobs <= 1 then
+    Search.enumerate_inputs ~score ?checkpoint ?resume budget ~spec ~accept
+      labeled
   else begin
-    let total_steps = ref 0 in
-    let attempts = ref 0 in
-    let note, best = Search.track_best score in
-    let make_exec () =
+    let resume = Search.check_resume ~engine:"inputs" budget resume in
+    let total_steps =
+      ref (match resume with Some c -> c.Checkpoint.total_steps | None -> 0)
+    in
+    let attempts =
+      ref (match resume with Some c -> c.Checkpoint.attempt | None -> 0)
+    in
+    let incidents = ref [] in
+    let deadline = Search.deadline_of budget in
+    let rerun prefix =
+      Spec.apply spec
+        (Engine.exec_inputs ~budget:budget.Search.max_steps_per_attempt
+           ~prefix labeled)
+          .Engine.result
+    in
+    let note, best, peek =
+      Search.track_best ?stored:(Search.stored_prefix resume) ~rerun score
+    in
+    let frontier attempt prefix () =
+      {
+        Checkpoint.engine = "inputs";
+        base_seed = budget.Search.base_seed;
+        attempt;
+        total_steps = !total_steps;
+        pruned = 0;
+        prefix;
+        best = Search.ckpt_best_prefix peek;
+        seen = [];
+      }
+    in
+    let tick a prefix =
+      Option.iter (fun s -> Checkpoint.tick s (frontier a prefix)) checkpoint
+    in
+    let fail ~attempts ~prefix ?deadline_hit () =
+      Option.iter
+        (fun s -> Checkpoint.flush s (frontier attempts prefix))
+        checkpoint;
+      Search.exhausted ~attempts ~total_steps:!total_steps ?deadline_hit
+        ~incidents:(List.rev !incidents) best
+    in
+    let make_exec w =
       let cap = ref None in
       fun ~cancel prefix ->
-        let p =
-          Engine.exec_inputs ~cancel ?trace_capacity:!cap
-            ~budget:budget.Search.max_steps_per_attempt ~prefix labeled
-        in
-        cap := Some (Trace.length p.Engine.result.Interp.trace);
-        p
+        attempt_job ~attempt:0 ~worker:w (fun () ->
+            let p =
+              Engine.exec_inputs ~cancel ?wall:(Search.wall_cancel deadline)
+                ?trace_capacity:!cap
+                ~budget:budget.Search.max_steps_per_attempt ~prefix labeled
+            in
+            cap := Some (Trace.length p.Engine.result.Interp.trace);
+            p)
     in
-    let stats_exhausted () =
-      Search.exhausted ~attempts:!attempts ~total_steps:!total_steps best
-    in
-    chain_pool ~jobs ~make_exec
-      ~process:(fun ~prefix:_ probe ->
-        if !attempts >= budget.Search.max_attempts then `Stop (stats_exhausted ())
-        else begin
-          incr attempts;
-          let r = probe.Engine.result in
-          total_steps := !total_steps + r.Interp.steps;
-          let r = Spec.apply spec r in
-          if accept r then
+    match resume with
+    | Some { Checkpoint.prefix = None; _ } ->
+      (* the checkpointed search had exhausted the odometer space *)
+      fail ~attempts:!attempts ~prefix:None ()
+    | _ ->
+      let init_prefix =
+        match resume with
+        | Some { Checkpoint.prefix = Some p; _ } -> p
+        | _ -> [||]
+      in
+      chain_pool ~init_prefix ~jobs ~make_exec
+        ~process:(fun ~prefix job ->
+          if Search.deadline_passed deadline then
             `Stop
-              (Search.accepted ~attempts:!attempts ~total_steps:!total_steps r)
-          else begin
-            note !attempts r;
-            if !attempts >= budget.Search.max_attempts then
-              `Stop (stats_exhausted ())
-            else `Advance probe.Engine.sizes
-          end
-        end)
-      ~exhausted:stats_exhausted
+              (fail ~attempts:!attempts ~prefix:(Some prefix)
+                 ~deadline_hit:true ())
+          else
+            match job with
+            | Job_poisoned inc ->
+              (* no fan-out sizes, so the odometer cannot advance past
+                 this prefix: end the search gracefully *)
+              incr attempts;
+              incidents :=
+                { inc with Search.at_attempt = !attempts } :: !incidents;
+              `Stop (fail ~attempts:!attempts ~prefix:(Some prefix) ())
+            | Job_ok (probe, inc) ->
+              Option.iter
+                (fun inc ->
+                  incidents :=
+                    { inc with Search.at_attempt = !attempts + 1 }
+                    :: !incidents)
+                inc;
+              if !attempts >= budget.Search.max_attempts then
+                `Stop (fail ~attempts:!attempts ~prefix:(Some prefix) ())
+              else begin
+                incr attempts;
+                let r = probe.Engine.result in
+                total_steps := !total_steps + r.Interp.steps;
+                let r = Spec.apply spec r in
+                if accept r then
+                  `Stop
+                    (Search.accepted ~attempts:!attempts
+                       ~total_steps:!total_steps
+                       ~incidents:(List.rev !incidents)
+                       r)
+                else begin
+                  note !attempts prefix r;
+                  let next = Engine.advance prefix probe.Engine.sizes in
+                  tick !attempts next;
+                  if !attempts >= budget.Search.max_attempts then
+                    `Stop (fail ~attempts:!attempts ~prefix:next ())
+                  else `Advance probe.Engine.sizes
+                end
+              end)
+        ~exhausted:(fun () -> fail ~attempts:!attempts ~prefix:None ())
+        ()
   end
 
-let dfs_schedules ?(jobs = 1) ?(score = Search.no_score) ?(prune = true) budget
-    ~spec ~accept labeled =
-  if jobs <= 1 then Search.dfs_schedules ~score ~prune budget ~spec ~accept labeled
+let dfs_schedules ?(jobs = 1) ?(score = Search.no_score) ?(prune = true)
+    ?checkpoint ?resume budget ~spec ~accept labeled =
+  if jobs <= 1 then
+    Search.dfs_schedules ~score ~prune ?checkpoint ?resume budget ~spec
+      ~accept labeled
   else begin
+    let resume = Search.check_resume ~engine:"dfs" budget resume in
     let seen = if prune then Some (Engine.Seen.create ()) else None in
+    (match (seen, resume) with
+    | Some s, Some c -> List.iter (Engine.Seen.add s) c.Checkpoint.seen
+    | _ -> ());
     let pruning =
       Option.map (fun seen -> { Engine.seen; plant = false }) seen
     in
-    let total_steps = ref 0 in
-    let attempts = ref 0 in
-    let pruned = ref 0 in
-    let note, best = Search.track_best score in
-    let make_exec () =
+    let total_steps =
+      ref (match resume with Some c -> c.Checkpoint.total_steps | None -> 0)
+    in
+    let attempts =
+      ref (match resume with Some c -> c.Checkpoint.attempt | None -> 0)
+    in
+    let pruned =
+      ref (match resume with Some c -> c.Checkpoint.pruned | None -> 0)
+    in
+    let incidents = ref [] in
+    let deadline = Search.deadline_of budget in
+    let rerun prefix =
+      (* a judged candidate was a completed, unpruned run, so re-executing
+         its prefix without pruning reproduces it exactly *)
+      Spec.apply spec
+        (Engine.exec_schedule ~budget:budget.Search.max_steps_per_attempt
+           ~prefix labeled)
+          .Engine.result
+    in
+    let note, best, peek =
+      Search.track_best ?stored:(Search.stored_prefix resume) ~rerun score
+    in
+    let frontier attempt prefix () =
+      {
+        Checkpoint.engine = "dfs";
+        base_seed = budget.Search.base_seed;
+        attempt;
+        total_steps = !total_steps;
+        pruned = !pruned;
+        prefix;
+        best = Search.ckpt_best_prefix peek;
+        seen = (match seen with Some s -> Engine.Seen.elements s | None -> []);
+      }
+    in
+    let tick a prefix =
+      Option.iter (fun s -> Checkpoint.tick s (frontier a prefix)) checkpoint
+    in
+    let fail ~attempts ~prefix ?deadline_hit () =
+      Option.iter
+        (fun s -> Checkpoint.flush s (frontier attempts prefix))
+        checkpoint;
+      Search.exhausted ~attempts ~total_steps:!total_steps ~pruned:!pruned
+        ?deadline_hit
+        ~incidents:(List.rev !incidents)
+        best
+    in
+    let make_exec w =
       let cap = ref None in
       fun ~cancel prefix ->
-        let p =
-          Engine.exec_schedule ~cancel ?pruning ?trace_capacity:!cap
-            ~budget:budget.Search.max_steps_per_attempt ~prefix labeled
-        in
-        cap := Some (Trace.length p.Engine.result.Interp.trace);
-        p
+        attempt_job ~attempt:0 ~worker:w (fun () ->
+            let p =
+              Engine.exec_schedule ~cancel ?pruning
+                ?wall:(Search.wall_cancel deadline) ?trace_capacity:!cap
+                ~budget:budget.Search.max_steps_per_attempt ~prefix labeled
+            in
+            cap := Some (Trace.length p.Engine.result.Interp.trace);
+            p)
     in
-    let stats_exhausted () =
-      Search.exhausted ~attempts:!attempts ~total_steps:!total_steps
-        ~pruned:!pruned best
-    in
-    chain_pool ~jobs ~make_exec
-      ~process:(fun ~prefix:_ probe ->
-        (* Workers run with [plant = false], so a checkpoint hit inside a
-           worker only ever reflects plants from attempts this reducer
-           already processed — always authoritative. Runs that completed
-           before an earlier attempt's plants landed are re-classified
-           here, charged only the steps the sequential search would have
-           executed before cutting them short. *)
-        match Engine.classify ?seen probe with
-        | Engine.Skipped { steps; sizes } ->
-          incr pruned;
-          total_steps := !total_steps + steps;
-          `Advance sizes
-        | Engine.Attempt (r0, sizes) ->
-          if !attempts >= budget.Search.max_attempts then
-            `Stop (stats_exhausted ())
-          else begin
-            incr attempts;
-            (match seen with
-            | Some s -> List.iter (Engine.Seen.add s) probe.Engine.plants
-            | None -> ());
-            total_steps := !total_steps + r0.Interp.steps;
-            let r = Spec.apply spec r0 in
-            if accept r then
-              `Stop
-                (Search.accepted ~attempts:!attempts
-                   ~total_steps:!total_steps ~pruned:!pruned r)
-            else begin
-              note !attempts r;
-              if !attempts >= budget.Search.max_attempts then
-                `Stop (stats_exhausted ())
-              else `Advance sizes
-            end
-          end)
-      ~exhausted:stats_exhausted
+    match resume with
+    | Some { Checkpoint.prefix = None; _ } ->
+      fail ~attempts:!attempts ~prefix:None ()
+    | _ ->
+      let init_prefix =
+        match resume with
+        | Some { Checkpoint.prefix = Some p; _ } -> p
+        | _ -> [||]
+      in
+      chain_pool ~init_prefix ~jobs ~make_exec
+        ~process:(fun ~prefix job ->
+          if Search.deadline_passed deadline then
+            `Stop
+              (fail ~attempts:!attempts ~prefix:(Some prefix)
+                 ~deadline_hit:true ())
+          else
+            match job with
+            | Job_poisoned inc ->
+              incr attempts;
+              incidents :=
+                { inc with Search.at_attempt = !attempts } :: !incidents;
+              `Stop (fail ~attempts:!attempts ~prefix:(Some prefix) ())
+            | Job_ok (probe, inc) -> (
+              Option.iter
+                (fun inc ->
+                  incidents :=
+                    { inc with Search.at_attempt = !attempts + 1 }
+                    :: !incidents)
+                inc;
+              (* Workers run with [plant = false], so a checkpoint hit
+                 inside a worker only ever reflects plants from attempts
+                 this reducer already processed — always authoritative.
+                 Runs that completed before an earlier attempt's plants
+                 landed are re-classified here, charged only the steps the
+                 sequential search would have executed before cutting them
+                 short. *)
+              match Engine.classify ?seen probe with
+              | Engine.Skipped { steps; sizes } ->
+                incr pruned;
+                total_steps := !total_steps + steps;
+                tick !attempts (Engine.advance prefix sizes);
+                `Advance sizes
+              | Engine.Attempt (r0, sizes) ->
+                if !attempts >= budget.Search.max_attempts then
+                  `Stop (fail ~attempts:!attempts ~prefix:(Some prefix) ())
+                else begin
+                  incr attempts;
+                  (match seen with
+                  | Some s -> List.iter (Engine.Seen.add s) probe.Engine.plants
+                  | None -> ());
+                  total_steps := !total_steps + r0.Interp.steps;
+                  let r = Spec.apply spec r0 in
+                  if accept r then
+                    `Stop
+                      (Search.accepted ~attempts:!attempts
+                         ~total_steps:!total_steps ~pruned:!pruned
+                         ~incidents:(List.rev !incidents)
+                         r)
+                  else begin
+                    note !attempts prefix r;
+                    let next = Engine.advance prefix sizes in
+                    tick !attempts next;
+                    if !attempts >= budget.Search.max_attempts then
+                      `Stop (fail ~attempts:!attempts ~prefix:next ())
+                    else `Advance sizes
+                  end
+                end))
+        ~exhausted:(fun () -> fail ~attempts:!attempts ~prefix:None ())
+        ()
   end
 
 (* ------------------------------------------------------------------ *)
 
-let first_success ?(jobs = 1) ~from ~count ~f () =
+let scan_engine = "scan"
+
+let check_scan_resume ~from = function
+  | None -> None
+  | Some (ck : Checkpoint.t) ->
+    if not (String.equal ck.Checkpoint.engine scan_engine) then
+      invalid_arg
+        (Printf.sprintf
+           "first_success: cannot resume a %S checkpoint in a seed scan"
+           ck.Checkpoint.engine);
+    if ck.Checkpoint.base_seed <> from then
+      invalid_arg
+        (Printf.sprintf
+           "first_success: checkpoint scan origin %d does not match from=%d"
+           ck.Checkpoint.base_seed from);
+    Some ck
+
+let first_success ?(jobs = 1) ?checkpoint ?resume ~from ~count ~f () =
+  let resume = check_scan_resume ~from resume in
   let last = from + count - 1 in
+  let start =
+    match resume with Some c -> c.Checkpoint.attempt + 1 | None -> from
+  in
+  let frontier i () =
+    {
+      Checkpoint.engine = scan_engine;
+      base_seed = from;
+      attempt = i;
+      total_steps = 0;
+      pruned = 0;
+      prefix = None;
+      best = None;
+      seen = [];
+    }
+  in
+  let tick i =
+    Option.iter (fun s -> Checkpoint.tick s (frontier i)) checkpoint
+  in
+  let flush i =
+    Option.iter (fun s -> Checkpoint.flush s (frontier i)) checkpoint
+  in
   if jobs <= 1 then begin
     let rec go i =
-      if i > last then None
-      else match f i with Some v -> Some (i, v) | None -> go (i + 1)
+      if i > last then begin
+        flush last;
+        None
+      end
+      else
+        (* a raising probe poisons only its seed, not the scan *)
+        match (try f i with _ -> None) with
+        | Some v -> Some (i, v)
+        | None ->
+          tick i;
+          go (i + 1)
     in
-    go from
+    go start
   end
   else
-    indexed_pool ~jobs ~first:from ~last
-      ~make_exec:(fun () -> fun ~cancel:_ i -> f i)
-      ~process:(fun i v ->
-        match v with Some v -> `Stop (Some (i, v)) | None -> `Continue)
-      ~exhausted:(fun () -> None)
+    indexed_pool ~jobs ~first:start ~last
+      ~make_exec:(fun w ->
+        fun ~cancel:_ i -> attempt_job ~attempt:i ~worker:w (fun () -> f i))
+      ~process:(fun i job ->
+        match job with
+        | Job_poisoned _ ->
+          tick i;
+          `Continue
+        | Job_ok (Some v, _) -> `Stop (Some (i, v))
+        | Job_ok (None, _) ->
+          tick i;
+          `Continue)
+      ~exhausted:(fun () ->
+        flush last;
+        None)

@@ -22,7 +22,22 @@
     Note for debugging-efficiency (DE) accounting: [total_steps] — the
     paper-facing inference-work metric — is unchanged by [jobs], but
     wall-clock reproduction time now depends on cores, so DE figures
-    derived from wall-clock must record the [jobs] used. *)
+    derived from wall-clock must record the [jobs] used.
+
+    Supervision: an attempt whose execution raises on a worker domain no
+    longer aborts the search. The job is retried in place (bounded by
+    {!Search.max_job_retries}) and then, if it keeps failing, delivered
+    poisoned: the reducer records a {!Search.incident} (with the worker's
+    index) in [stats.incidents] and carries on — skipping the attempt
+    where the engine can advance without it (indexed attempts), ending
+    the search gracefully where it cannot (a poisoned odometer attempt
+    never reports its fan-outs, so the chain has no successor).
+
+    Checkpoints: [checkpoint]/[resume] behave exactly as on the
+    sequential engines — the reducer is the only writer, ticking at
+    judge boundaries, so the file always describes a consistent frontier
+    and is interchangeable between sequential and parallel runs of the
+    same search. *)
 
 open Mvm
 
@@ -32,6 +47,8 @@ open Mvm
 val random_restarts :
   ?jobs:int ->
   ?score:(Interp.result -> float) ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
   Search.budget ->
   make:(attempt:int -> World.t * (Event.t -> string option) option) ->
   spec:Spec.t ->
@@ -43,6 +60,8 @@ val random_restarts :
 val enumerate_inputs :
   ?jobs:int ->
   ?score:(Interp.result -> float) ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
   Search.budget ->
   spec:Spec.t ->
   accept:(Interp.result -> bool) ->
@@ -58,6 +77,8 @@ val dfs_schedules :
   ?jobs:int ->
   ?score:(Interp.result -> float) ->
   ?prune:bool ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
   Search.budget ->
   spec:Spec.t ->
   accept:(Interp.result -> bool) ->
@@ -67,12 +88,48 @@ val dfs_schedules :
 (** [first_success ~jobs ~from ~count ~f ()] is the parallel analogue of
     scanning [f from], [f (from+1)], … and returning the first [Some] —
     deterministically the {e lowest} index whose [f] succeeds, with
-    higher indices probed speculatively. [f] runs on worker domains.
-    Used by workload seed scans. *)
+    higher indices probed speculatively. [f] runs on worker domains; a
+    probe that raises poisons only its own seed. Used by workload seed
+    scans. [checkpoint]/[resume] persist the scan frontier under the
+    "scan" engine kind, with [from] as the identity check. *)
 val first_success :
   ?jobs:int ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
   from:int ->
   count:int ->
   f:(int -> 'a option) ->
   unit ->
   (int * 'a) option
+
+(**/**)
+
+(* internal: exposed for the crash-tolerance test harness *)
+
+type 'a job =
+  | Job_ok of 'a * Search.incident option
+  | Job_poisoned of Search.incident
+
+val attempt_job :
+  attempt:int -> worker:int -> (unit -> 'a) -> 'a job
+
+val indexed_pool :
+  jobs:int ->
+  first:int ->
+  last:int ->
+  make_exec:(int -> cancel:(unit -> bool) -> int -> 'a) ->
+  process:(int -> 'a -> [ `Continue | `Stop of 'out ]) ->
+  exhausted:(unit -> 'out) ->
+  'out
+
+val chain_pool :
+  ?init_prefix:int array ->
+  jobs:int ->
+  make_exec:(int -> cancel:(unit -> bool) -> int array -> Engine.probe job) ->
+  process:
+    (prefix:int array ->
+     Engine.probe job ->
+     [ `Advance of int list | `Stop of 'out ]) ->
+  exhausted:(unit -> 'out) ->
+  unit ->
+  'out

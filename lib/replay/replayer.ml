@@ -7,6 +7,8 @@ type outcome = {
   partial : Search.partial option;
   attempts : int;
   total_steps : int;
+  deadline_hit : bool;
+  incidents : Search.incident list;
 }
 
 let of_search model (o : Search.outcome) =
@@ -16,7 +18,30 @@ let of_search model (o : Search.outcome) =
     partial = o.Search.partial;
     attempts = o.Search.stats.attempts;
     total_steps = o.Search.stats.total_steps;
+    deadline_hit = o.Search.stats.deadline_hit;
+    incidents = o.Search.stats.incidents;
   }
+
+(* The CLI's exit-code contract, kept in the library so it can be tested
+   without forking the binary:
+     0  the failure was reproduced (full-fidelity replay)
+     3  budget exhausted, degraded to a partial candidate (DF 1/n)
+     4  the log arrived damaged and was salvaged (replay is best-effort,
+        whatever its outcome short of success)
+     5  nothing to show: deadline or budget ran out with no candidate *)
+let exit_ok = 0
+let exit_partial = 3
+let exit_salvaged = 4
+let exit_deadline = 5
+
+let exit_code ?(damaged = false) o =
+  match o.result with
+  | Some _ -> if damaged then exit_salvaged else exit_ok
+  | None ->
+    if damaged then exit_salvaged
+    else if o.deadline_hit then exit_deadline
+    else if o.partial <> None then exit_partial
+    else exit_deadline
 
 (* The recorded run may have executed under a fault plan; replay must
    re-create that adversarial environment or the schedule and deliveries
@@ -49,13 +74,22 @@ let perfect labeled ~spec log =
            });
     attempts = 1;
     total_steps = r.steps;
+    deadline_hit = false;
+    incidents = [];
   }
 
 let small_budget =
-  { Search.max_attempts = 10; max_steps_per_attempt = 100_000; base_seed = 1 }
+  {
+    Search.max_attempts = 10;
+    max_steps_per_attempt = 100_000;
+    base_seed = 1;
+    deadline_s = None;
+  }
 
-let value_det ?(budget = small_budget) ?(jobs = 1) labeled ~spec log =
-  Par_search.random_restarts ~jobs budget ~score:(Constraints.closeness log)
+let value_det ?(budget = small_budget) ?(jobs = 1) ?checkpoint ?resume labeled
+    ~spec log =
+  Par_search.random_restarts ~jobs ?checkpoint ?resume budget
+    ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       let handle = Oracle.value_det ~seed:(budget.base_seed + attempt) log in
       (handle.Oracle.world, Some handle.Oracle.abort))
@@ -65,14 +99,15 @@ let value_det ?(budget = small_budget) ?(jobs = 1) labeled ~spec log =
   |> of_search "value"
 
 let output_det ?(budget = Search.default_budget) ?(exhaustive = true)
-    ?(jobs = 1) labeled ~spec log =
+    ?(jobs = 1) ?checkpoint ?resume labeled ~spec log =
   let accept = Constraints.outputs_match log in
   let score = Constraints.closeness log in
   let o =
     if exhaustive then
-      Par_search.enumerate_inputs ~jobs budget ~score ~spec ~accept labeled
+      Par_search.enumerate_inputs ~jobs ?checkpoint ?resume budget ~score
+        ~spec ~accept labeled
     else
-      Par_search.random_restarts ~jobs budget ~score
+      Par_search.random_restarts ~jobs ?checkpoint ?resume budget ~score
         ~make:(fun ~attempt ->
           ( env_world log (World.random ~seed:(budget.base_seed + attempt)),
             Some (Constraints.output_prefix_abort log) ))
@@ -80,9 +115,10 @@ let output_det ?(budget = Search.default_budget) ?(exhaustive = true)
   in
   of_search "output" o
 
-let failure_det ?(budget = Search.default_budget) ?(jobs = 1) labeled ~spec
-    log =
-  Par_search.random_restarts ~jobs budget ~score:(Constraints.closeness log)
+let failure_det ?(budget = Search.default_budget) ?(jobs = 1) ?checkpoint
+    ?resume labeled ~spec log =
+  Par_search.random_restarts ~jobs ?checkpoint ?resume budget
+    ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       (env_world log (World.random ~seed:(budget.base_seed + attempt)), None))
     ~spec
@@ -90,8 +126,10 @@ let failure_det ?(budget = Search.default_budget) ?(jobs = 1) labeled ~spec
     labeled
   |> of_search "failure"
 
-let sync_det ?(budget = Search.default_budget) ?(jobs = 1) labeled ~spec log =
-  Par_search.random_restarts ~jobs budget ~score:(Constraints.closeness log)
+let sync_det ?(budget = Search.default_budget) ?(jobs = 1) ?checkpoint ?resume
+    labeled ~spec log =
+  Par_search.random_restarts ~jobs ?checkpoint ?resume budget
+    ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       let handle = Oracle.sync ~seed:(budget.base_seed + attempt) log in
       ( handle.Oracle.world,
@@ -104,8 +142,9 @@ let sync_det ?(budget = Search.default_budget) ?(jobs = 1) labeled ~spec log =
   |> of_search "sync"
 
 let rcse ?(budget = Search.default_budget) ?(strict = true) ?(jobs = 1)
-    labeled ~spec log =
-  Par_search.random_restarts ~jobs budget ~score:(Constraints.closeness log)
+    ?checkpoint ?resume labeled ~spec log =
+  Par_search.random_restarts ~jobs ?checkpoint ?resume budget
+    ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       let handle = Oracle.rcse ~strict ~seed:(budget.base_seed + attempt) log in
       (env_world log handle.Oracle.world, Some handle.Oracle.abort))
@@ -118,8 +157,14 @@ let pp_outcome ppf o =
   Format.fprintf ppf "%s: %s after %d attempt(s), %d inference steps" o.model
     (match o.result with Some _ -> "replayed" | None -> "NOT replayed")
     o.attempts o.total_steps;
-  match o.result, o.partial with
+  (match o.result, o.partial with
   | None, Some p ->
     Format.fprintf ppf "; best partial candidate: closeness %.2f (attempt %d)"
       p.Search.closeness p.Search.attempt
-  | _ -> ()
+  | _ -> ());
+  if o.deadline_hit then Format.fprintf ppf "; deadline hit";
+  match o.incidents with
+  | [] -> ()
+  | incs ->
+    Format.fprintf ppf "; %d worker incident(s):" (List.length incs);
+    List.iter (fun i -> Format.fprintf ppf "@ [%a]" Search.pp_incident i) incs

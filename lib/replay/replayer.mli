@@ -37,7 +37,23 @@ type outcome = {
           of all-or-nothing failure *)
   attempts : int;
   total_steps : int;  (** VM steps spent on inference across all attempts *)
+  deadline_hit : bool;  (** the budget's wall-clock deadline cut the search *)
+  incidents : Search.incident list;
+      (** supervision report: attempts that crashed and were requeued or
+          poisoned instead of aborting the search *)
 }
+
+(** [exit_code ?damaged o] is the CLI's exit-code contract, kept here so
+    it is testable without forking the binary: [0] reproduced, [3]
+    degraded to a partial candidate, [4] the log was damaged/salvaged,
+    [5] deadline or budget exhausted with nothing to show. [damaged]
+    (the log needed salvage) dominates. *)
+val exit_code : ?damaged:bool -> outcome -> int
+
+val exit_ok : int
+val exit_partial : int
+val exit_salvaged : int
+val exit_deadline : int
 
 val perfect : Label.labeled -> spec:Spec.t -> Log.t -> outcome
 
@@ -48,6 +64,8 @@ val perfect : Label.labeled -> spec:Spec.t -> Log.t -> outcome
 val value_det :
   ?budget:Search.budget ->
   ?jobs:int ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
   Label.labeled ->
   spec:Spec.t ->
   Log.t ->
@@ -60,6 +78,8 @@ val output_det :
   ?budget:Search.budget ->
   ?exhaustive:bool ->
   ?jobs:int ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
   Label.labeled ->
   spec:Spec.t ->
   Log.t ->
@@ -68,6 +88,8 @@ val output_det :
 val failure_det :
   ?budget:Search.budget ->
   ?jobs:int ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
   Label.labeled ->
   spec:Spec.t ->
   Log.t ->
@@ -76,6 +98,8 @@ val failure_det :
 val sync_det :
   ?budget:Search.budget ->
   ?jobs:int ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
   Label.labeled ->
   spec:Spec.t ->
   Log.t ->
@@ -88,6 +112,8 @@ val rcse :
   ?budget:Search.budget ->
   ?strict:bool ->
   ?jobs:int ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
   Label.labeled ->
   spec:Spec.t ->
   Log.t ->

@@ -25,9 +25,31 @@ type budget = {
   max_attempts : int;  (** maximum executions tried *)
   max_steps_per_attempt : int;  (** step cap per execution *)
   base_seed : int;  (** seed of the first attempt; attempt k uses base+k *)
+  deadline_s : float option;
+      (** optional wall-clock allowance in seconds. Converted to an
+          absolute instant when the engine starts; checked between
+          attempts and — via the interpreter's coarse [cancel] poll —
+          every 128 steps inside an attempt. On expiry the search
+          degrades to its partial outcome with [stats.deadline_hit]
+          set, the paper's graceful-degradation stance applied to time:
+          DF falls to 1/n instead of the debugger hanging. *)
 }
 
 val default_budget : budget
+
+(** A worker mishap the search survived. [worker] is the domain's index
+    under {!Par_search} ([None] for the sequential engines). A requeued
+    incident ([poisoned = false]) means the retry succeeded; a poisoned
+    one means the attempt was abandoned after [retries] retries. *)
+type incident = {
+  at_attempt : int;
+  worker : int option;
+  error : string;
+  retries : int;
+  poisoned : bool;
+}
+
+val pp_incident : Format.formatter -> incident -> unit
 
 type stats = {
   attempts : int;  (** executions actually run and judged *)
@@ -37,6 +59,9 @@ type stats = {
           covered, or a clamped digit); their probe steps are included in
           [total_steps], but they are not [attempts] *)
   success : bool;
+  deadline_hit : bool;  (** the wall-clock deadline ended the search *)
+  incidents : incident list;
+      (** supervision report: requeued and poisoned attempts, in order *)
 }
 
 (** A best-effort reproduction: the highest-scoring rejected candidate
@@ -58,9 +83,27 @@ type outcome = {
     and an optional streaming abort for each attempt (fresh state per
     attempt!). Each completed run is judged by [spec] before [accept].
     [score] ranks rejected runs for the {!partial} outcome (default:
-    rank nothing). *)
+    rank nothing).
+
+    All three engines share the crash-tolerance conveniences:
+
+    - [checkpoint] — a {!Checkpoint.sink} ticked once per judged attempt
+      at iteration boundaries, so the file on disk always describes a
+      consistent frontier ("everything before attempt [n] is done"); it
+      is flushed when the search ends without a hit, which is what lets
+      a deadline-killed search resume later.
+    - [resume] — a loaded {!Checkpoint.t}; the engine validates its
+      engine kind and base seed (raising [Invalid_argument] on a
+      mismatch), restores the counters, frontier and best-candidate key,
+      and continues. Because attempts are judged in order, a resumed
+      search reaches the same first-hit outcome as an uninterrupted one.
+    - supervision — an attempt whose execution raises is retried up to a
+      bounded number of times, then poisoned (skipped) with an
+      {!incident} in [stats.incidents]; the search itself survives. *)
 val random_restarts :
   ?score:(Interp.result -> float) ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
   budget ->
   make:(attempt:int -> World.t * (Event.t -> string option) option) ->
   spec:Spec.t ->
@@ -73,6 +116,8 @@ val random_restarts :
     round-robin schedule; complete up to the attempt budget. *)
 val enumerate_inputs :
   ?score:(Interp.result -> float) ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
   budget ->
   spec:Spec.t ->
   accept:(Interp.result -> bool) ->
@@ -109,6 +154,8 @@ val dfs_schedules :
   ?score:(Interp.result -> float) ->
   ?prune:bool ->
   ?on_prune:(prefix:int array -> unit) ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
   budget ->
   spec:Spec.t ->
   accept:(Interp.result -> bool) ->
@@ -129,12 +176,42 @@ val run_schedule_prefix :
 
 (* internal: shared with Par_search *)
 val no_score : Interp.result -> float
+
+(* best tracker, generic in the rerun key 'k (attempt index for seeded
+   restarts, decision prefix for odometer engines): returns
+   (note attempt key result, get-partial, peek-stored-key). [get]
+   rematerialises a checkpoint-restored best by rerunning its key. *)
 val track_best :
+  ?stored:float * int * 'k ->
+  rerun:('k -> Interp.result) ->
   (Interp.result -> float) ->
-  (int -> Interp.result -> unit) * (unit -> partial option)
+  (int -> 'k -> Interp.result -> unit)
+  * (unit -> partial option)
+  * (unit -> (float * int * 'k) option)
+
 val exhausted :
-  attempts:int -> total_steps:int -> ?pruned:int ->
-  (unit -> partial option) -> outcome
+  attempts:int -> total_steps:int -> ?pruned:int -> ?deadline_hit:bool ->
+  ?incidents:incident list -> (unit -> partial option) -> outcome
 val accepted :
-  attempts:int -> total_steps:int -> ?pruned:int -> Interp.result -> outcome
+  attempts:int -> total_steps:int -> ?pruned:int -> ?deadline_hit:bool ->
+  ?incidents:incident list -> Interp.result -> outcome
 val advance : int array -> int list -> int array option
+
+val deadline_reason : string
+val deadline_of : budget -> float option
+val deadline_passed : float option -> bool
+val wall_cancel : float option -> (unit -> string option) option
+
+val max_job_retries : int
+val supervised :
+  attempt:int -> worker:int option -> incident list ref ->
+  (unit -> 'a) -> 'a option
+
+val check_resume :
+  engine:string -> budget -> Checkpoint.t option -> Checkpoint.t option
+val ckpt_best_attempt :
+  (unit -> (float * int * int) option) -> Checkpoint.best option
+val ckpt_best_prefix :
+  (unit -> (float * int * int array) option) -> Checkpoint.best option
+val stored_attempt : Checkpoint.t option -> (float * int * int) option
+val stored_prefix : Checkpoint.t option -> (float * int * int array) option

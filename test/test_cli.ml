@@ -1,0 +1,162 @@
+(* End-to-end check of the ddreplay exit-code contract by forking the
+   real binary: 0 reproduced, 3 degraded to a partial candidate, 4
+   salvaged-log damage, 5 deadline/budget exhausted — plus the
+   checkpoint/resume round-trip through the CLI flags.
+
+   Usage: test_cli.exe <path-to-ddreplay.exe> (wired by the
+   cli-exit-codes rule in test/dune). *)
+
+open Ddet
+open Ddet_apps
+
+let ddreplay = ref "ddreplay"
+
+let run fmt =
+  Printf.ksprintf
+    (fun args ->
+      Sys.command
+        (Printf.sprintf "%s %s > /dev/null 2>&1" (Filename.quote !ddreplay)
+           args))
+    fmt
+
+let check = Alcotest.(check int)
+
+(* An app + seed whose failure-determinism replay reproduces but needs
+   at least two attempts under the CLI's default budget: truncating the
+   budget then leaves a partial candidate (exit 3), and one fewer
+   attempt than the hit is a meaningful kill point for --resume. The
+   probe runs the same Session code path the CLI runs, so the attempt
+   count transfers exactly. *)
+let scenario =
+  lazy
+    (let budget = Config.default.Config.budget in
+     let try_app (app : App.t) =
+       match Workload.find_failing_seed app with
+       | None -> None
+       | Some (seed, _) ->
+         let prepared = Session.prepare Model.Failure_det app in
+         let _, log = Session.record prepared ~seed in
+         let o = Session.replay ~budget prepared log in
+         if
+           o.Ddet_replay.Replayer.result <> None
+           && o.Ddet_replay.Replayer.attempts >= 2
+         then Some (app, seed, o.Ddet_replay.Replayer.attempts)
+         else None
+     in
+     match
+       List.find_map try_app [ Miniht.app (); Adder.app (); Msg_server.app () ]
+     with
+     | Some s -> s
+     | None -> Alcotest.fail "no CLI scenario with a multi-attempt replay")
+
+let record_tmp (app : App.t) seed =
+  let log = Filename.temp_file "ddet_cli" ".log" in
+  check "record saves the log" 0
+    (run "record -a %s -m failure -s %d -o %s" app.App.name seed
+       (Filename.quote log));
+  log
+
+let test_reproduced () =
+  let app, seed, _ = Lazy.force scenario in
+  let log = record_tmp app seed in
+  check "replay reproduces: exit 0" 0
+    (run "replay -a %s -m failure -i %s" app.App.name (Filename.quote log));
+  Sys.remove log
+
+let test_partial () =
+  let app, seed, attempts = Lazy.force scenario in
+  let log = record_tmp app seed in
+  check "truncated budget degrades to partial: exit 3" 3
+    (run "replay -a %s -m failure -i %s --attempts %d" app.App.name
+       (Filename.quote log) (attempts - 1));
+  Sys.remove log
+
+let test_salvaged () =
+  let app, seed, _ = Lazy.force scenario in
+  let log = record_tmp app seed in
+  let whole = In_channel.with_open_bin log In_channel.input_all in
+  let oc = open_out_bin log in
+  output_string oc (String.sub whole 0 (String.length whole - 12));
+  close_out oc;
+  check "strict load refuses the damaged log: exit 1" 1
+    (run "replay -a %s -m failure -i %s" app.App.name (Filename.quote log));
+  check "salvaged replay reports damage: exit 4" 4
+    (run "replay -a %s -m failure -i %s --salvage" app.App.name
+       (Filename.quote log));
+  Sys.remove log
+
+let test_deadline () =
+  let app, seed, _ = Lazy.force scenario in
+  let log = record_tmp app seed in
+  check "zero deadline, nothing to show: exit 5" 5
+    (run "replay -a %s -m failure -i %s --deadline 0" app.App.name
+       (Filename.quote log));
+  Sys.remove log
+
+let test_find_exhausted () =
+  check "seed scan exhausts its range: exit 5" 5
+    (run "find -a adder --cause no-such-cause")
+
+let test_checkpoint_resume () =
+  let app, seed, attempts = Lazy.force scenario in
+  let log = record_tmp app seed in
+  let ckpt = Filename.temp_file "ddet_cli" ".ckpt" in
+  check "killed search leaves a checkpoint: exit 3" 3
+    (run "replay -a %s -m failure -i %s --attempts %d --checkpoint %s"
+       app.App.name (Filename.quote log) (attempts - 1) (Filename.quote ckpt));
+  check "resumed search completes the hit: exit 0" 0
+    (run "replay -a %s -m failure -i %s --resume %s" app.App.name
+       (Filename.quote log) (Filename.quote ckpt));
+  check "a torn resume file is refused: exit 1" 1
+    (let oc = open_out_bin ckpt in
+     output_string oc "ddet-ckpt v1\ngarbage\n";
+     close_out oc;
+     run "replay -a %s -m failure -i %s --resume %s" app.App.name
+       (Filename.quote log) (Filename.quote ckpt));
+  Sys.remove ckpt;
+  Sys.remove log
+
+let test_segmented_roundtrip () =
+  let app, seed, _ = Lazy.force scenario in
+  let base = Filename.temp_file "ddet_cli" ".seg" in
+  Sys.remove base;
+  check "segmented record" 0
+    (run "record -a %s -m failure -s %d -o %s --segments 4" app.App.name seed
+       (Filename.quote base));
+  check "replay auto-detects the segment set: exit 0" 0
+    (run "replay -a %s -m failure -i %s" app.App.name (Filename.quote base));
+  List.iter
+    (fun suffix ->
+      let p = base ^ suffix in
+      if Sys.file_exists p then Sys.remove p)
+    ([ ".header"; ".manifest" ]
+    @ List.init 20 (Printf.sprintf ".%04d.seg"))
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: test_cli.exe <path-to-ddreplay.exe>";
+    exit 2
+  end;
+  (ddreplay :=
+     let p = Sys.argv.(1) in
+     if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p);
+  (* alcotest parses argv itself; hide ours *)
+  let argv = [| Sys.argv.(0) |] in
+  Alcotest.run ~argv "cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "0: reproduced" `Quick test_reproduced;
+          Alcotest.test_case "3: degraded to partial" `Quick test_partial;
+          Alcotest.test_case "4: salvaged damage" `Quick test_salvaged;
+          Alcotest.test_case "5: deadline exhausted" `Quick test_deadline;
+          Alcotest.test_case "5: scan exhausted" `Quick test_find_exhausted;
+        ] );
+      ( "crash-flags",
+        [
+          Alcotest.test_case "checkpoint then resume" `Quick
+            test_checkpoint_resume;
+          Alcotest.test_case "segmented record and replay" `Quick
+            test_segmented_roundtrip;
+        ] );
+    ]

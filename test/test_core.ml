@@ -202,7 +202,7 @@ let test_explore_respects_budget () =
       ~world:(Mvm.World.random ~seed)
   in
   let budget =
-    { Ddet_replay.Search.max_attempts = 2; max_steps_per_attempt = 50_000; base_seed = 1 }
+    { Ddet_replay.Search.max_attempts = 2; max_steps_per_attempt = 50_000; base_seed = 1; deadline_s = None }
   in
   let o = Explore.all_root_causes ~budget app ~log in
   Alcotest.(check bool) "attempts capped" true (o.Explore.attempts <= 2)

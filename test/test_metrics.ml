@@ -132,7 +132,8 @@ let test_explain_names_causes () =
 (* efficiency and utility *)
 
 let outcome ?result ~attempts ~total_steps () =
-  { Ddet_replay.Replayer.model = "test"; result; partial = None; attempts; total_steps }
+  { Ddet_replay.Replayer.model = "test"; result; partial = None; attempts;
+    total_steps; deadline_hit = false; incidents = [] }
 
 let test_de_ratio () =
   let original = run_with 1 0 in

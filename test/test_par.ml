@@ -111,7 +111,7 @@ let test_restarts_parity_counter () =
   let log = failure_log labeled spec seed in
   let accept = Constraints.failure_matches log in
   let budget =
-    { Search.max_attempts = 200; max_steps_per_attempt = 5_000; base_seed = 1 }
+    { Search.max_attempts = 200; max_steps_per_attempt = 5_000; base_seed = 1; deadline_s = None }
   in
   let make ~attempt = (World.random ~seed:attempt, None) in
   let s = Search.random_restarts budget ~make ~spec ~accept labeled in
@@ -126,7 +126,7 @@ let test_dfs_parity_counter () =
   let log = failure_log labeled spec seed in
   let accept = Constraints.failure_matches log in
   let budget =
-    { Search.max_attempts = 300; max_steps_per_attempt = 5_000; base_seed = 1 }
+    { Search.max_attempts = 300; max_steps_per_attempt = 5_000; base_seed = 1; deadline_s = None }
   in
   let s = Search.dfs_schedules budget ~spec ~accept labeled in
   let p = Par_search.dfs_schedules ~jobs budget ~spec ~accept labeled in
@@ -141,7 +141,7 @@ let test_enumerate_inputs_parity_adder () =
     Trace.outputs_on r.Interp.trace "sum" = [ Value.int 7 ]
   in
   let budget =
-    { Search.max_attempts = 50; max_steps_per_attempt = 1_000; base_seed = 1 }
+    { Search.max_attempts = 50; max_steps_per_attempt = 1_000; base_seed = 1; deadline_s = None }
   in
   let s = Search.enumerate_inputs budget ~spec ~accept adder_prog in
   let p = Par_search.enumerate_inputs ~jobs budget ~spec ~accept adder_prog in
@@ -158,7 +158,7 @@ let test_replayer_parity_miniht () =
   let seed = find_failing_seed labeled spec in
   let log = failure_log labeled spec seed in
   let budget =
-    { Search.max_attempts = 300; max_steps_per_attempt = 5_000; base_seed = 1 }
+    { Search.max_attempts = 300; max_steps_per_attempt = 5_000; base_seed = 1; deadline_s = None }
   in
   let s = Replayer.failure_det ~budget labeled ~spec log in
   let p = Replayer.failure_det ~budget ~jobs labeled ~spec log in
@@ -232,7 +232,7 @@ let test_pruning_shrinks_dfs () =
   let log = failure_log labeled spec seed in
   let accept = Constraints.failure_matches log in
   let budget =
-    { Search.max_attempts = 300; max_steps_per_attempt = 5_000; base_seed = 1 }
+    { Search.max_attempts = 300; max_steps_per_attempt = 5_000; base_seed = 1; deadline_s = None }
   in
   let pruned = Search.dfs_schedules budget ~spec ~accept labeled in
   let plain = Search.dfs_schedules ~prune:false budget ~spec ~accept labeled in

@@ -310,7 +310,7 @@ let prop_scalar_reconstruction =
 let print_pseed pseed = Printf.sprintf "program seed %d" pseed
 
 let dfs_budget =
-  { Search.max_attempts = 40; max_steps_per_attempt = 2_000; base_seed = 1 }
+  { Search.max_attempts = 40; max_steps_per_attempt = 2_000; base_seed = 1; deadline_s = None }
 
 (* Soundness: every prefix the pruner skips, re-run in full, reproduces
    the (status, outputs, failure) projection of a run the search had
@@ -377,6 +377,117 @@ let prop_pruning_preserves_success =
       && ((not (n.Search.stats.Search.success && p.Search.stats.Search.success))
          || p.Search.stats.Search.attempts <= n.Search.stats.Search.attempts))
 
+(* ------------------------------------------------------------------ *)
+(* checkpointed resumable search *)
+
+(* Resume parity, the crash-tolerance contract as a law: kill a search at
+   a random attempt boundary (simulated with a truncated budget plus a
+   checkpoint sink at a random interval — the engines flush the frontier
+   when the budget runs out, so the file on disk is exactly what a crash
+   after the last atomic write leaves; test_crash.ml ties this to a real
+   SIGKILL), then resume from that file. The resumed search must reach
+   the uninterrupted search's outcome: same counters, same verdict, same
+   reproduction. Randomizes the engine too. *)
+let same_search_outcome (a : Search.outcome) (b : Search.outcome) =
+  let proj (r : Interp.result) =
+    (r.Interp.status, r.Interp.outputs, r.Interp.failure)
+  in
+  a.Search.stats.Search.attempts = b.Search.stats.Search.attempts
+  && a.Search.stats.Search.total_steps = b.Search.stats.Search.total_steps
+  && a.Search.stats.Search.pruned = b.Search.stats.Search.pruned
+  && a.Search.stats.Search.success = b.Search.stats.Search.success
+  && (match (a.Search.result, b.Search.result) with
+     | None, None -> true
+     | Some ra, Some rb -> proj ra = proj rb
+     | _ -> false)
+  &&
+  match (a.Search.partial, b.Search.partial) with
+  | None, None -> true
+  | Some pa, Some pb ->
+    pa.Search.attempt = pb.Search.attempt
+    && abs_float (pa.Search.closeness -. pb.Search.closeness) < 1e-9
+    && proj pa.Search.best = proj pb.Search.best
+  | _ -> false
+
+let prop_resume_parity =
+  QCheck2.Test.make ~name:"resumed search equals the uninterrupted search"
+    ~count:40
+    ~print:(fun (pseed, every, kill, engine) ->
+      Printf.sprintf "program seed %d, sink every %d, kill point %d, engine %s"
+        pseed every kill
+        [| "restarts"; "inputs"; "dfs" |].(engine))
+    QCheck2.Gen.(
+      quad (int_range 1 5_000) (int_range 1 8) (int_range 1 1_000)
+        (int_range 0 2))
+    (fun (pseed, every, kill, engine) ->
+      let labeled = program_of pseed in
+      let budget =
+        {
+          Search.max_attempts = 12;
+          max_steps_per_attempt = 2_000;
+          base_seed = pseed;
+          deadline_s = None;
+        }
+      in
+      let base, _ =
+        Search.run_schedule_prefix
+          ~max_steps:budget.Search.max_steps_per_attempt ~prefix:[||] labeled
+      in
+      let accept r =
+        r.Interp.outputs <> base.Interp.outputs
+        || r.Interp.failure <> base.Interp.failure
+      in
+      let score r =
+        if accept r then 1.0
+        else float_of_int (List.length r.Interp.outputs) /. 100.
+      in
+      let run :
+          ?checkpoint:Checkpoint.sink ->
+          ?resume:Checkpoint.t ->
+          Search.budget ->
+          Search.outcome =
+        match engine with
+        | 0 ->
+          fun ?checkpoint ?resume b ->
+            Search.random_restarts ~score ?checkpoint ?resume b
+              ~make:(fun ~attempt ->
+                (World.random ~seed:(b.Search.base_seed + attempt), None))
+              ~spec:Spec.accept_all ~accept labeled
+        | 1 ->
+          fun ?checkpoint ?resume b ->
+            Search.enumerate_inputs ~score ?checkpoint ?resume b
+              ~spec:Spec.accept_all ~accept labeled
+        | _ ->
+          fun ?checkpoint ?resume b ->
+            Search.dfs_schedules ~score ?checkpoint ?resume b
+              ~spec:Spec.accept_all ~accept labeled
+      in
+      let full = run budget in
+      (* kill points live strictly inside the search: after at least one
+         judged attempt, before the attempt that decides it *)
+      let last =
+        if full.Search.stats.Search.success then
+          full.Search.stats.Search.attempts - 1
+        else full.Search.stats.Search.attempts
+      in
+      if last < 1 then true
+      else begin
+        let kill_at = 1 + (kill mod last) in
+        let file = Stdlib.Filename.temp_file "ddet_prop" ".ckpt" in
+        let sink = Checkpoint.sink ~every file in
+        let (_ : Search.outcome) =
+          run ~checkpoint:sink { budget with Search.max_attempts = kill_at }
+        in
+        let verdict =
+          match Checkpoint.load file with
+          | Error e ->
+            QCheck2.Test.fail_reportf "killed search left no checkpoint: %s" e
+          | Ok ckpt -> same_search_outcome full (run ~resume:ckpt budget)
+        in
+        Stdlib.Sys.remove file;
+        verdict
+      end)
+
 let () =
   let to_alcotest = QCheck_alcotest.to_alcotest in
   Alcotest.run "props"
@@ -409,4 +520,5 @@ let () =
       ( "pruning",
         List.map to_alcotest
           [ prop_pruning_sound; prop_pruning_preserves_success ] );
+      ("crash-tolerance", List.map to_alcotest [ prop_resume_parity ]);
     ]

@@ -389,6 +389,84 @@ let test_log_io_salvage_keeps_valid_prefix () =
     Alcotest.(check bool) "count mismatch flagged" true damage.Log_io.truncated
   | Error e -> Alcotest.fail e
 
+(* crash-safety of the on-disk format: whatever byte a crash cuts the
+   file at, salvage recovers a valid prefix of the recording — it never
+   invents entries and never raises *)
+let rec is_prefix a b =
+  match (a, b) with
+  | [], _ -> true
+  | x :: xs, y :: ys -> x = y && is_prefix xs ys
+  | _ :: _, [] -> false
+
+let test_log_io_salvage_every_truncation () =
+  let _, log = record_with (Full_recorder.create ()) in
+  let s = Log_io.to_string log in
+  for n = 0 to String.length s do
+    let cut = String.sub s 0 n in
+    match Log_io.of_string_report ~mode:Log_io.Salvage cut with
+    | Ok (log', damage) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "prefix at byte %d" n)
+        true
+        (is_prefix log'.Log.entries log.Log.entries);
+      (* anything short of a lossless recovery must be flagged; a cut
+         that only loses trailing whitespace recovers everything and is
+         legitimately clean *)
+      if log'.Log.entries <> log.Log.entries then
+        Alcotest.(check bool)
+          (Printf.sprintf "loss flagged at byte %d" n)
+          true
+          (Log_io.is_damaged damage)
+    | Error _ ->
+      (* acceptable only while even the header is incomplete *)
+      Alcotest.(check bool)
+        (Printf.sprintf "hard error only before entries (byte %d)" n)
+        true
+        (n < String.length s)
+  done
+
+(* v1 has no CRCs and no count trailer: truncation there is undetectable
+   by design (§ the hardened-pipeline notes), but salvage must still
+   recover cleanly at the edge cases *)
+let v1_header = "ddet-log v1\nrecorder \"t\"\nbase-steps 1\nfailure none\n"
+
+let test_log_io_v1_empty_body () =
+  let empty = Log.make ~recorder:"t" ~entries:[] ~base_steps:1 ~failure:None () in
+  match Log_io.of_string (Log_io.to_string_v1 empty) with
+  | Ok log' -> Alcotest.(check int) "no entries" 0 (List.length log'.Log.entries)
+  | Error e -> Alcotest.fail e
+
+let test_log_io_v1_header_only () =
+  match Log_io.of_string_report ~mode:Log_io.Salvage v1_header with
+  | Ok (log', damage) ->
+    Alcotest.(check int) "no entries invented" 0 (List.length log'.Log.entries);
+    Alcotest.(check bool) "header-only v1 is not damage" false
+      (Log_io.is_damaged damage)
+  | Error e -> Alcotest.fail e
+
+let test_log_io_v1_trailerless_tail () =
+  let _, log = record_with (Value_recorder.create ()) in
+  let s = Log_io.to_string_v1 log in
+  (* cut the last entry line in half: v1 can spot the malformed line but
+     not the loss itself (no trailer), so salvage recovers the prefix
+     with a corrupt-line report and no truncation flag *)
+  let cut = String.sub s 0 (String.length s - 7) in
+  (match Log_io.of_string cut with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "strict mode accepted a torn v1 line");
+  match Log_io.of_string_report ~mode:Log_io.Salvage cut with
+  | Ok (log', damage) ->
+    Alcotest.(check bool) "valid prefix" true
+      (is_prefix log'.Log.entries log.Log.entries);
+    Alcotest.(check int) "one entry lost"
+      (List.length log.Log.entries - 1)
+      (List.length log'.Log.entries);
+    Alcotest.(check int) "torn line reported" 1
+      (List.length damage.Log_io.corrupt_lines);
+    Alcotest.(check bool) "v1 cannot flag the truncation itself" false
+      damage.Log_io.truncated
+  | Error e -> Alcotest.fail e
+
 let test_log_io_file () =
   let _, log = record_with (Value_recorder.create ()) in
   let path = Stdlib.Filename.temp_file "ddet" ".log" in
@@ -397,6 +475,115 @@ let test_log_io_file () =
   | Ok log' -> Alcotest.(check bool) "file roundtrip" true (log'.Log.entries = log.Log.entries)
   | Error e -> Alcotest.fail e);
   Stdlib.Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Segmented persistence (Log_segments) *)
+
+let seg_base () =
+  let base = Stdlib.Filename.temp_file "ddet_seg" "" in
+  Stdlib.Sys.remove base;
+  base
+
+let seg_cleanup base =
+  List.iter
+    (fun suffix ->
+      let p = base ^ suffix in
+      if Stdlib.Sys.file_exists p then Stdlib.Sys.remove p)
+    ([ ".header"; ".manifest" ] @ List.init 64 (Printf.sprintf ".%04d.seg"))
+
+let test_segments_roundtrip () =
+  let _, log = record_with (Full_recorder.create ()) in
+  let base = seg_base () in
+  Log_segments.save ~segment_entries:8 base log;
+  Alcotest.(check bool) "exists sees the file set" true (Log_segments.exists base);
+  (match Log_segments.load base with
+  | Ok (log', r) ->
+    Alcotest.(check bool) "complete" true r.Log_segments.complete;
+    Alcotest.(check bool) "not damaged" false (Log_segments.is_damaged r);
+    Alcotest.(check bool) "entries exact" true (log'.Log.entries = log.Log.entries);
+    Alcotest.(check string) "recorder" log.Log.recorder log'.Log.recorder;
+    Alcotest.(check int) "base steps" log.Log.base_steps log'.Log.base_steps;
+    Alcotest.(check bool) "failure" true (log'.Log.failure = log.Log.failure)
+  | Error e -> Alcotest.fail e);
+  seg_cleanup base
+
+let test_segments_crash_mid_record () =
+  (* the writer dies before [close]: no manifest, unsealed tail — every
+     entry that was appended (each is flushed) must still be recovered *)
+  let _, log = record_with (Full_recorder.create ()) in
+  let entries = log.Log.entries in
+  let n = List.length entries in
+  Alcotest.(check bool) "workload records enough entries" true (n >= 10);
+  let base = seg_base () in
+  let w = Log_segments.create ~segment_entries:4 ~recorder:log.Log.recorder base in
+  let k = n - 2 in
+  List.iteri (fun i e -> if i < k then Log_segments.append w e) entries;
+  (match Log_segments.load base with
+  | Ok (log', r) ->
+    Alcotest.(check bool) "damaged" true (Log_segments.is_damaged r);
+    Alcotest.(check bool) "incomplete" false r.Log_segments.complete;
+    Alcotest.(check int) "every flushed entry recovered" k r.Log_segments.entries;
+    Alcotest.(check int) "sealed segments recovered whole" (k / 4)
+      r.Log_segments.segments_complete;
+    Alcotest.(check bool) "a prefix of the recording" true
+      (is_prefix log'.Log.entries entries);
+    Alcotest.(check int) "log carries the recovered entries" k
+      (List.length log'.Log.entries);
+    Alcotest.(check string) "recorder from the header file" log.Log.recorder
+      log'.Log.recorder
+  | Error e -> Alcotest.fail e);
+  seg_cleanup base
+
+let test_segments_missing_manifest () =
+  (* crash in the gap between sealing the tail and writing the manifest:
+     all segments are sealed, so recovery loses nothing but must still
+     report the load as damaged (the header metadata is degraded) *)
+  let _, log = record_with (Full_recorder.create ()) in
+  let base = seg_base () in
+  Log_segments.save ~segment_entries:8 base log;
+  Stdlib.Sys.remove (base ^ ".manifest");
+  (match Log_segments.load base with
+  | Ok (log', r) ->
+    Alcotest.(check bool) "damaged without the manifest" true
+      (Log_segments.is_damaged r);
+    Alcotest.(check int) "no entry lost" (List.length log.Log.entries)
+      (List.length log'.Log.entries);
+    Alcotest.(check bool) "entries exact" true
+      (log'.Log.entries = log.Log.entries)
+  | Error e -> Alcotest.fail e);
+  seg_cleanup base
+
+let test_segments_corrupt_segment_detected () =
+  (* bit rot inside a sealed segment: the manifest's whole-file CRC must
+     catch it and recovery must stop at the damaged segment rather than
+     trust anything after it *)
+  let _, log = record_with (Full_recorder.create ()) in
+  let base = seg_base () in
+  Log_segments.save ~segment_entries:4 base log;
+  let seg0 = base ^ ".0000.seg" in
+  let s = In_channel.with_open_bin seg0 In_channel.input_all in
+  let b = Bytes.of_string s in
+  let flip_at = String.index s '\n' + 1 in
+  Bytes.set b flip_at (if Bytes.get b flip_at = 'f' then '0' else 'f');
+  Out_channel.with_open_bin seg0 (fun oc -> Out_channel.output_bytes oc b);
+  (match Log_segments.load base with
+  | Ok (log', r) ->
+    Alcotest.(check bool) "damaged" true (Log_segments.is_damaged r);
+    Alcotest.(check int) "nothing past the damaged segment is trusted" 0
+      r.Log_segments.segments_complete;
+    Alcotest.(check bool) "fewer entries than the recording" true
+      (List.length log'.Log.entries < List.length log.Log.entries);
+    Alcotest.(check bool) "still a valid prefix" true
+      (is_prefix log'.Log.entries log.Log.entries)
+  | Error e -> Alcotest.fail e);
+  seg_cleanup base
+
+let test_segments_nothing_there () =
+  let base = seg_base () in
+  Alcotest.(check bool) "exists is false" false (Log_segments.exists base);
+  match Log_segments.load base with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "load invented a recording from nothing"
 
 (* ------------------------------------------------------------------ *)
 (* Fidelity_level combinators *)
@@ -550,7 +737,24 @@ let () =
             test_log_io_trailer_guards_truncation;
           Alcotest.test_case "salvage keeps valid prefix" `Quick
             test_log_io_salvage_keeps_valid_prefix;
+          Alcotest.test_case "salvage at every truncation point" `Quick
+            test_log_io_salvage_every_truncation;
+          Alcotest.test_case "v1 empty body" `Quick test_log_io_v1_empty_body;
+          Alcotest.test_case "v1 header only" `Quick test_log_io_v1_header_only;
+          Alcotest.test_case "v1 trailer-less tail" `Quick
+            test_log_io_v1_trailerless_tail;
           Alcotest.test_case "file save/load" `Quick test_log_io_file;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_segments_roundtrip;
+          Alcotest.test_case "crash mid-record" `Quick
+            test_segments_crash_mid_record;
+          Alcotest.test_case "missing manifest" `Quick
+            test_segments_missing_manifest;
+          Alcotest.test_case "corrupt segment detected" `Quick
+            test_segments_corrupt_segment_detected;
+          Alcotest.test_case "nothing there" `Quick test_segments_nothing_there;
         ] );
       ( "fidelity-level",
         [

@@ -221,7 +221,7 @@ let test_enumerate_lexicographic () =
 let test_restarts_budget_respected () =
   let o =
     Search.random_restarts
-      { Search.max_attempts = 7; max_steps_per_attempt = 1000; base_seed = 1 }
+      { Search.max_attempts = 7; max_steps_per_attempt = 1000; base_seed = 1; deadline_s = None }
       ~make:(fun ~attempt -> (World.random ~seed:attempt, None))
       ~spec:Spec.accept_all
       ~accept:(fun _ -> false)
@@ -234,7 +234,7 @@ let test_restarts_budget_respected () =
 let test_restarts_stops_on_success () =
   let o =
     Search.random_restarts
-      { Search.max_attempts = 100; max_steps_per_attempt = 1000; base_seed = 1 }
+      { Search.max_attempts = 100; max_steps_per_attempt = 1000; base_seed = 1; deadline_s = None }
       ~make:(fun ~attempt -> (World.random ~seed:attempt, None))
       ~spec:Spec.accept_all
       ~accept:(fun _ -> true)
@@ -252,7 +252,7 @@ let spec_out_6 =
 
 let test_dfs_finds_lost_update () =
   let budget =
-    { Search.max_attempts = 3_000; max_steps_per_attempt = 5_000; base_seed = 1 }
+    { Search.max_attempts = 3_000; max_steps_per_attempt = 5_000; base_seed = 1; deadline_s = None }
   in
   let o =
     Search.dfs_schedules budget ~spec:spec_out_6
@@ -268,7 +268,7 @@ let test_dfs_finds_lost_update () =
 
 let test_dfs_deterministic () =
   let budget =
-    { Search.max_attempts = 3_000; max_steps_per_attempt = 5_000; base_seed = 1 }
+    { Search.max_attempts = 3_000; max_steps_per_attempt = 5_000; base_seed = 1; deadline_s = None }
   in
   let run () =
     (Search.dfs_schedules budget ~spec:spec_out_6
@@ -280,7 +280,7 @@ let test_dfs_deterministic () =
 
 let test_dfs_exhausts_budget_on_unsatisfiable () =
   let budget =
-    { Search.max_attempts = 50; max_steps_per_attempt = 5_000; base_seed = 1 }
+    { Search.max_attempts = 50; max_steps_per_attempt = 5_000; base_seed = 1; deadline_s = None }
   in
   let o =
     Search.dfs_schedules budget ~spec:Spec.accept_all
@@ -293,7 +293,7 @@ let test_dfs_exhausts_budget_on_unsatisfiable () =
 let test_dfs_fixed_inputs () =
   let o =
     Search.dfs_schedules
-      { Search.max_attempts = 1; max_steps_per_attempt = 5_000; base_seed = 1 }
+      { Search.max_attempts = 1; max_steps_per_attempt = 5_000; base_seed = 1; deadline_s = None }
       ~spec:Spec.accept_all
       ~accept:(fun _ -> true)
       adder_prog
