@@ -2,13 +2,15 @@
    (Fig. 1, Fig. 2, the Sec. 2 narratives, plus the RCSE and budget
    ablations) and runs Bechamel microbenchmarks of the actual recorders.
 
-   Usage: main.exe [fig1|fig2|sec2|ablation|budget|flight|race|search|crash|open|micro|all]
+   Usage: main.exe [fig1|fig2|sec2|ablation|budget|flight|race|search|crash|static|open|micro|all]
                    [--tiny] [--jobs N] [--json]
 
    --tiny   shrinks every budget so the command finishes in seconds (used
             by the bench-smoke alias under `dune runtest`)
    --jobs N times the search engines at N worker domains as well as at 1
-   --json   (search/crash) also writes BENCH_search.json / BENCH_crash.json *)
+   --json   (search/crash/static) also writes BENCH_search.json /
+            BENCH_crash.json / BENCH_static.json (static writes its JSON
+            unconditionally when not --tiny) *)
 
 open Ddet
 open Ddet_apps
@@ -503,6 +505,271 @@ let crash_bench ~tiny ~json () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* STATIC: cost and payoff of the static analysis suite. Three
+   measurements on the ABL-RACE workloads: (1) analysis wall-time per
+   program — the whole suite runs before any execution, so this is its
+   entire cost; (2) recording overhead of the static suspect-site
+   trigger vs the sampling race-detector trigger vs full value
+   determinism, each with a replay-reproduction check on the failing
+   workloads; (3) failure-determinism search attempts with and without
+   the static site-priority hint. *)
+
+let static_bench ~tiny ~json () =
+  let open Ddet_replay in
+  let open Ddet_analysis in
+  let open Ddet_static in
+  let open Mvm in
+  (* the race-free half of ABL-RACE: the lock-protected counter
+     (Experiment keeps its copy private, so the shape is rebuilt here) *)
+  let locked_counter =
+    let open Mvm.Dsl in
+    program ~name:"locked-counter"
+      ~regions:[ scalar "c" (Value.int 0) ]
+      ~inputs:[] ~main:"main"
+      [
+        func "main" []
+          [
+            spawn "w" []; spawn "w" [];
+            recv "d1" "done"; recv "d2" "done";
+            lock "m"; assign "r" (g "c"); unlock "m"; output "out" (v "r");
+          ];
+        func "w" []
+          [
+            for_ "k" (i 0) (i 6)
+              [ lock "m"; assign "t" (g "c"); store_g "c" (v "t" +: i 1);
+                unlock "m" ];
+            send "done" (i 1);
+          ];
+      ]
+  in
+  let failing_seed (app : App.t) =
+    match Workload.find_failing_seed app with
+    | Some (seed, _) -> seed
+    | None -> invalid_arg ("no failing seed for " ^ app.App.name)
+  in
+  let msg = Msg_server.app () and mini = Miniht.app () in
+  (* 1: analysis wall-time per program *)
+  let reps = if tiny then 5 else 100 in
+  let analysis_programs =
+    [ ("locked-counter", locked_counter) ]
+    @ List.map
+        (fun (a : App.t) -> (a.App.name, a.App.labeled))
+        [ Adder.app (); Bufover.app (); msg; mini; Cloudstore.app () ]
+    @ List.init 3 (fun s ->
+          ( Printf.sprintf "proggen-%d" s,
+            Proggen.generate Proggen.default (Prng.create s) ))
+  in
+  let analysis_rows =
+    List.map
+      (fun (name, labeled) ->
+        let report = Static_report.analyze labeled in
+        let _, wall =
+          time (fun () ->
+              for _ = 1 to reps do
+                ignore (Static_report.analyze labeled)
+              done)
+        in
+        let lints = Static_report.lints report in
+        let errors = List.length (Lint.errors lints) in
+        ( name,
+          wall *. 1e3 /. float_of_int reps,
+          List.length (Static_report.races report),
+          List.length (Static_report.suspect_sids report),
+          errors,
+          List.length lints - errors ))
+      analysis_programs
+  in
+  Ddet_metrics.Report.print_section "STATIC analysis wall-time"
+    (Ddet_metrics.Report.table
+       ~headers:
+         [ "program"; "ms/analysis"; "race cands"; "suspect sids"; "lint err";
+           "lint warn" ]
+       (List.map
+          (fun (name, ms, cands, sids, errs, warns) ->
+            [
+              name; Printf.sprintf "%.3f" ms; string_of_int cands;
+              string_of_int sids; string_of_int errs; string_of_int warns;
+            ])
+          analysis_rows));
+  (* 2: ABL-RACE recording overhead, with reproduction checks *)
+  let budget full small = if tiny then small else full in
+  let replay_budget =
+    budget
+      { Search.max_attempts = 200; max_steps_per_attempt = 20_000;
+        base_seed = 1; deadline_s = None }
+      { Search.max_attempts = 30; max_steps_per_attempt = 4_000;
+        base_seed = 1; deadline_s = None }
+  in
+  let abl_cases =
+    [
+      ("locked-counter", locked_counter, Spec.accept_all, 5, false);
+      ("msg_server", msg.App.labeled, msg.App.spec, failing_seed msg, true);
+      ("miniht", mini.App.labeled, mini.App.spec, failing_seed mini, true);
+    ]
+  in
+  let overhead_rows =
+    List.concat_map
+      (fun (workload, labeled, spec, seed, failing) ->
+        let report = Static_report.analyze labeled in
+        let recorders =
+          [
+            ( "rcse+static-sites",
+              (fun () ->
+                Rcse_recorder.create (Static_report.site_selector report)),
+              `Rcse );
+            ( "rcse+static-trigger",
+              (fun () ->
+                Rcse_recorder.create (Static_report.trigger_selector report)),
+              `Rcse );
+            ( "rcse+sampling-trigger",
+              (fun () ->
+                Rcse_recorder.create
+                  (Trigger.selector ~sticky:true
+                     [
+                       Trigger.of_race_detector
+                         (Race_detector.create Race_detector.default_config);
+                     ])),
+              `Rcse );
+            ("value-det", Value_recorder.create, `Value);
+          ]
+        in
+        List.map
+          (fun (recorder, create, kind) ->
+            let original, log =
+              Recorder.record (create ()) labeled ~spec
+                ~world:(World.random ~seed)
+            in
+            let reproduced =
+              if not failing then "-"
+              else begin
+                assert (original.Interp.failure <> None);
+                let o =
+                  match kind with
+                  | `Rcse ->
+                    Replayer.rcse ~budget:replay_budget ~strict:false labeled
+                      ~spec log
+                  | `Value ->
+                    Replayer.value_det ~budget:replay_budget labeled ~spec log
+                in
+                if o.Replayer.result <> None then "yes" else "NO"
+              end
+            in
+            ( workload, recorder,
+              Ddet_record.Cost_model.(overhead default log),
+              Log.entry_count log, Log.payload_bytes log, reproduced ))
+          recorders)
+      abl_cases
+  in
+  Ddet_metrics.Report.print_section "STATIC ABL-RACE recording overhead"
+    (Ddet_metrics.Report.table
+       ~headers:
+         [ "workload"; "recorder"; "overhead"; "entries"; "bytes";
+           "reproduces" ]
+       (List.map
+          (fun (w, r, ov, entries, bytes, repro) ->
+            [
+              w; r; Printf.sprintf "%.3fx" ov; string_of_int entries;
+              string_of_int bytes; repro;
+            ])
+          overhead_rows)
+     ^ "\n\nThe static selectors need no runtime detector: suspect sites come\n\
+        from the lockset analysis, so the race-free workload records (and\n\
+        pays) nothing at all. The site-granular selector logs interleaving\n\
+        only at the suspect accesses themselves — enough to pin the racing\n\
+        order — where the sticky trigger records everything from the first\n\
+        suspect access onward and value determinism pays for the whole\n\
+        data plane everywhere.\n");
+  (* 3: search attempts saved by the site-priority hint *)
+  let search_budget =
+    budget
+      { Search.max_attempts = 500; max_steps_per_attempt = 20_000;
+        base_seed = 1; deadline_s = None }
+      { Search.max_attempts = 40; max_steps_per_attempt = 4_000;
+        base_seed = 1; deadline_s = None }
+  in
+  let priority_rows =
+    List.map
+      (fun ((app : App.t), seed) ->
+        let report = Static_report.analyze app.App.labeled in
+        let priority =
+          { Search.sids = Static_report.suspect_sids report }
+        in
+        let _, log =
+          Recorder.record (Failure_recorder.create ()) app.App.labeled
+            ~spec:app.App.spec ~world:(World.random ~seed)
+        in
+        let uniform =
+          Replayer.failure_det ~budget:search_budget app.App.labeled
+            ~spec:app.App.spec log
+        in
+        let hinted =
+          Replayer.failure_det ~budget:search_budget ~priority app.App.labeled
+            ~spec:app.App.spec log
+        in
+        ( app.App.name,
+          List.length priority.Search.sids,
+          (uniform.Replayer.result <> None, uniform.Replayer.attempts),
+          (hinted.Replayer.result <> None, hinted.Replayer.attempts) ))
+      [ (msg, failing_seed msg); (mini, failing_seed mini) ]
+  in
+  Ddet_metrics.Report.print_section "STATIC site-priority search"
+    (Ddet_metrics.Report.table
+       ~headers:
+         [ "workload"; "suspect sids"; "uniform ok"; "uniform attempts";
+           "hinted ok"; "hinted attempts" ]
+       (List.map
+          (fun (w, sids, (uok, uat), (hok, hat)) ->
+            [
+              w; string_of_int sids; (if uok then "yes" else "NO");
+              string_of_int uat; (if hok then "yes" else "NO");
+              string_of_int hat;
+            ])
+          priority_rows));
+  if json || not tiny then begin
+    let file = "BENCH_static.json" in
+    let oc = open_out file in
+    let analysis_json =
+      String.concat ",\n"
+        (List.map
+           (fun (name, ms, cands, sids, errs, warns) ->
+             Printf.sprintf
+               "    { \"program\": %S, \"ms_per_analysis\": %.4f, \
+                \"race_candidates\": %d, \"suspect_sids\": %d, \
+                \"lint_errors\": %d, \"lint_warnings\": %d }"
+               name ms cands sids errs warns)
+           analysis_rows)
+    in
+    let overhead_json =
+      String.concat ",\n"
+        (List.map
+           (fun (w, r, ov, entries, bytes, repro) ->
+             Printf.sprintf
+               "    { \"workload\": %S, \"recorder\": %S, \
+                \"overhead\": %.4f, \"entries\": %d, \"payload_bytes\": %d, \
+                \"reproduces\": %S }"
+               w r ov entries bytes repro)
+           overhead_rows)
+    in
+    let priority_json =
+      String.concat ",\n"
+        (List.map
+           (fun (w, sids, (uok, uat), (hok, hat)) ->
+             Printf.sprintf
+               "    { \"workload\": %S, \"suspect_sids\": %d, \
+                \"uniform_success\": %b, \"uniform_attempts\": %d, \
+                \"hinted_success\": %b, \"hinted_attempts\": %d }"
+               w sids uok uat hok hat)
+           priority_rows)
+    in
+    Printf.fprintf oc
+      "{\n  \"tiny\": %b,\n  \"analysis\": [\n%s\n  ],\n\
+       \  \"overhead\": [\n%s\n  ],\n  \"priority_search\": [\n%s\n  ]\n}\n"
+      tiny analysis_json overhead_json priority_json;
+    close_out oc;
+    Printf.printf "wrote %s\n" file
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let tiny_config =
   {
@@ -551,6 +818,7 @@ let () =
     print (Experiment.search_engines ~config ());
     search_bench ~tiny ~jobs ~json ()
   | "crash" -> crash_bench ~tiny ~json ()
+  | "static" -> static_bench ~tiny ~json ()
   | "open" ->
     print (Explore.experiment ());
     print (Frontier.experiment ())

@@ -8,6 +8,7 @@
      replay      replay a previously saved log under its model
      debug       full record/replay/assess experiment
      classify    train and show the control/data-plane classification
+     analyze     static analysis: races, planes, lints (no runs at all)
      invariants  train and show the dynamic invariants                *)
 
 open Cmdliner
@@ -323,6 +324,49 @@ let cmd_classify app =
     Printf.printf "ground truth control plane: %s\n" (String.concat ", " truth));
   0
 
+(* a deliberately broken program for exercising the linter from the CLI:
+   Label.program validates names but not index ranges, lock balance,
+   atomic restrictions or reachability, so this constructs fine *)
+let lint_demo () =
+  Mvm.Dsl.(
+    program ~name:"lint-demo"
+      ~regions:[ scalar "c" (Mvm.Value.int 0); array "buf" 4 (Mvm.Value.int 0) ]
+      ~inputs:[] ~main:"main"
+      [
+        func "main" []
+          [
+            lock "m";
+            lock "m";
+            store "buf" (i 9) (i 1);
+            atomic [ recv "x" "never_sent" ];
+            return (i 0);
+            store_g "c" (i 1);
+          ];
+      ])
+
+let cmd_analyze app demo threshold =
+  let target =
+    if demo then Ok (lint_demo (), "lint-demo", [])
+    else
+      match app with
+      | Some a -> Ok (a.App.labeled, a.App.name, a.App.control_plane)
+      | None -> Error "analyze: pass --app APP or --demo"
+  in
+  match target with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok (labeled, _name, truth) ->
+    let report =
+      Ddet_static.Static_report.analyze ~threshold_bytes:threshold labeled
+    in
+    Format.printf "%a@." Ddet_static.Static_report.pp report;
+    (match truth with
+    | [] -> ()
+    | t ->
+      Printf.printf "ground truth control plane: %s\n" (String.concat ", " t));
+    if Ddet_static.Static_report.has_lint_errors report then 1 else 0
+
 let cmd_invariants app =
   let training = Session.training_runs Config.default app in
   let inv = Ddet_analysis.Invariants.infer training in
@@ -401,6 +445,31 @@ let invariants_cmd =
     (Cmd.info "invariants" ~exits ~doc:"Train and show dynamic invariants.")
     Term.(const cmd_invariants $ app_arg)
 
+let analyze_app_arg =
+  Arg.(value & opt (some app_conv) None & info [ "a"; "app" ] ~docv:"APP"
+         ~doc:"Application to analyze: adder, bufover, msg_server, miniht \
+               or cloudstore.")
+
+let demo_arg =
+  Arg.(value & flag & info [ "demo" ]
+         ~doc:"Analyze a built-in deliberately broken program instead of an \
+               application (shows every linter rule class firing).")
+
+let threshold_arg =
+  Arg.(value & opt int Ddet_static.Splane.default_threshold
+       & info [ "threshold" ] ~docv:"BYTES"
+           ~doc:"Static plane classification threshold in bytes: functions \
+                 whose heaviest input-derived value strictly exceeds it are \
+                 data-plane.")
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~exits
+       ~doc:"Static analysis report: lockset race candidates, training-free \
+             control/data-plane classification and lint findings. Exits \
+             nonzero when the linter finds errors.")
+    Term.(const cmd_analyze $ analyze_app_arg $ demo_arg $ threshold_arg)
+
 let () =
   let info =
     Cmd.info "ddreplay" ~version:"1.0.0"
@@ -410,4 +479,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; run_cmd; find_cmd; record_cmd; replay_cmd; debug_cmd;
-            classify_cmd; invariants_cmd ]))
+            classify_cmd; analyze_cmd; invariants_cmd ]))

@@ -5,6 +5,10 @@ let equal a b = match a, b with Control, Control | Data, Data -> true | _ -> fal
 
 type map = (string * t) list
 
+(* Strictly greater: a rate exactly at the threshold stays Control. The
+   static classifier (Splane) breaks its byte-weight ties the same way,
+   so a function sitting exactly on either threshold gets the
+   conservative plane from both classifiers. *)
 let classify profile ~threshold =
   List.map
     (fun (r : Taint_profile.row) ->

@@ -16,7 +16,12 @@ val equal : t -> t -> bool
 type map
 
 (** [classify profile ~threshold] assigns [Data] to functions whose rate
-    (input-derived bytes per step) exceeds [threshold]. *)
+    (input-derived bytes per step) {e strictly} exceeds [threshold]: a
+    rate equal to the threshold ties toward [Control], matching the
+    static classifier's tie-breaking ({!Ddet_static.Splane} uses the same
+    strict comparison on byte weights) and the [Control] default for
+    functions absent from the profile ({!Taint_profile.rate} returns
+    [0.] for unseen names). *)
 val classify : Taint_profile.t -> threshold:float -> map
 
 (** [of_assoc l] builds a map from explicit assignments (ground truth in

@@ -32,6 +32,11 @@ let of_results results =
     fnames
   |> List.sort (fun a b -> compare b.rate a.rate)
 
+(* An unseen function rates 0.0 — below every threshold — so dynamic
+   classification lands it in Control, agreeing with both Plane.plane_of's
+   default for unknown names and the static classifier's bottom weight.
+   All three defaults must stay aligned: control-plane is the plane RCSE
+   records precisely, the conservative direction. *)
 let rate t fname =
   match List.find_opt (fun r -> String.equal r.fname fname) t with
   | Some r -> r.rate

@@ -21,7 +21,11 @@ type t = row list
     descending rate. *)
 val of_results : Interp.result list -> t
 
-(** [rate t fname] is the measured rate, or [0.] for an unseen function. *)
+(** [rate t fname] is the measured rate, or [0.] for a function never
+    executed in training. Zero is below every classification threshold,
+    so unseen functions classify as Control — deliberately the same
+    conservative default as {!Plane.plane_of} on unknown names and the
+    static classifier's zero weight. *)
 val rate : t -> string -> float
 
 (** [total_bytes t] is the input-derived bytes across all functions. *)

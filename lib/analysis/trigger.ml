@@ -13,6 +13,15 @@ let of_race_detector rd =
 let of_invariants inv =
   { name = "invariants"; fired = (fun e -> Invariants.violation inv e <> None) }
 
+let of_sites ?(name = "static-sites") sids =
+  let tbl = Hashtbl.create (List.length sids) in
+  List.iter (fun s -> Hashtbl.replace tbl s ()) sids;
+  {
+    name;
+    fired =
+      (fun (e : Event.t) -> Event.is_shared_access e && Hashtbl.mem tbl e.sid);
+  }
+
 let large_input ~chan ~threshold =
   {
     name = Printf.sprintf "large-input(%s>%d)" chan threshold;

@@ -28,6 +28,11 @@ val of_race_detector : Race_detector.t -> t
     invariant. *)
 val of_invariants : Invariants.t -> t
 
+(** [of_sites sids] fires on every shared read/write at one of the given
+    statement sites — how a static race candidate set dials fidelity up
+    at suspect code without running a sampling detector. Stateless. *)
+val of_sites : ?name:string -> int list -> t
+
 (** [large_input ~chan ~threshold] is the paper's data-based example: fire
     when an input on [chan] is an integer above [threshold] or a string
     longer than [threshold]. *)

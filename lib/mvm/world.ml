@@ -39,6 +39,35 @@ let random ~seed =
     passive_try_recv = true;
   }
 
+(* Biased, not deterministic: a hot candidate wins 3 draws out of 4, the
+   fourth falls back to a uniform pick over everyone. Keeping every
+   schedule reachable preserves search completeness; the bias only shifts
+   where the probability mass sits. *)
+let prioritized ~seed ~prefer =
+  let rng = Prng.create seed in
+  {
+    name = Printf.sprintf "prioritized(seed=%d)" seed;
+    pick_thread =
+      (fun ~step:_ cands ->
+        match cands with
+        | [] -> invalid_arg "World.prioritized: no candidates"
+        | _ -> (
+          match List.filter prefer cands with
+          | [] -> (Prng.pick rng cands).tid
+          | hot ->
+            let pool = if Prng.int rng 4 > 0 then hot else cands in
+            (Prng.pick rng pool).tid));
+    pick_input =
+      (fun ~step:_ ~tid:_ ~chan:_ ~domain ->
+        match domain with
+        | [] -> Value.unit
+        | _ -> Prng.pick rng domain);
+    on_read = identity_read;
+    on_recv = identity_recv;
+    on_try_recv = default_try_recv;
+    passive_try_recv = true;
+  }
+
 let round_robin () =
   let last = ref (-1) in
   {

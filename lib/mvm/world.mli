@@ -61,6 +61,14 @@ and try_recv_decision = Default | Force_fail | Force_value of Value.tagged
     environment. *)
 val random : seed:int -> t
 
+(** [prioritized ~seed ~prefer] resolves schedule and inputs like
+    {!random}, but biases thread picks toward candidates satisfying
+    [prefer] (a hot candidate set wins 3 draws in 4; the fourth draw is
+    uniform over all candidates, so every schedule stays reachable).
+    Static race analysis uses this to point the replay search at suspect
+    sites. *)
+val prioritized : seed:int -> prefer:(cand -> bool) -> t
+
 (** [round_robin ()] cycles threads in tid order and picks the first domain
     value for every input: a deterministic baseline useful in tests. *)
 val round_robin : unit -> t

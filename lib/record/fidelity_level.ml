@@ -14,6 +14,9 @@ let always level =
 let by_function ~name f =
   { name; level = (fun (e : Mvm.Event.t) -> f e.fname) }
 
+let by_site ~name f =
+  { name; level = (fun (e : Mvm.Event.t) -> f e.sid) }
+
 let any selectors =
   let name = String.concat "+" (List.map (fun s -> s.name) selectors) in
   {

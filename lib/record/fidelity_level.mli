@@ -23,6 +23,11 @@ val always : t -> selector
     event — the code-based selection of §3.1.1. *)
 val by_function : name:string -> (string -> t) -> selector
 
+(** [by_site f] derives the level from the statement site of the event —
+    site-granular selection, finer than {!by_function} (a static analysis
+    can name individual suspect statements). *)
+val by_site : name:string -> (int -> t) -> selector
+
 (** [any selectors] records at high fidelity when any constituent selector
     does — code-based, data-based and trigger-based selection combined
     (§3.1.3). Every constituent sees every event, so stateful selectors

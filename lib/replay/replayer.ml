@@ -116,11 +116,18 @@ let output_det ?(budget = Search.default_budget) ?(exhaustive = true)
   of_search "output" o
 
 let failure_det ?(budget = Search.default_budget) ?(jobs = 1) ?checkpoint
-    ?resume labeled ~spec log =
+    ?resume ?priority labeled ~spec log =
+  let attempt_world =
+    match priority with
+    | None -> fun ~seed -> World.random ~seed
+    | Some p ->
+      let prefer = Search.site_prefer p in
+      fun ~seed -> World.prioritized ~seed ~prefer
+  in
   Par_search.random_restarts ~jobs ?checkpoint ?resume budget
     ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
-      (env_world log (World.random ~seed:(budget.base_seed + attempt)), None))
+      (env_world log (attempt_world ~seed:(budget.base_seed + attempt)), None))
     ~spec
     ~accept:(Constraints.failure_matches log)
     labeled

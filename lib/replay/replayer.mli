@@ -85,11 +85,17 @@ val output_det :
   Log.t ->
   outcome
 
+(** [priority] (from a static race analysis) biases each attempt's world
+    toward scheduling threads at suspect sites ({!Search.priority_world})
+    — same acceptance test, typically fewer attempts on race failures.
+    Omitting it keeps the historical uniform-random attempts, so
+    checkpoints from earlier versions resume identically. *)
 val failure_det :
   ?budget:Search.budget ->
   ?jobs:int ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.t ->
+  ?priority:Search.site_priority ->
   Label.labeled ->
   spec:Spec.t ->
   Log.t ->

@@ -146,6 +146,22 @@ let accepted ~attempts ~total_steps ?(pruned = 0) ?(deadline_hit = false)
 let no_score : Interp.result -> float = fun _ -> 0.
 
 (* ------------------------------------------------------------------ *)
+(* site priority: a static analysis hands the search a set of suspect
+   sids; attempts then use a biased world that prefers scheduling
+   threads whose next statement is a suspect site. The hint only moves
+   probability mass, never removes schedules (see World.prioritized). *)
+
+type site_priority = { sids : int list }
+
+let site_prefer { sids } =
+  let tbl = Hashtbl.create (List.length sids) in
+  List.iter (fun s -> Hashtbl.replace tbl s ()) sids;
+  fun (c : World.cand) -> Hashtbl.mem tbl c.World.sid
+
+let priority_world priority ~seed =
+  World.prioritized ~seed ~prefer:(site_prefer priority)
+
+(* ------------------------------------------------------------------ *)
 (* supervision: one attempt's execution may raise (a hostile world
    callback, a resource blip). The search survives it: the attempt is
    retried a bounded number of times, then poisoned — recorded as an

@@ -174,6 +174,22 @@ val run_schedule_prefix :
 
 (**/**)
 
+(** A site-priority hint for attempt worlds: sids a static analysis
+    flagged as race-candidate sites. Searches seeded with
+    {!priority_world} schedule threads sitting at a suspect site first
+    (biased, never exclusive), which tends to surface racy interleavings
+    in fewer attempts. *)
+type site_priority = { sids : int list }
+
+(** [site_prefer p] is the candidate predicate ("next statement is a
+    suspect site"). *)
+val site_prefer : site_priority -> Mvm.World.cand -> bool
+
+(** [priority_world p ~seed] is {!Mvm.World.prioritized} over [p]'s
+    sites — a drop-in replacement for [World.random ~seed] in restart
+    searches. *)
+val priority_world : site_priority -> seed:int -> Mvm.World.t
+
 (* internal: shared with Par_search *)
 val no_score : Interp.result -> float
 

@@ -1,0 +1,239 @@
+open Mvm
+open Mvm.Ast
+module SS = Callgraph.SS
+
+type severity = Error | Warning
+
+type finding = {
+  severity : severity;
+  sid : int option;
+  fname : string option;
+  rule : string;
+  msg : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let pp_finding ppf f =
+  Fmt.pf ppf "%s: %s%s%s: %s"
+    (severity_name f.severity)
+    (match f.fname with Some fn -> fn ^ " " | None -> "")
+    (match f.sid with Some s -> Printf.sprintf "#%d " s | None -> "")
+    f.rule f.msg
+
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+
+(* The walk keeps two locksets per program point: [must] (held on every
+   path here) and [may] (held on some path). must <= may; a Lock already
+   in [must] is a guaranteed relock crash, one only in [may] might be. *)
+
+let run (labeled : Label.labeled) =
+  let prog = labeled.Label.prog in
+  let out = ref [] in
+  let add severity ?sid ~fname rule msg =
+    out := { severity; sid; fname = Some fname; rule; msg } :: !out
+  in
+  let func_names =
+    SS.of_list (List.map (fun (f : func) -> f.fname) prog.funcs)
+  in
+  let scalars, arrays =
+    List.partition_map
+      (function
+        | Scalar_decl (r, _) -> Left r
+        | Array_decl (r, n, _) -> Right (r, n))
+      prog.regions
+  in
+  let scalars = SS.of_list scalars in
+  let arity fn =
+    Option.map (fun (f : func) -> List.length f.params) (find_func prog fn)
+  in
+  (* channels that some Send can ever fill: a blocking Recv elsewhere is a
+     guaranteed deadlock *)
+  let sent =
+    fold_stmts
+      (fun acc _ s ->
+        match s.node with Send (ch, _) -> SS.add ch acc | _ -> acc)
+      SS.empty prog
+  in
+  let check_array ~sid ~fname r idx_opt =
+    match List.assoc_opt r arrays with
+    | None ->
+      if SS.mem r scalars then
+        add Error ~sid ~fname "region-kind"
+          (Printf.sprintf "array access to scalar region %s" r)
+      else
+        add Error ~sid ~fname "undeclared-region"
+          (Printf.sprintf "array region %s is not declared" r)
+    | Some len -> (
+      match idx_opt with
+      | Some n when n < 0 || n >= len ->
+        add Error ~sid ~fname "index-range"
+          (Printf.sprintf "constant index %d out of range for %s[%d]" n r len)
+      | _ -> ())
+  in
+  let check_scalar ~sid ~fname r =
+    if not (SS.mem r scalars) then
+      if List.mem_assoc r arrays then
+        add Error ~sid ~fname "region-kind"
+          (Printf.sprintf "scalar access to array region %s" r)
+      else
+        add Error ~sid ~fname "undeclared-region"
+          (Printf.sprintf "scalar region %s is not declared" r)
+  in
+  let rec check_expr ~sid ~fname = function
+    | Const _ | Var _ -> ()
+    | Load_scalar r -> check_scalar ~sid ~fname r
+    | Arr_len r -> check_array ~sid ~fname r None
+    | Load (r, i) ->
+      let idx = match i with Const (Value.Vint n) -> Some n | _ -> None in
+      check_array ~sid ~fname r idx;
+      check_expr ~sid ~fname i
+    | Binop (_, a, b) ->
+      check_expr ~sid ~fname a;
+      check_expr ~sid ~fname b
+    | Unop (_, e) -> check_expr ~sid ~fname e
+  in
+  let check_target ~sid ~fname fn args =
+    if not (SS.mem fn func_names) then
+      add Error ~sid ~fname "undeclared-function"
+        (Printf.sprintf "function %s is not defined" fn)
+    else
+      match arity fn with
+      | Some n when n <> List.length args ->
+        add Error ~sid ~fname "arity"
+          (Printf.sprintf "%s expects %d arguments, got %d" fn n
+             (List.length args))
+      | _ -> ()
+  in
+  (* stmt returns the post state; None = no fallthrough (Return/Fail) *)
+  let rec blk st ~atomic ~fname (stmts : Ast.stmt list) =
+    match stmts with
+    | [] -> st
+    | s :: rest -> (
+      match st with
+      | None ->
+        add Warning ~sid:s.sid ~fname "unreachable"
+          (Printf.sprintf "statement after return/fail never executes (%s)"
+             (node_kind s.node));
+        None
+      | Some _ -> blk (stmt st ~atomic ~fname s) ~atomic ~fname rest)
+  and stmt st ~atomic ~fname (s : stmt) =
+    let sid = s.sid in
+    let must, may = match st with Some x -> x | None -> assert false in
+    let keep = Some (must, may) in
+    match s.node with
+    | Skip | Yield -> keep
+    | Assign (_, e) | Output (_, e) | Assert (e, _) ->
+      check_expr ~sid ~fname e;
+      keep
+    | Send (ch, e) ->
+      ignore ch;
+      check_expr ~sid ~fname e;
+      keep
+    | Store (r, i, e) ->
+      let idx = match i with Const (Value.Vint n) -> Some n | _ -> None in
+      check_array ~sid ~fname r idx;
+      check_expr ~sid ~fname i;
+      check_expr ~sid ~fname e;
+      keep
+    | Store_scalar (r, e) ->
+      check_scalar ~sid ~fname r;
+      check_expr ~sid ~fname e;
+      keep
+    | Input (_, ch) ->
+      if not (List.mem_assoc ch prog.input_domains) then
+        add Error ~sid ~fname "undeclared-channel"
+          (Printf.sprintf "input channel %s has no declared domain" ch);
+      keep
+    | Recv (_, ch) ->
+      if atomic then
+        add Error ~sid ~fname "atomic-blocking"
+          (Printf.sprintf "recv(%s) inside atomic crashes on an empty channel"
+             ch);
+      if not (SS.mem ch sent) then
+        add Error ~sid ~fname "recv-never-sent"
+          (Printf.sprintf
+             "blocking recv on %s, but nothing ever sends to it (deadlock)" ch);
+      keep
+    | Try_recv (_, _, ch) ->
+      if not (SS.mem ch sent) then
+        add Warning ~sid ~fname "recv-never-sent"
+          (Printf.sprintf "try_recv on %s, but nothing ever sends to it" ch);
+      keep
+    | Lock m ->
+      if atomic then
+        add Error ~sid ~fname "atomic-blocking"
+          (Printf.sprintf "lock(%s) inside atomic crashes on contention" m);
+      if SS.mem m must then
+        add Error ~sid ~fname "double-lock"
+          (Printf.sprintf "relock of %s by the same thread (self-deadlock)" m)
+      else if SS.mem m may then
+        add Warning ~sid ~fname "double-lock"
+          (Printf.sprintf "%s may already be held on some path" m);
+      Some (SS.add m must, SS.add m may)
+    | Unlock m ->
+      if not (SS.mem m may) then
+        add Error ~sid ~fname "unlock-not-held"
+          (Printf.sprintf "unlock of %s which is not held" m)
+      else if not (SS.mem m must) then
+        add Warning ~sid ~fname "unlock-not-held"
+          (Printf.sprintf "%s may not be held on some path" m);
+      Some (SS.remove m must, SS.remove m may)
+    | Spawn (fn, args) ->
+      if atomic then
+        add Error ~sid ~fname "atomic-blocking" "spawn inside atomic crashes";
+      check_target ~sid ~fname fn args;
+      List.iter (check_expr ~sid ~fname) args;
+      keep
+    | Call (_, fn, args) ->
+      if atomic then
+        add Error ~sid ~fname "atomic-blocking" "call inside atomic crashes";
+      check_target ~sid ~fname fn args;
+      List.iter (check_expr ~sid ~fname) args;
+      keep
+    | Return e ->
+      if atomic then
+        add Error ~sid ~fname "atomic-blocking" "return inside atomic crashes";
+      check_expr ~sid ~fname e;
+      if not (SS.is_empty may) then
+        add Error ~sid ~fname "lock-imbalance"
+          (Printf.sprintf "returns still holding {%s}"
+             (String.concat "," (SS.elements may)));
+      None
+    | Fail _ -> None
+    | If (c, b1, b2) -> (
+      check_expr ~sid ~fname c;
+      let st1 = blk keep ~atomic ~fname b1 in
+      let st2 = blk keep ~atomic ~fname b2 in
+      match (st1, st2) with
+      | None, x | x, None -> x
+      | Some (m1, y1), Some (m2, y2) ->
+        if not (SS.equal m1 m2 && SS.equal y1 y2) then
+          add Warning ~sid ~fname "branch-locks"
+            "if branches exit holding different locks";
+        Some (SS.inter m1 m2, SS.union y1 y2))
+    | While (c, b) ->
+      check_expr ~sid ~fname c;
+      (match blk keep ~atomic ~fname b with
+      | Some (m', y') when not (SS.equal m' must && SS.equal y' may) ->
+        add Error ~sid ~fname "loop-locks"
+          "loop body changes the held locks (second iteration misbehaves)"
+      | _ -> ());
+      keep
+    | Atomic b ->
+      ignore (blk keep ~atomic:true ~fname b);
+      keep
+  in
+  if not (SS.mem prog.main func_names) then
+    add Error ~fname:prog.main "undeclared-function"
+      (Printf.sprintf "main function %s is not defined" prog.main);
+  List.iter
+    (fun (f : func) ->
+      match blk (Some (SS.empty, SS.empty)) ~atomic:false ~fname:f.fname f.body with
+      | Some (_, may) when not (SS.is_empty may) ->
+        add Error ~fname:f.fname "lock-imbalance"
+          (Printf.sprintf "function exits still holding {%s}"
+             (String.concat "," (SS.elements may)))
+      | _ -> ())
+    prog.funcs;
+  List.rev !out

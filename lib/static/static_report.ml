@@ -1,0 +1,92 @@
+open Mvm
+module P = Ddet_analysis.Plane
+
+type t = {
+  labeled : Label.labeled;
+  races : Lockset.candidate list;
+  suspects : int list;
+  planes : (string * P.t * int) list;
+  lints : Lint.finding list;
+  threshold_bytes : int;
+}
+
+let analyze ?(threshold_bytes = Splane.default_threshold) labeled =
+  let graph = Callgraph.build labeled in
+  let ls = Lockset.analyze graph in
+  let prog = labeled.Label.prog in
+  let weights = Splane.analyze ~threshold_bytes prog in
+  let planes =
+    List.map
+      (fun (fname, w) ->
+        (fname, (if w > threshold_bytes then P.Data else P.Control), w))
+      (Splane.weights weights)
+  in
+  {
+    labeled;
+    races = Lockset.candidates ls;
+    suspects = Lockset.suspect_sids ls;
+    planes;
+    lints = Lint.run labeled;
+    threshold_bytes;
+  }
+
+let races t = t.races
+let suspect_sids t = t.suspects
+let lints t = t.lints
+let has_lint_errors t = Lint.errors t.lints <> []
+
+let plane_map t = P.of_assoc (List.map (fun (f, p, _) -> (f, p)) t.planes)
+
+let trigger t = Ddet_analysis.Trigger.of_sites ~name:"static-races" t.suspects
+
+let trigger_selector ?(sticky = true) ?window t =
+  Ddet_analysis.Trigger.selector ~sticky ?window [ trigger t ]
+
+let site_selector t =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun sid -> Hashtbl.replace tbl sid ()) t.suspects;
+  Ddet_record.Fidelity_level.by_site ~name:"static-sites" (fun sid ->
+      if Hashtbl.mem tbl sid then Ddet_record.Fidelity_level.High
+      else Ddet_record.Fidelity_level.Low)
+
+let code_selector t =
+  let map = plane_map t in
+  Ddet_record.Fidelity_level.by_function ~name:"static-code" (fun fname ->
+      match P.plane_of map fname with
+      | P.Control -> Ddet_record.Fidelity_level.High
+      | P.Data -> Ddet_record.Fidelity_level.Low)
+
+let pp_site table ppf sid =
+  match Label.site table sid with
+  | { Label.fname; kind } -> Fmt.pf ppf "#%d (%s in %s)" sid kind fname
+  | exception Not_found -> Fmt.pf ppf "#%d" sid
+
+let pp ppf t =
+  let table = t.labeled.Label.table in
+  let name = t.labeled.Label.prog.Ast.name in
+  Fmt.pf ppf "@[<v>== static analysis: %s ==@,@," name;
+  Fmt.pf ppf "@[<v2>race candidates (%d):@," (List.length t.races);
+  (match t.races with
+  | [] -> Fmt.pf ppf "none"
+  | rs ->
+    Fmt.pf ppf "%a"
+      (Fmt.list ~sep:Fmt.cut (fun ppf c -> Lockset.pp_candidate ppf c))
+      rs);
+  Fmt.pf ppf "@]@,@,";
+  Fmt.pf ppf "@[<v2>plane map (threshold %dB):@," t.threshold_bytes;
+  Fmt.pf ppf "%a"
+    (Fmt.list ~sep:Fmt.cut (fun ppf (f, p, w) ->
+         Fmt.pf ppf "%-14s %-7s (weight %dB)" f (P.to_string p) w))
+    t.planes;
+  Fmt.pf ppf "@]@,@,";
+  Fmt.pf ppf "@[<v2>lint (%d error(s), %d warning(s)):@,"
+    (List.length (Lint.errors t.lints))
+    (List.length t.lints - List.length (Lint.errors t.lints));
+  (match t.lints with
+  | [] -> Fmt.pf ppf "clean"
+  | fs -> Fmt.pf ppf "%a" (Fmt.list ~sep:Fmt.cut Lint.pp_finding) fs);
+  Fmt.pf ppf "@]@,";
+  if t.suspects <> [] then
+    Fmt.pf ppf "@,suspect sites: %a@,"
+      (Fmt.list ~sep:Fmt.comma (pp_site table))
+      t.suspects

@@ -1,0 +1,44 @@
+(** The aggregate static-analysis report: lockset race candidates, the
+    static plane map, and lint findings, plus the RCSE hooks derived from
+    them (a suspect-site trigger, a training-free code selector). *)
+
+open Mvm
+module P = Ddet_analysis.Plane
+
+type t
+
+val analyze : ?threshold_bytes:int -> Label.labeled -> t
+
+val races : t -> Lockset.candidate list
+
+(** Sorted, deduplicated sids of all race-candidate sites. *)
+val suspect_sids : t -> int list
+
+val lints : t -> Lint.finding list
+val has_lint_errors : t -> bool
+
+(** (fname, plane, site weight in bytes), sorted by name. *)
+val plane_map : t -> P.map
+
+(** Fires on shared reads/writes at suspect sites — plug into
+    {!Ddet_analysis.Trigger.selector} or combine with dynamic triggers. *)
+val trigger : t -> Ddet_analysis.Trigger.t
+
+(** The suspect-site trigger as a ready selector (sticky by default:
+    "increase determinism guarantees onward from the point of
+    detection"). *)
+val trigger_selector :
+  ?sticky:bool -> ?window:int -> t -> Ddet_record.Fidelity_level.selector
+
+(** The site-granular selector: high fidelity exactly at suspect-site
+    events and nothing anywhere else — the cheapest static configuration,
+    recording just enough interleaving to pin the order of the racing
+    accesses. *)
+val site_selector : t -> Ddet_record.Fidelity_level.selector
+
+(** The static code-based selector: high fidelity in statically
+    control-plane functions, no training runs. *)
+val code_selector : t -> Ddet_record.Fidelity_level.selector
+
+(** The full human-readable report (races, planes, lints, suspects). *)
+val pp : Format.formatter -> t -> unit

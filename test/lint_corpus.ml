@@ -1,0 +1,56 @@
+(* Lint gate over every shipped program: the five workload apps, the
+   quickstart example, and a slice of the proggen corpus. Errors fail the
+   build; warnings are reported but tolerated (proggen legitimately emits
+   try_recv polls on channels nothing sends). *)
+
+open Mvm
+open Ddet_static
+
+let quickstart =
+  (* the README's lost-update counter, kept lintable like the apps *)
+  Dsl.(
+    program ~name:"quickstart-counter"
+      ~regions:[ scalar "counter" (Value.int 0) ]
+      ~inputs:[] ~main:"main"
+      [
+        func "main" []
+          [
+            spawn "worker" []; spawn "worker" [];
+            recv "a" "done"; recv "b" "done";
+            output "result" (g "counter");
+          ];
+        func "worker" []
+          [
+            assign "t" (g "counter");
+            store_g "counter" (v "t" +: i 1);
+            send "done" (i 1);
+          ];
+      ])
+
+let corpus () =
+  List.map
+    (fun (a : Ddet_apps.App.t) -> (a.name, a.labeled))
+    Ddet_apps.
+      [ Adder.app (); Bufover.app (); Msg_server.app (); Miniht.app ();
+        Cloudstore.app () ]
+  @ [ ("quickstart-counter", quickstart) ]
+  @ List.init 20 (fun seed ->
+        ( Printf.sprintf "proggen-%d" seed,
+          Proggen.generate Proggen.default (Prng.create seed) ))
+
+let () =
+  let failed = ref 0 and warned = ref 0 in
+  List.iter
+    (fun (name, labeled) ->
+      let findings = Lint.run labeled in
+      let errors = Lint.errors findings in
+      List.iter
+        (fun f ->
+          Printf.printf "%s: %s\n" name (Fmt.str "%a" Lint.pp_finding f))
+        findings;
+      warned := !warned + (List.length findings - List.length errors);
+      if errors <> [] then incr failed)
+    (corpus ());
+  Printf.printf "lint-corpus: %d programs, %d with errors, %d warnings\n"
+    (List.length (corpus ())) !failed !warned;
+  if !failed > 0 then exit 1

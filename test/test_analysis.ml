@@ -62,6 +62,30 @@ let test_classify_split () =
   Alcotest.(check bool) "main is control" true
     (Plane.equal (Plane.plane_of map "main") Plane.Control)
 
+let test_classify_threshold_tie () =
+  (* classification is strict: a rate exactly at the threshold stays
+     Control (same tie-breaking as the static classifier's byte
+     weights), and only strictly above flips to Data *)
+  let row rate = { Taint_profile.fname = "f"; steps = 1; data_bytes = 0; rate } in
+  let at rate =
+    Plane.plane_of (Plane.classify [ row rate ] ~threshold:6.0) "f"
+  in
+  Alcotest.(check bool) "below: control" true (Plane.equal (at 5.9) Plane.Control);
+  Alcotest.(check bool) "at threshold: control" true
+    (Plane.equal (at 6.0) Plane.Control);
+  Alcotest.(check bool) "above: data" true (Plane.equal (at 6.1) Plane.Data)
+
+let test_unseen_agreement () =
+  (* the conservative defaults line up end to end: a function absent
+     from the profile rates 0., which any nonnegative threshold keeps
+     Control — the same answer [plane_of] gives for a name missing from
+     the map entirely *)
+  let rate = Taint_profile.rate [] "never_profiled" in
+  Alcotest.(check (float 1e-9)) "unseen rate is zero" 0.0 rate;
+  let map = Plane.classify [] ~threshold:0.0 in
+  Alcotest.(check bool) "both paths land on control" true
+    (Plane.equal (Plane.plane_of map "never_profiled") Plane.Control)
+
 let test_classify_unknown_defaults_control () =
   let map = Plane.of_assoc [] in
   Alcotest.(check bool) "conservative default" true
@@ -434,6 +458,10 @@ let () =
       ( "plane",
         [
           Alcotest.test_case "classify split" `Quick test_classify_split;
+          Alcotest.test_case "threshold tie is control" `Quick
+            test_classify_threshold_tie;
+          Alcotest.test_case "unseen agrees with static default" `Quick
+            test_unseen_agreement;
           Alcotest.test_case "unknown is control" `Quick test_classify_unknown_defaults_control;
           Alcotest.test_case "selector" `Quick test_plane_selector;
         ] );

@@ -132,6 +132,61 @@ let test_segmented_roundtrip () =
     ([ ".header"; ".manifest" ]
     @ List.init 20 (Printf.sprintf ".%04d.seg"))
 
+(* static analysis subcommand: report shape and the lint exit contract *)
+
+let run_out fmt =
+  Printf.ksprintf
+    (fun args ->
+      let out = Filename.temp_file "ddet_cli" ".out" in
+      let code =
+        Sys.command
+          (Printf.sprintf "%s %s > %s 2>&1" (Filename.quote !ddreplay) args
+             (Filename.quote out))
+      in
+      let ic = open_in_bin out in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Sys.remove out;
+      (code, text))
+    fmt
+
+let contains text needle =
+  let n = String.length needle and h = String.length text in
+  let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+  go 0
+
+let test_analyze_clean () =
+  let code, text = run_out "analyze -a cloudstore" in
+  check "clean app: exit 0" 0 code;
+  List.iter
+    (fun section ->
+      Alcotest.(check bool)
+        (Printf.sprintf "report has %S" section)
+        true (contains text section))
+    [ "race candidates (0)"; "plane map"; "lint"; "ground truth control plane" ]
+
+let test_analyze_races () =
+  let code, text = run_out "analyze -a miniht" in
+  check "lint-clean app with races: exit 0" 0 code;
+  Alcotest.(check bool) "reports the migration race" true
+    (contains text "race owner_0");
+  Alcotest.(check bool) "lists suspect sites" true
+    (contains text "suspect sites")
+
+let test_analyze_lint_failing () =
+  let code, text = run_out "analyze --demo" in
+  check "lint errors: exit 1" 1 code;
+  List.iter
+    (fun rule ->
+      Alcotest.(check bool)
+        (Printf.sprintf "demo fires %S" rule)
+        true (contains text rule))
+    [ "double-lock"; "index-range"; "atomic-blocking"; "lock-imbalance";
+      "unreachable" ]
+
+let test_analyze_no_target () =
+  check "no app and no demo: exit 1" 1 (run "analyze")
+
 let () =
   if Array.length Sys.argv < 2 then begin
     prerr_endline "usage: test_cli.exe <path-to-ddreplay.exe>";
@@ -158,5 +213,15 @@ let () =
             test_checkpoint_resume;
           Alcotest.test_case "segmented record and replay" `Quick
             test_segmented_roundtrip;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "clean report shape" `Quick test_analyze_clean;
+          Alcotest.test_case "race candidates on miniht" `Quick
+            test_analyze_races;
+          Alcotest.test_case "lint errors exit nonzero" `Quick
+            test_analyze_lint_failing;
+          Alcotest.test_case "missing target is an error" `Quick
+            test_analyze_no_target;
         ] );
     ]
