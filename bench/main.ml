@@ -2,15 +2,15 @@
    (Fig. 1, Fig. 2, the Sec. 2 narratives, plus the RCSE and budget
    ablations) and runs Bechamel microbenchmarks of the actual recorders.
 
-   Usage: main.exe [fig1|fig2|sec2|ablation|budget|flight|race|search|crash|static|open|micro|all]
+   Usage: main.exe [fig1|fig2|sec2|ablation|budget|flight|race|search|crash|governor|static|open|micro|all]
                    [--tiny] [--jobs N] [--json]
 
    --tiny   shrinks every budget so the command finishes in seconds (used
             by the bench-smoke alias under `dune runtest`)
    --jobs N times the search engines at N worker domains as well as at 1
-   --json   (search/crash/static) also writes BENCH_search.json /
-            BENCH_crash.json / BENCH_static.json (static writes its JSON
-            unconditionally when not --tiny) *)
+   --json   (search/crash/governor/static) also writes BENCH_search.json /
+            BENCH_crash.json / BENCH_governor.json / BENCH_static.json
+            (static writes its JSON unconditionally when not --tiny) *)
 
 open Ddet
 open Ddet_apps
@@ -33,11 +33,11 @@ let micro () =
   let recorders =
     [
       ("baseline", None);
-      ("perfect", Some Full_recorder.create);
-      ("value", Some Value_recorder.create);
-      ("sync", Some Sync_recorder.create);
-      ("output", Some Output_recorder.create);
-      ("failure", Some Failure_recorder.create);
+      ("perfect", Some (fun () -> Full_recorder.create ()));
+      ("value", Some (fun () -> Value_recorder.create ()));
+      ("sync", Some (fun () -> Sync_recorder.create ()));
+      ("output", Some (fun () -> Output_recorder.create ()));
+      ("failure", Some (fun () -> Failure_recorder.create ()));
       ("rcse-code", Some (fun () -> rcse_prepared.Session.make_recorder ()));
     ]
   in
@@ -505,6 +505,132 @@ let crash_bench ~tiny ~json () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* GOVERNOR: the overhead SLO in action. Record the failing miniht run
+   under several budgets, with the ungoverned recording as control, and
+   check the acceptance criterion end to end: measured overhead within
+   budget AND the original failure still reproducing from the governed
+   log, with the honest DF floor reported per degraded window. *)
+
+type gv_row = {
+  gv_model : string;
+  gv_budget : float;
+  gv_control : float;  (* ungoverned overhead, same model/seed *)
+  gv_overhead : float;
+  gv_within : bool;
+  gv_windows : int;
+  gv_entries : int;
+  gv_control_entries : int;
+  gv_reproduced : bool;
+  gv_df : float;
+  gv_df_floor : float;
+  gv_attempts : int;
+}
+
+let governor_bench ~tiny ~json () =
+  let miniht = Miniht.app () in
+  let seed = 1 (* the seed scan's first failing miniht seed *) in
+  let models =
+    if tiny then [ Model.Perfect ] else [ Model.Perfect; Model.Sync ]
+  in
+  let budgets = if tiny then [ 1.3 ] else [ 1.2; 1.3; 1.5; 2.0 ] in
+  let record ?budget:overhead_budget model =
+    let config = { Config.default with Config.overhead_budget } in
+    let prepared = Session.prepare ~config model miniht in
+    let original, log = Session.record prepared ~seed in
+    (prepared, original, log)
+  in
+  let rows =
+    List.concat_map
+      (fun model ->
+        let _, _, control_log = record model in
+        let gv_control =
+          Ddet_record.Cost_model.overhead Ddet_record.Cost_model.default
+            control_log
+        in
+        List.map
+          (fun b ->
+            let prepared, original, log = record ~budget:b model in
+            let gv_overhead =
+              Ddet_record.Cost_model.overhead Ddet_record.Cost_model.default
+                log
+            in
+            let outcome = Session.replay prepared log in
+            let a = Session.assess prepared ~original ~log outcome in
+            let reproduced =
+              match outcome.Ddet_replay.Replayer.result with
+              | Some r -> Ddet_replay.Constraints.failure_matches log r
+              | None -> false
+            in
+            {
+              gv_model = Model.name model;
+              gv_budget = b;
+              gv_control;
+              gv_overhead;
+              gv_within = gv_overhead <= b +. 1e-9;
+              gv_windows = a.Ddet_metrics.Utility.governed_windows;
+              gv_entries = Ddet_record.Log.entry_count log;
+              gv_control_entries = Ddet_record.Log.entry_count control_log;
+              gv_reproduced = reproduced;
+              gv_df = a.Ddet_metrics.Utility.df;
+              gv_df_floor =
+                Option.value ~default:0.
+                  a.Ddet_metrics.Utility.df_floor;
+              gv_attempts = outcome.Ddet_replay.Replayer.attempts;
+            })
+          budgets)
+      models
+  in
+  let table_rows =
+    List.map
+      (fun r ->
+        [
+          r.gv_model;
+          Printf.sprintf "%.1fx" r.gv_budget;
+          Printf.sprintf "%.2fx" r.gv_control;
+          Printf.sprintf "%.2fx" r.gv_overhead;
+          (if r.gv_within then "yes" else "NO");
+          string_of_int r.gv_windows;
+          Printf.sprintf "%d/%d" r.gv_entries r.gv_control_entries;
+          (if r.gv_reproduced then "yes" else "NO");
+          Printf.sprintf "%.2f (floor %.2f)" r.gv_df r.gv_df_floor;
+          string_of_int r.gv_attempts;
+        ])
+      rows
+  in
+  let body =
+    Ddet_metrics.Report.table
+      ~headers:
+        [ "model"; "budget"; "control"; "governed"; "within"; "windows";
+          "entries"; "reproduced"; "DF"; "attempts" ]
+      table_rows
+    ^ "\n\ncontrol: the same recording with no budget. within: measured\n\
+       Cost_model overhead of the governed log lands inside the SLO.\n\
+       reproduced: the governed log's search replay reproduces the\n\
+       original failure. DF is the measured fidelity with the honest\n\
+       1/n floor the degraded windows impose.\n"
+  in
+  Ddet_metrics.Report.print_section "GOVERNOR overhead SLO" body;
+  if json then begin
+    let file = "BENCH_governor.json" in
+    let oc = open_out file in
+    let row_json r =
+      Printf.sprintf
+        "    { \"model\": %S, \"budget\": %.2f, \"control_overhead\": %.4f, \
+         \"governed_overhead\": %.4f, \"within_budget\": %b, \
+         \"governed_windows\": %d, \"entries\": %d, \
+         \"control_entries\": %d, \"reproduced\": %b, \"df\": %.4f, \
+         \"df_floor\": %.4f, \"attempts\": %d }"
+        r.gv_model r.gv_budget r.gv_control r.gv_overhead r.gv_within
+        r.gv_windows r.gv_entries r.gv_control_entries r.gv_reproduced
+        r.gv_df r.gv_df_floor r.gv_attempts
+    in
+    Printf.fprintf oc "{\n  \"tiny\": %b,\n  \"rows\": [\n%s\n  ]\n}\n" tiny
+      (String.concat ",\n" (List.map row_json rows));
+    close_out oc;
+    Printf.printf "wrote %s\n" file
+  end
+
+(* ------------------------------------------------------------------ *)
 (* STATIC: cost and payoff of the static analysis suite. Three
    measurements on the ABL-RACE workloads: (1) analysis wall-time per
    program — the whole suite runs before any execution, so this is its
@@ -630,7 +756,7 @@ let static_bench ~tiny ~json () =
                          (Race_detector.create Race_detector.default_config);
                      ])),
               `Rcse );
-            ("value-det", Value_recorder.create, `Value);
+            ("value-det", (fun () -> Value_recorder.create ()), `Value);
           ]
         in
         List.map
@@ -818,6 +944,7 @@ let () =
     print (Experiment.search_engines ~config ());
     search_bench ~tiny ~jobs ~json ()
   | "crash" -> crash_bench ~tiny ~json ()
+  | "governor" -> governor_bench ~tiny ~json ()
   | "static" -> static_bench ~tiny ~json ()
   | "open" ->
     print (Explore.experiment ());

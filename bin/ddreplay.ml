@@ -93,7 +93,47 @@ let faults_arg =
 let jobs_arg =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"Worker domains for seed scans and searched replays. Outcomes \
-               are identical at any $(docv); only wall-clock time changes.")
+               are identical at any $(docv); only wall-clock time changes. \
+               Searches whose per-attempt cost is below the domain-spawn \
+               cost run sequentially regardless of $(docv).")
+
+let io_faults_conv =
+  Arg.conv
+    ( (fun s ->
+        Ddet_record.Faulty_store.of_string s
+        |> Result.map_error (fun e -> `Msg e)),
+      fun ppf p ->
+        Format.pp_print_string ppf (Ddet_record.Faulty_store.to_string p) )
+
+let io_faults_arg =
+  Arg.(value & opt (some io_faults_conv) None & info [ "io-faults" ]
+         ~docv:"PLAN"
+         ~doc:"Save the recording through a deterministically faulty store, \
+               e.g. $(b,seed=7,enospc:4096,torn:3:0.5,fsyncfail:2:t). \
+               Clauses: enospc:BYTES, torn:OP:KEEP, fsyncfail:OP[:t], \
+               renamefail:OP[:t], flaky:PROB, slow:FROM-TO:MS. Transient \
+               faults are absorbed by bounded retry with backoff; permanent \
+               ones surface as a typed storage error and leave a \
+               salvageable prefix on disk (segmented saves).")
+
+let overhead_budget_arg =
+  Arg.(value & opt (some float) None & info [ "overhead-budget" ] ~docv:"X"
+         ~doc:"Recording-overhead SLO as a factor, e.g. $(b,1.3) for \
+               \"at most 1.3x\". An overhead governor tracks the modeled \
+               cost during recording and dials fidelity down a degradation \
+               ladder (full, value, sync, failure-only) when the budget is \
+               threatened, dialling back up when pressure clears. Degraded \
+               windows are marked in the log; replay treats them as search \
+               regions and the assessment reports the honest DF floor.")
+
+let checkpoint_every_arg =
+  Arg.(value & opt int 32 & info [ "checkpoint-every" ] ~docv:"N"
+         ~doc:"Persist the checkpoint frontier every $(docv)-th judged \
+               attempt (default 32). Lower values lose less progress on a \
+               crash but cost more: BENCH_crash.json measured every-1 at \
+               roughly 36x the checkpointing overhead of the default \
+               every-32 throttle, for at most 31 attempts of extra replay \
+               work after a crash.")
 
 let salvage_arg =
   Arg.(value & flag & info [ "salvage" ]
@@ -186,8 +226,8 @@ let cmd_run app seed faults =
   describe_run app (App.production_run ?faults app ~seed);
   0
 
-let config_with ?deadline ?attempts jobs =
-  let base = Config.default in
+let config_with ?deadline ?attempts ?overhead_budget jobs =
+  let base = { Config.default with Config.overhead_budget } in
   let b = base.Config.budget in
   let b = { b with Ddet_replay.Search.deadline_s = deadline } in
   let b =
@@ -197,9 +237,11 @@ let config_with ?deadline ?attempts jobs =
   in
   { base with Config.jobs = max 1 jobs; budget = b }
 
-let cmd_find app cause exclusive faults jobs checkpoint resume =
+let cmd_find app cause exclusive faults jobs checkpoint every resume =
   guard @@ fun () ->
-  let checkpoint = Option.map Ddet_replay.Checkpoint.sink checkpoint in
+  let checkpoint =
+    Option.map (Ddet_replay.Checkpoint.sink ~every:(max 1 every)) checkpoint
+  in
   with_resume resume @@ fun resume ->
   match
     Workload.find_failing_seed ?cause ~exclusive ?faults ~jobs:(max 1 jobs)
@@ -213,27 +255,68 @@ let cmd_find app cause exclusive faults jobs checkpoint resume =
     Printf.eprintf "no failing seed found in the scanned range\n";
     Ddet_replay.Replayer.exit_deadline
 
-let cmd_record app model seed verbose out faults segments =
-  let prepared = Session.prepare model app in
+let cmd_record app model seed verbose out faults segments io_faults
+    overhead_budget =
+  let config = { Config.default with Config.overhead_budget } in
+  let prepared = Session.prepare ~config model app in
   let original, log = Session.record ?faults prepared ~seed in
   describe_run app original;
   Printf.printf "\nlog: %d entries, %d payload bytes, modeled overhead %.2fx\n"
     (Ddet_record.Log.entry_count log)
     (Ddet_record.Log.payload_bytes log)
     (Ddet_record.Cost_model.overhead Ddet_record.Cost_model.default log);
+  (match Ddet_record.Log.governed_windows log with
+  | [] -> ()
+  | ws ->
+    Printf.printf
+      "governor: %d degraded window(s); replay searches those regions\n"
+      (List.length ws));
   if verbose then Format.printf "%a@." Ddet_record.Log.pp log;
-  (match out with
-  | Some path -> (
-    match segments with
-    | Some n ->
-      Ddet_record.Log_segments.save ~segment_entries:(max 1 n) path log;
-      Printf.printf "saved segmented to %s (.header, .NNNN.seg, .manifest)\n"
-        path
-    | None ->
-      Ddet_record.Log_io.save path log;
-      Printf.printf "saved to %s\n" path)
-  | None -> ());
-  0
+  match out with
+  | None -> 0
+  | Some path ->
+    (* The save path is where hostile I/O bites: route it through the
+       pluggable store, optionally wrapped in the deterministic fault
+       injector, with bounded retry absorbing transient faults. *)
+    let stats, store =
+      match io_faults with
+      | None -> (None, Ddet_record.Store.default ())
+      | Some plan ->
+        let faulty, stats =
+          Ddet_record.Faulty_store.wrap plan (Ddet_record.Store.local ())
+        in
+        (Some stats, Ddet_record.Retry.store faulty)
+    in
+    let saved =
+      match segments with
+      | Some n ->
+        Ddet_record.Log_segments.save_via store ~segment_entries:(max 1 n)
+          path log
+      | None -> Ddet_record.Log_io.save_via store path log
+    in
+    (match stats with
+    | Some s ->
+      Format.printf "io-faults: %a@." Ddet_record.Faulty_store.pp_stats (s ())
+    | None -> ());
+    (match saved with
+    | Ok () ->
+      (match segments with
+      | Some _ ->
+        Printf.printf "saved segmented to %s (.header, .NNNN.seg, .manifest)\n"
+          path
+      | None -> Printf.printf "saved to %s\n" path);
+      0
+    | Error e ->
+      Printf.eprintf "save failed: %s\n"
+        (Ddet_record.Store.error_to_string e);
+      (match segments with
+      | Some _ ->
+        Printf.eprintf
+          "segments sealed before the failure remain at %s; \
+           replay recovers that prefix automatically\n"
+          path
+      | None -> ());
+      Ddet_replay.Replayer.exit_salvaged)
 
 (* Monolithic file if it exists; otherwise a segmented base path. Either
    way the result is (log, damaged) or an error. *)
@@ -259,15 +342,17 @@ let load_any ~salvage file =
   end
   else Error "no such file (and no segmented recording at that base path)"
 
-let cmd_replay app model file salvage jobs deadline checkpoint resume attempts
-    =
+let cmd_replay app model file salvage jobs deadline checkpoint every resume
+    attempts =
   guard @@ fun () ->
   match load_any ~salvage file with
   | Error msg ->
     Printf.eprintf "cannot load %s: %s\n" file msg;
     1
   | Ok (log, damaged) ->
-    let checkpoint = Option.map Ddet_replay.Checkpoint.sink checkpoint in
+    let checkpoint =
+      Option.map (Ddet_replay.Checkpoint.sink ~every:(max 1 every)) checkpoint
+    in
     with_resume resume @@ fun resume ->
     let config = config_with ?deadline ?attempts jobs in
     let prepared = Session.prepare ~config model app in
@@ -280,9 +365,10 @@ let cmd_replay app model file salvage jobs deadline checkpoint resume attempts
     | None -> ());
     Ddet_replay.Replayer.exit_code ~damaged outcome
 
-let cmd_debug app model seed replays faults jobs deadline checkpoint resume =
+let cmd_debug app model seed replays faults jobs deadline checkpoint every
+    resume overhead_budget =
   guard @@ fun () ->
-  let config = config_with ?deadline jobs in
+  let config = config_with ?deadline ?overhead_budget jobs in
   match (checkpoint, resume) with
   | None, None ->
     let a =
@@ -293,7 +379,9 @@ let cmd_debug app model seed replays faults jobs deadline checkpoint resume =
   | _ ->
     (* checkpointing identifies ONE search; run a single replay rather
        than the seed-varied ensemble so the frontier stays meaningful *)
-    let checkpoint = Option.map Ddet_replay.Checkpoint.sink checkpoint in
+    let checkpoint =
+      Option.map (Ddet_replay.Checkpoint.sink ~every:(max 1 every)) checkpoint
+    in
     with_resume resume @@ fun resume ->
     let prepared = Session.prepare ~config model app in
     let original, log = Session.record ?faults prepared ~seed in
@@ -410,12 +498,13 @@ let find_cmd =
     (Cmd.info "find" ~exits:search_exits
        ~doc:"Scan seeds for a failing production run.")
     Term.(const cmd_find $ app_arg $ cause_arg $ exclusive_arg $ faults_arg
-          $ jobs_arg $ checkpoint_arg $ resume_arg)
+          $ jobs_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
 
 let record_cmd =
   Cmd.v (Cmd.info "record" ~exits ~doc:"Record a production run under a model.")
     Term.(const cmd_record $ app_arg $ model_arg $ seed_arg $ verbose_arg
-          $ out_arg $ faults_arg $ segments_arg)
+          $ out_arg $ faults_arg $ segments_arg $ io_faults_arg
+          $ overhead_budget_arg)
 
 let replay_cmd =
   Cmd.v
@@ -423,8 +512,8 @@ let replay_cmd =
        ~doc:"Replay a saved log (monolithic file or segmented base path) \
              under its model.")
     Term.(const cmd_replay $ app_arg $ model_arg $ in_arg $ salvage_arg
-          $ jobs_arg $ deadline_arg $ checkpoint_arg $ resume_arg
-          $ attempts_arg)
+          $ jobs_arg $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg
+          $ resume_arg $ attempts_arg)
 
 let debug_cmd =
   Cmd.v
@@ -432,7 +521,7 @@ let debug_cmd =
        ~doc:"Record, replay and assess: overhead, DF, DE, DU.")
     Term.(const cmd_debug $ app_arg $ model_arg $ seed_arg $ replays_arg
           $ faults_arg $ jobs_arg $ deadline_arg $ checkpoint_arg
-          $ resume_arg)
+          $ checkpoint_every_arg $ resume_arg $ overhead_budget_arg)
 
 let classify_cmd =
   Cmd.v

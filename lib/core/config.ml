@@ -12,6 +12,7 @@ type t = {
   flight_ring : int option;
   race_config : Ddet_analysis.Race_detector.config;
   jobs : int;
+  overhead_budget : float option;
 }
 
 let default =
@@ -27,4 +28,5 @@ let default =
     flight_ring = Some 250;
     race_config = Ddet_analysis.Race_detector.default_config;
     jobs = 1;
+    overhead_budget = None;
   }

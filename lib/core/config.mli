@@ -25,6 +25,11 @@ type t = {
       (** worker domains for searched replays and seed scans; 1 (the
           default) keeps everything sequential. Outcomes are identical at
           any [jobs]; only wall-clock time changes. *)
+  overhead_budget : float option;
+      (** recording-overhead SLO (e.g. [Some 1.3] for "≤1.3x"): recording
+          runs under an {!Ddet_record.Governor} that degrades fidelity
+          gracefully to stay within it; [None] (the default) records at
+          the model's full fidelity *)
 }
 
 val default : t

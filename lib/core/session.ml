@@ -8,7 +8,7 @@ type prepared = {
   app : App.t;
   model : Model.t;
   config : Config.t;
-  make_recorder : unit -> Recorder.t;
+  make_recorder : ?govern:Governor.t -> unit -> Recorder.t;
   plane_map : Plane.map option;
   invariants : Invariants.t option;
 }
@@ -52,24 +52,25 @@ let prepare ?(config = Config.default) model (app : App.t) =
     | Model.Failure_det -> (Failure_recorder.create, false, false)
     | Model.Rcse Model.Code_based ->
       (* static selection: no flight ring needed *)
-      ( (fun () -> Rcse_recorder.create (code_selector (Lazy.force plane_map))),
+      ( (fun ?govern () ->
+          Rcse_recorder.create ?govern (code_selector (Lazy.force plane_map))),
         true,
         false )
     | Model.Rcse Model.Data_based ->
-      ( (fun () ->
-          Rcse_recorder.create ?flight:config.Config.flight_ring
+      ( (fun ?govern () ->
+          Rcse_recorder.create ?flight:config.Config.flight_ring ?govern
             (data_selector (Lazy.force invariants))),
         false,
         true )
     | Model.Rcse Model.Trigger_based ->
-      ( (fun () ->
-          Rcse_recorder.create ?flight:config.Config.flight_ring
+      ( (fun ?govern () ->
+          Rcse_recorder.create ?flight:config.Config.flight_ring ?govern
             (trigger_selector config ())),
         false,
         false )
     | Model.Rcse Model.Combined ->
-      ( (fun () ->
-          Rcse_recorder.create ?flight:config.Config.flight_ring
+      ( (fun ?govern () ->
+          Rcse_recorder.create ?flight:config.Config.flight_ring ?govern
             (Fidelity_level.any
                [
                  code_selector (Lazy.force plane_map);
@@ -90,9 +91,16 @@ let prepare ?(config = Config.default) model (app : App.t) =
 
 let record ?(faults = Fault.none) prepared ~seed =
   let world = Fault.inject faults (World.random ~seed) in
+  let govern =
+    Option.map
+      (fun budget ->
+        Governor.create ~cost_model:prepared.config.Config.cost_model ~budget
+          ())
+      prepared.config.Config.overhead_budget
+  in
   let original, log =
-    Recorder.record
-      (prepared.make_recorder ())
+    Recorder.record ?govern
+      (prepared.make_recorder ?govern ())
       prepared.app.App.labeled ~spec:prepared.app.App.spec ~world
   in
   (* the plan ships with the log: replay must re-create the adversarial
@@ -113,6 +121,13 @@ let replay ?budget ?checkpoint ?resume prepared log =
   let spec = prepared.app.App.spec in
   let budget = Option.value ~default:prepared.config.Config.budget budget in
   let jobs = prepared.config.Config.jobs in
+  (* A governed log has windows where the governor dropped entries by
+     design; the deterministic oracles would misalign against the gaps,
+     so any model's replay degrades to failure-directed search over the
+     missing windows. *)
+  if Log.governed log then
+    Replayer.governed ~budget ~jobs ?checkpoint ?resume labeled ~spec log
+  else
   match prepared.model with
   | Model.Perfect -> Replayer.perfect labeled ~spec log
   | Model.Value ->

@@ -24,9 +24,10 @@ type prepared = {
   app : App.t;
   model : Model.t;
   config : Config.t;
-  make_recorder : unit -> Recorder.t;
+  make_recorder : ?govern:Governor.t -> unit -> Recorder.t;
       (** fresh recorder per recording: selectors and triggers are
-          stateful *)
+          stateful. With [govern], the recorder's entries route through
+          that governor's admission gate (see {!Ddet_record.Governor}). *)
   plane_map : Plane.map option;
       (** the trained classification, for RCSE code-based/combined models *)
   invariants : Invariants.t option;

@@ -11,6 +11,8 @@ type assessment = {
   attempts : int;
   inference_steps : int;
   degraded : bool;
+  governed_windows : int;
+  df_floor : float option;
 }
 
 (* Degraded accounting (the paper's "DF should fall to 1/n, not 0"):
@@ -46,6 +48,15 @@ let assess ?(cost_model = Cost_model.default) ?(salvaged = false) ~catalog
         else (0., replay_cause, salvaged)
       | None -> (0., replay_cause, salvaged))
   in
+  (* Governed windows don't cap the measured DF — a search that lands the
+     true root cause has genuinely landed it — but they void any claim of
+     guaranteed fidelity, so the assessment reports the honest 1/n floor
+     alongside the measurement and flags the replay as degraded. *)
+  let governed_windows = List.length (Log.governed_windows log) in
+  let degraded = degraded || governed_windows > 0 in
+  let df_floor =
+    if governed_windows > 0 then Some (Fidelity.floor_df catalog) else None
+  in
   let de =
     if df > 0. then
       Efficiency.ratio ~original ~inference_steps:outcome.total_steps
@@ -62,6 +73,8 @@ let assess ?(cost_model = Cost_model.default) ?(salvaged = false) ~catalog
     attempts = outcome.attempts;
     inference_steps = outcome.total_steps;
     degraded;
+    governed_windows;
+    df_floor;
   }
 
 let pp ppf a =
@@ -71,4 +84,9 @@ let pp ppf a =
     (Option.value ~default:"?" a.original_cause)
     (Option.value ~default:"-" a.replay_cause)
     a.attempts
-    (if a.degraded then "  [degraded]" else "")
+    (if a.degraded then "  [degraded]" else "");
+  match a.df_floor with
+  | Some floor ->
+    Format.fprintf ppf "  [governed: %d window(s), DF floor %.2f]"
+      a.governed_windows floor
+  | None -> ()

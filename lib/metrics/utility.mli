@@ -16,9 +16,17 @@ type assessment = {
   inference_steps : int;
   degraded : bool;
       (** the replay was best-effort: the log was salvaged from a damaged
-          file, or the search exhausted its budget and only a partial
-          candidate reproduced the failure — DF is capped at the 1/n
-          floor either way *)
+          file, the search exhausted its budget and only a partial
+          candidate reproduced the failure, or the recording ran under an
+          overhead governor that dropped entries *)
+  governed_windows : int;
+      (** how many windows the overhead governor degraded fidelity in
+          during recording (0 for ungoverned logs) *)
+  df_floor : float option;
+      (** for governed logs, the honest guaranteed fidelity: the 1/n
+          floor. The measured [df] is reported as-is — a search that
+          lands the true root cause has landed it — but no stronger
+          fidelity can be {e guaranteed} once windows are missing. *)
 }
 
 (** [assess ?cost_model ?salvaged ~catalog ~original ~log outcome]

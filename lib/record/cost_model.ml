@@ -29,7 +29,7 @@ let entry_cost t = function
     t.value_fixed +. (t.byte_cost *. float_of_int (Value.size_bytes value))
   | Log.Failure_desc _ -> t.failure_cost
   | Log.Flight_note { buffered } -> t.flight_tax *. float_of_int buffered
-  | Log.Mark _ -> 0.0
+  | Log.Mark _ | Log.Govern _ -> 0.0
 
 let recording_cost t log =
   List.fold_left (fun acc e -> acc +. entry_cost t e) 0.0 log.Log.entries

@@ -1,3 +1,3 @@
-let create () =
-  let _add, finalize = Recorder.accumulator ~name:"failure" () in
+let create ?govern () =
+  let _add, finalize = Recorder.accumulator ~name:"failure" ?govern () in
   Recorder.make ~name:"failure" ~on_event:(fun _ -> ()) ~finalize

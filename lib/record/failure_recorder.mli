@@ -2,4 +2,4 @@
     the log is just the failure descriptor extracted from the "bug report"
     (the judged run) post-mortem. Replay is pure execution synthesis. *)
 
-val create : unit -> Recorder.t
+val create : ?govern:Governor.t -> unit -> Recorder.t

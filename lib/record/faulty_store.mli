@@ -1,0 +1,51 @@
+(** Deterministic hostile storage.
+
+    Wraps a base {!Store.t} and injects faults from a reproducible
+    plan: same plan + same operation sequence = same failures, short
+    writes and latency spikes, independent of wall clock or scheduler.
+    Probabilistic decisions are splitmix64 hashes of
+    (seed, salt, operation index), the same construction as
+    {!Mvm.Fault} uses for execution-level fault worlds. *)
+
+type fault =
+  | Disk_full of { after_bytes : int }
+      (** the disk fills after this many payload bytes; the write that
+          crosses the budget persists a prefix and fails with ENOSPC *)
+  | Torn of { at_op : int; keep : float }
+      (** operation [at_op] persists only [keep] of its payload, then
+          fails permanently *)
+  | Fsync_fail of { at_op : int; transient : bool }
+  | Rename_fail of { at_op : int; transient : bool }
+  | Flaky of { prob : float }
+      (** each write/append fails with probability [prob] before
+          persisting anything — the transient blips {!Retry} absorbs *)
+  | Slow of { from_op : int; until_op : int; ms : float }
+      (** operations in [from_op..until_op] each stall [ms] ms *)
+
+type plan = { seed : int; faults : fault list }
+
+val none : plan
+val make : ?seed:int -> fault list -> plan
+val is_empty : plan -> bool
+
+(** Clause grammar, comma-separated (the CLI's [--io-faults] syntax):
+    [seed=7,enospc:4096,torn:3:0.5,fsyncfail:2:t,renamefail:1,flaky:0.1,slow:10-20:5] *)
+val to_string : plan -> string
+
+val of_string : string -> (plan, string) result
+val pp : Format.formatter -> plan -> unit
+
+type stats = {
+  ops : int;  (** operations that reached the wrapper *)
+  bytes_written : int;  (** payload bytes that reached the base store *)
+  bytes_lost : int;  (** payload bytes discarded by short writes *)
+  injected : int;  (** operations failed by injection *)
+  injected_transient : int;  (** of those, transient ones *)
+  stalled_ms : float;  (** total injected latency *)
+}
+
+val zero_stats : stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [wrap plan base] is the hostile store plus a live stats reader. *)
+val wrap : plan -> Store.t -> Store.t * (unit -> stats)

@@ -1,7 +1,7 @@
 open Mvm
 
-let create () =
-  let add, finalize = Recorder.accumulator ~name:"perfect" () in
+let create ?govern () =
+  let add, finalize = Recorder.accumulator ~name:"perfect" ?govern () in
   let on_event (e : Event.t) =
     match e.kind with
     | Event.Step -> add (Log.Sched { tid = e.tid; sid = e.sid })

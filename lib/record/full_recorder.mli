@@ -2,4 +2,4 @@
     every input value. Replay is a single deterministic re-execution. The
     highest-overhead, highest-utility corner of Fig. 1. *)
 
-val create : unit -> Recorder.t
+val create : ?govern:Governor.t -> unit -> Recorder.t

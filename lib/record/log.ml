@@ -20,6 +20,7 @@ type entry =
   | Failure_desc of Failure.t
   | Flight_note of { buffered : int }
   | Mark of string
+  | Govern of { step : int; level : int; reason : string }
 
 type t = {
   recorder : string;
@@ -79,6 +80,29 @@ let outputs t =
   Hashtbl.fold (fun chan vs acc -> (chan, List.rev vs) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Degraded windows, derived from the Govern transition entries: each
+   window is [(start_step, end_step, level)] with level > 0, closed by
+   the next transition or the end of the run. Replay treats these spans
+   as search regions; the fidelity metrics report a DF floor for them. *)
+let governed_windows t =
+  let rec go acc open_w = function
+    | [] -> (
+      match open_w with
+      | Some (s, l) -> List.rev ((s, t.base_steps, l) :: acc)
+      | None -> List.rev acc)
+    | Govern { step; level; _ } :: rest -> (
+      match open_w with
+      | Some (s, l) when level <> l ->
+        let acc = (s, step, l) :: acc in
+        go acc (if level > 0 then Some (step, level) else None) rest
+      | Some _ -> go acc open_w rest
+      | None -> go acc (if level > 0 then Some (step, level) else None) rest)
+    | _ :: rest -> go acc open_w rest
+  in
+  go [] None t.entries
+
+let governed t = governed_windows t <> []
+
 let recorded_failure t =
   match
     List.find_opt (function Failure_desc _ -> true | _ -> false) t.entries
@@ -89,7 +113,7 @@ let recorded_failure t =
 let entry_count t =
   List.length
     (List.filter
-       (function Mark _ | Flight_note _ -> false | _ -> true)
+       (function Mark _ | Flight_note _ | Govern _ -> false | _ -> true)
        t.entries)
 
 let payload_bytes t =
@@ -99,7 +123,7 @@ let payload_bytes t =
       | Cp_input { value; _ } ->
         acc + Value.size_bytes value
       | Sched _ | Sync _ | Cp_sched _ | Failure_desc _ | Flight_note _
-      | Mark _ ->
+      | Mark _ | Govern _ ->
         acc)
     0 t.entries
 
@@ -126,6 +150,8 @@ let pp_entry ppf = function
   | Failure_desc f -> Format.fprintf ppf "failure %a" Failure.pp f
   | Flight_note { buffered } -> Format.fprintf ppf "flight-ring %d events" buffered
   | Mark m -> Format.fprintf ppf "mark %s" m
+  | Govern { step; level; reason } ->
+    Format.fprintf ppf "govern s%d level=%d (%s)" step level reason
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>log %s: %d entries over %d steps%s@,%a@]" t.recorder

@@ -50,6 +50,12 @@ type entry =
           stable storage only when a dial-up flushes them) *)
   | Mark of string
       (** fidelity dial-up/down markers and other zero-cost annotations *)
+  | Govern of { step : int; level : int; reason : string }
+      (** overhead-governor transition: from [step] onward the recording
+          runs at degradation-ladder [level] (0 = full fidelity for this
+          recorder, higher = coarser) because of [reason]. These entries
+          delimit the degraded windows the replayer treats as search
+          regions and the fidelity metrics price as a DF floor. *)
 
 type t = {
   recorder : string;  (** name of the recorder that produced this log *)
@@ -104,6 +110,14 @@ val outputs : t -> (string * Value.t list) list
 (** [recorded_failure t] is the [Failure_desc] entry if present, else the
     log's [failure] field. *)
 val recorded_failure : t -> Failure.t option
+
+(** [governed_windows t] is the degraded windows the governor marked, as
+    [(start_step, end_step, level)] with [level > 0], each closed by the
+    next {!entry.Govern} transition or the end of the run. *)
+val governed_windows : t -> (int * int * int) list
+
+(** [governed t] — the governor degraded fidelity at least once. *)
+val governed : t -> bool
 
 (** [entry_count t] is the number of entries (excluding [Mark]s). *)
 val entry_count : t -> int

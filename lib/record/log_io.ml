@@ -69,6 +69,8 @@ let enc_entry = function
   | Log.Failure_desc f -> "faildesc " ^ enc_failure f
   | Log.Flight_note { buffered } -> Printf.sprintf "flight %d" buffered
   | Log.Mark m -> Printf.sprintf "mark \"%s\"" (String.escaped m)
+  | Log.Govern { step; level; reason } ->
+    Printf.sprintf "govern %d %d \"%s\"" step level (String.escaped reason)
 
 let header_lines (log : Log.t) =
   let b = Buffer.create 256 in
@@ -221,6 +223,13 @@ let dec_entry_tokens line = function
   | "faildesc" :: rest -> Log.Failure_desc (dec_failure rest)
   | [ "flight"; n ] -> Log.Flight_note { buffered = int_of_string n }
   | [ "mark"; m ] -> Log.Mark (dec_string m)
+  | [ "govern"; step; level; reason ] ->
+    Log.Govern
+      {
+        step = int_of_string step;
+        level = int_of_string level;
+        reason = dec_string reason;
+      }
   | _ -> raise (Parse ("bad entry: " ^ line))
 
 let dec_entry line = dec_entry_tokens line (tokens line)
@@ -502,7 +511,15 @@ let atomic_write path s =
      raise e);
   Sys.rename tmp path
 
-let save path log = atomic_write path (to_string log)
+(* Store-routed save: same atomic discipline, but every byte flows
+   through the pluggable store, so fault injection and retry policies
+   apply to monolithic saves too. *)
+let save_via store path log = Store.atomic_write store path (to_string log)
+
+let save path log =
+  match save_via (Store.default ()) path log with
+  | Ok () -> ()
+  | Error e -> raise (Sys_error (Store.error_to_string e))
 
 let load_report ?mode path =
   let ic = open_in path in

@@ -67,6 +67,13 @@ val of_string_report : ?mode:mode -> string -> (Log.t * damage, string) result
     nothing in between. *)
 val save : string -> Log.t -> unit
 
+(** [save_via store path log] is {!save} routed through a pluggable
+    {!Store.t}: the same temp-write-fsync-rename discipline, but every
+    byte crosses [store], so fault injection ({!Faulty_store}) and retry
+    policies ({!Retry.store}) apply. A permanent storage failure comes
+    back as the typed error with the temp file cleaned up. *)
+val save_via : Store.t -> string -> Log.t -> (unit, Store.error) result
+
 (** [load ?mode path] reads a log file back.
     @raise Sys_error on I/O failure; parse errors come back as [Error]. *)
 val load : ?mode:mode -> string -> (Log.t, string) result

@@ -24,103 +24,149 @@ let exists base =
   || Sys.file_exists (header_path base)
   || Sys.file_exists (seg_path base 0)
 
-let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
-
 (* ------------------------------------------------------------------ *)
 (* writer *)
 
+(* Every byte crosses the pluggable store, and a permanent store error
+   makes the writer sticky-failed: appends become no-ops, the failure is
+   readable via [writer_error], and close skips the manifest — a failed
+   recording must never gain the marker that asserts completeness.
+   Recovery then takes the scan path and reports the honest salvageable
+   prefix. *)
 type writer = {
   base : string;
   recorder : string;
   segment_entries : int;
+  store : Store.t;
   mutable seg : int;  (* index of the segment being written *)
   mutable count : int;  (* entries in that segment *)
-  mutable oc : out_channel option;
+  mutable open_seg : bool;  (* the segment file has been started *)
   buf : Buffer.t;  (* exact bytes of the open segment, for its CRC *)
   mutable sealed : (int * int * string) list;  (* rev (index, entries, crc) *)
   mutable closed : bool;
+  mutable failed : Store.error option;  (* sticky permanent failure *)
 }
 
-let create ?(segment_entries = 64) ~recorder base =
+let writer_error w = w.failed
+
+let fail w e = if w.failed = None then w.failed <- Some e
+
+let create ?store ?(segment_entries = 64) ~recorder base =
   if segment_entries < 1 then invalid_arg "Log_segments.create: segment_entries";
-  remove_if_exists (manifest_path base);
+  let store = match store with Some s -> s | None -> Store.default () in
+  store.Store.remove (manifest_path base);
   let rec clean i =
-    if Sys.file_exists (seg_path base i) then begin
-      remove_if_exists (seg_path base i);
+    if store.Store.exists (seg_path base i) then begin
+      store.Store.remove (seg_path base i);
       clean (i + 1)
     end
   in
   clean 0;
+  let w =
+    {
+      base;
+      recorder;
+      segment_entries;
+      store;
+      seg = 0;
+      count = 0;
+      open_seg = false;
+      buf = Buffer.create 4096;
+      sealed = [];
+      closed = false;
+      failed = None;
+    }
+  in
   (* the header ships before any entry: a recovery that races a crash
      still learns which recorder produced the segments *)
-  Log_io.atomic_write (header_path base)
-    (Printf.sprintf "%s\nrecorder \"%s\"\n" header_magic
-       (String.escaped recorder));
-  {
-    base;
-    recorder;
-    segment_entries;
-    seg = 0;
-    count = 0;
-    oc = None;
-    buf = Buffer.create 4096;
-    sealed = [];
-    closed = false;
-  }
+  (match
+     Store.atomic_write store (header_path base)
+       (Printf.sprintf "%s\nrecorder \"%s\"\n" header_magic
+          (String.escaped recorder))
+   with
+  | Ok () -> ()
+  | Error e -> fail w e);
+  w
 
 let put w s =
-  (match w.oc with Some oc -> output_string oc s | None -> assert false);
-  Buffer.add_string w.buf s
+  match w.failed with
+  | Some _ -> ()
+  | None -> (
+    match w.store.Store.append (seg_path w.base w.seg) s with
+    | Ok () -> Buffer.add_string w.buf s
+    | Error e -> fail w e)
 
 let seal w =
-  match w.oc with
-  | None -> ()
-  | Some oc ->
+  if w.open_seg then begin
+    let path = seg_path w.base w.seg in
     put w (Printf.sprintf "end %d\n" w.count);
-    close_out oc;
-    w.sealed <- (w.seg, w.count, Log_io.crc_hex (Buffer.contents w.buf)) :: w.sealed;
-    w.oc <- None;
+    (* seal (fsync + close) even after a failure, so the handle is
+       released; only a clean segment earns a manifest entry *)
+    (match w.store.Store.seal path with
+    | Ok () -> ()
+    | Error e -> fail w e);
+    if w.failed = None then
+      w.sealed <-
+        (w.seg, w.count, Log_io.crc_hex (Buffer.contents w.buf)) :: w.sealed;
+    w.open_seg <- false;
     Buffer.clear w.buf;
     w.seg <- w.seg + 1;
     w.count <- 0
+  end
 
 let append w entry =
   if w.closed then invalid_arg "Log_segments.append: writer is closed";
-  if w.oc = None then begin
-    w.oc <- Some (open_out (seg_path w.base w.seg));
-    put w (Printf.sprintf "%s %d\n" seg_magic w.seg)
-  end;
-  let line = Log_io.enc_entry entry in
-  put w (Printf.sprintf "%s %s\n" (Log_io.crc_hex line) line);
-  (* flush per entry: a crash loses at most the line being written *)
-  (match w.oc with Some oc -> flush oc | None -> ());
-  w.count <- w.count + 1;
-  if w.count >= w.segment_entries then seal w
+  if w.failed = None then begin
+    if not w.open_seg then begin
+      w.open_seg <- true;
+      put w (Printf.sprintf "%s %d\n" seg_magic w.seg)
+    end;
+    let line = Log_io.enc_entry entry in
+    put w (Printf.sprintf "%s %s\n" (Log_io.crc_hex line) line);
+    if w.failed = None then begin
+      w.count <- w.count + 1;
+      if w.count >= w.segment_entries then seal w
+    end
+  end
 
 let close w ~base_steps ~failure ?faults () =
   if not w.closed then begin
     seal w;
     w.closed <- true;
-    let hdr_log =
-      Log.make ?faults ~recorder:w.recorder ~entries:[] ~base_steps ~failure ()
-    in
-    let b = Buffer.create 1024 in
-    Buffer.add_string b (manifest_magic ^ "\n");
-    Buffer.add_string b (Log_io.header_lines hdr_log);
-    let sealed = List.rev w.sealed in
-    List.iter
-      (fun (i, n, crc) ->
-        Buffer.add_string b (Printf.sprintf "segment %04d %d %s\n" i n crc))
-      sealed;
-    Buffer.add_string b (Printf.sprintf "end %d\n" (List.length sealed));
-    Log_io.atomic_write (manifest_path w.base) (Buffer.contents b)
+    match w.failed with
+    | Some _ -> ()
+    | None -> (
+      let hdr_log =
+        Log.make ?faults ~recorder:w.recorder ~entries:[] ~base_steps ~failure
+          ()
+      in
+      let b = Buffer.create 1024 in
+      Buffer.add_string b (manifest_magic ^ "\n");
+      Buffer.add_string b (Log_io.header_lines hdr_log);
+      let sealed = List.rev w.sealed in
+      List.iter
+        (fun (i, n, crc) ->
+          Buffer.add_string b (Printf.sprintf "segment %04d %d %s\n" i n crc))
+        sealed;
+      Buffer.add_string b (Printf.sprintf "end %d\n" (List.length sealed));
+      match
+        Store.atomic_write w.store (manifest_path w.base) (Buffer.contents b)
+      with
+      | Ok () -> ()
+      | Error e -> fail w e)
   end
 
-let save ?segment_entries base (log : Log.t) =
-  let w = create ?segment_entries ~recorder:log.Log.recorder base in
+let save_via store ?segment_entries base (log : Log.t) =
+  let w = create ~store ?segment_entries ~recorder:log.Log.recorder base in
   List.iter (append w) log.Log.entries;
   close w ~base_steps:log.Log.base_steps ~failure:log.Log.failure
-    ?faults:log.Log.faults ()
+    ?faults:log.Log.faults ();
+  match writer_error w with Some e -> Error e | None -> Ok ()
+
+let save ?segment_entries base (log : Log.t) =
+  match save_via (Store.default ()) ?segment_entries base log with
+  | Ok () -> ()
+  | Error e -> raise (Sys_error (Store.error_to_string e))
 
 (* ------------------------------------------------------------------ *)
 (* recovery *)

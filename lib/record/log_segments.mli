@@ -25,21 +25,33 @@
 (** Streaming writer. Not thread-safe; one recording each. *)
 type writer
 
-(** [create ?segment_entries ~recorder base] starts a segmented recording
-    at [base] (default 64 entries per segment). Stale artifacts of a
-    previous recording under [base] are removed, and [base.header] is
-    written immediately so recovery knows the recorder even if the crash
-    comes before the manifest. *)
-val create : ?segment_entries:int -> recorder:string -> string -> writer
+(** [create ?store ?segment_entries ~recorder base] starts a segmented
+    recording at [base] (default 64 entries per segment), writing through
+    [store] (default {!Store.default}). Stale artifacts of a previous
+    recording under [base] are removed, and [base.header] is written
+    immediately so recovery knows the recorder even if the crash comes
+    before the manifest. *)
+val create :
+  ?store:Store.t -> ?segment_entries:int -> recorder:string -> string -> writer
 
 (** [append w entry] writes one CRC'd entry line to the current segment
     (flushed per entry), sealing the segment and opening the next when it
-    reaches [segment_entries]. *)
+    reaches [segment_entries].
+
+    A permanent store error makes the writer {e sticky-failed}: this and
+    every later append become no-ops, the error is readable via
+    {!writer_error}, and {!close} skips the manifest — so recovery takes
+    the crash path and reports the honest salvageable prefix instead of
+    trusting a recording that lost bytes. *)
 val append : writer -> Log.entry -> unit
 
+(** The sticky permanent failure, if storage failed mid-recording. *)
+val writer_error : writer -> Store.error option
+
 (** [close w ~base_steps ~failure ?faults ()] seals the tail segment and
-    atomically writes the manifest. After close, {!load} reconstructs the
-    full log exactly. *)
+    atomically writes the manifest — unless the writer failed, in which
+    case the manifest is deliberately withheld (it asserts completeness).
+    After a clean close, {!load} reconstructs the full log exactly. *)
 val close :
   writer ->
   base_steps:int ->
@@ -49,8 +61,20 @@ val close :
   unit
 
 (** [save ?segment_entries base log] is the one-shot convenience:
-    create, append every entry, close. *)
+    create, append every entry, close.
+    @raise Sys_error on a permanent storage failure. *)
 val save : ?segment_entries:int -> string -> Log.t -> unit
+
+(** [save_via store ?segment_entries base log] is {!save} through a
+    pluggable store, with the permanent failure as a typed error. Even on
+    [Error] the sealed segments and tail prefix persisted before the
+    fault remain on disk for {!load} to salvage. *)
+val save_via :
+  Store.t ->
+  ?segment_entries:int ->
+  string ->
+  Log.t ->
+  (unit, Store.error) result
 
 (** What recovery found. [complete] means the manifest was present,
     intact, and every listed segment validated — the load is the whole

@@ -1,7 +1,7 @@
 open Mvm
 
-let create () =
-  let add, finalize = Recorder.accumulator ~name:"output" () in
+let create ?govern () =
+  let add, finalize = Recorder.accumulator ~name:"output" ?govern () in
   let on_event (e : Event.t) =
     match e.kind with
     | Event.Out io -> add (Log.Output { chan = io.chan; value = io.value.Value.v })

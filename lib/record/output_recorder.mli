@@ -3,4 +3,4 @@
     cheap at production time, expensive (and fidelity-lossy) at debug
     time. *)
 
-val create : unit -> Recorder.t
+val create : ?govern:Governor.t -> unit -> Recorder.t

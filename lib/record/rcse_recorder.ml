@@ -25,9 +25,9 @@ let entries_of_event (e : Event.t) =
   | Event.Lock_acq _ | Event.Lock_rel _ | Event.Spawned _ | Event.Crashed _ ->
     []
 
-let create ?flight (selector : Fidelity_level.selector) =
+let create ?flight ?govern (selector : Fidelity_level.selector) =
   let name = "rcse:" ^ selector.name in
-  let add, finalize = Recorder.accumulator ~name () in
+  let add, finalize = Recorder.accumulator ~name ?govern () in
   let current = ref Fidelity_level.Low in
   let ring =
     Option.map

@@ -25,4 +25,4 @@
     where the root cause usually lives. Ring residency is priced by the
     cost model's [flight_tax]; flushed entries are priced normally once
     they reach the log. *)
-val create : ?flight:int -> Fidelity_level.selector -> Recorder.t
+val create : ?flight:int -> ?govern:Governor.t -> Fidelity_level.selector -> Recorder.t

@@ -8,10 +8,19 @@ type t = {
 
 let make ~name ~on_event ~finalize = { name; on_event; finalize }
 
-let accumulator ~name () =
+let accumulator ~name ?govern () =
   let entries : Log.entry Vec.t = Vec.create () in
-  let add e = Vec.push entries e in
+  let add e =
+    match govern with
+    | None -> Vec.push entries e
+    | Some g -> List.iter (Vec.push entries) (Governor.admit g e)
+  in
   let finalize (r : Interp.result) =
+    (* drain any queued Govern transition before assembling: a level
+       change with no later admitted entry must still reach the log *)
+    (match govern with
+    | Some g -> List.iter (Vec.push entries) (Governor.flush g)
+    | None -> ());
     let entries = Vec.to_list entries in
     let entries =
       match r.failure with
@@ -22,9 +31,14 @@ let accumulator ~name () =
   in
   (add, finalize)
 
-let record ?max_steps recorder labeled ~spec ~world =
-  let result =
-    Interp.run ?max_steps ~monitors:[ recorder.on_event ] labeled world
+let record ?max_steps ?govern recorder labeled ~spec ~world =
+  (* the governor's monitor runs first, so its step clock and pressure
+     are current by the time the recorder's admission gate consults it *)
+  let monitors =
+    match govern with
+    | Some g -> [ Governor.on_event g; recorder.on_event ]
+    | None -> [ recorder.on_event ]
   in
+  let result = Interp.run ?max_steps ~monitors labeled world in
   let result = Spec.apply spec result in
   (result, recorder.finalize result)

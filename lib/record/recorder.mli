@@ -20,12 +20,16 @@ val make :
   finalize:(Interp.result -> Log.t) ->
   t
 
-(** [record ?max_steps recorder labeled ~spec ~world] runs the program under
-    [world] with [recorder] attached, applies [spec], and finalises the log.
-    This is "production time" in the paper's sense: the world is typically
-    {!Mvm.World.random}. *)
+(** [record ?max_steps ?govern recorder labeled ~spec ~world] runs the
+    program under [world] with [recorder] attached, applies [spec], and
+    finalises the log. This is "production time" in the paper's sense: the
+    world is typically {!Mvm.World.random}. When [govern] is given, its
+    monitor is attached ahead of the recorder's so overhead pressure is
+    current when the recorder's admission gate consults it — pass the
+    {e same} governor the recorder was created with. *)
 val record :
   ?max_steps:int ->
+  ?govern:Governor.t ->
   t ->
   Label.labeled ->
   spec:Spec.t ->
@@ -35,8 +39,13 @@ val record :
 (** [accumulator ()] is the common building block: an entry buffer plus an
     [add] function and a [finalize] that appends the failure descriptor of
     the judged run. Recorder implementations push entries into it from
-    their [on_event]. *)
+    their [on_event]. With [govern], every added entry routes through
+    {!Governor.admit} — degraded windows drop entries and gain [Govern]
+    markers — and finalize drains {!Governor.flush}. The failure
+    descriptor is appended {e after} the gate: the governor can never
+    suppress the failure itself. *)
 val accumulator :
   name:string ->
+  ?govern:Governor.t ->
   unit ->
   (Log.entry -> unit) * (Interp.result -> Log.t)

@@ -1,0 +1,39 @@
+(** Bounded retry with deterministic backoff.
+
+    Transient storage errors ({!Store.error.transient}) persisted
+    nothing, so the identical operation is re-issued up to
+    [max_retries] times with a geometric backoff; permanent errors
+    surface immediately. The schedule is deterministic: fault plan +
+    policy always yields the same attempt sequence. *)
+
+type policy = {
+  max_retries : int;  (** extra attempts after the first *)
+  backoff_s : float;  (** sleep before the first retry *)
+  multiplier : float;
+  max_backoff_s : float;  (** per-sleep cap, bounding total stall *)
+}
+
+(** 3 retries, 1 ms initial backoff, doubling, capped at 50 ms. *)
+val default : policy
+
+val no_retries : policy
+
+type failure = {
+  error : Store.error;  (** the error that ended the attempt sequence *)
+  attempts : int;  (** attempts made, including the first *)
+  gave_up : bool;  (** true: transient, but retry budget exhausted *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+val failure_to_string : failure -> string
+
+(** [run ?policy f] re-runs [f] on transient errors per [policy]. *)
+val run : ?policy:policy -> (unit -> ('a, Store.error) result) -> ('a, failure) result
+
+(** The failure as a permanent store error ([transient = false]):
+    downstream must not retry what Retry already gave up on. *)
+val as_store_error : failure -> Store.error
+
+(** [store ?policy base] wraps every fallible operation of [base] in
+    {!run}. Errors that escape are always permanent. *)
+val store : ?policy:policy -> Store.t -> Store.t

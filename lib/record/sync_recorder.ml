@@ -1,7 +1,7 @@
 open Mvm
 
-let create () =
-  let add, finalize = Recorder.accumulator ~name:"sync" () in
+let create ?govern () =
+  let add, finalize = Recorder.accumulator ~name:"sync" ?govern () in
   let on_event (e : Event.t) =
     match e.kind with
     | Event.In io ->

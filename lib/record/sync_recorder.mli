@@ -3,4 +3,4 @@
     spawns), but not the interleaving of plain shared-memory accesses — the
     outcomes of data races must be inferred at replay time. *)
 
-val create : unit -> Recorder.t
+val create : ?govern:Governor.t -> unit -> Recorder.t

@@ -1,7 +1,7 @@
 open Mvm
 
-let create () =
-  let add, finalize = Recorder.accumulator ~name:"value" () in
+let create ?govern () =
+  let add, finalize = Recorder.accumulator ~name:"value" ?govern () in
   let on_event (e : Event.t) =
     match e.kind with
     | Event.Read a ->

@@ -5,4 +5,4 @@
     thread's projection replays faithfully, but causality across CPUs must
     be reconstructed by the developer. *)
 
-val create : unit -> Recorder.t
+val create : ?govern:Governor.t -> unit -> Recorder.t

@@ -35,6 +35,21 @@ open Mvm
 
 let window_of jobs = max 2 (jobs * 4)
 
+(* Min-work heuristic. Spawning and coordinating worker domains costs
+   roughly this many interpreter steps' worth of work per search;
+   BENCH_search.json shows jobs=4 running at 0.004-0.108x of sequential
+   on small workloads, where the whole search finishes before the pool
+   has amortised its setup. When the caller can estimate the cost of one
+   attempt (typically the recorded run's base_steps) and it falls below
+   this, parallel fan-out is a guaranteed loss: the engine silently runs
+   sequentially instead. Outcomes are unaffected either way — the
+   parallel engines are byte-identical to their sequential counterparts
+   by construction. *)
+let spawn_cost_steps = 15_000
+
+let effective_jobs ~jobs est =
+  match est with Some e when e < spawn_cost_steps -> 1 | _ -> jobs
+
 (* what a worker delivers for one job: the attempt's value, possibly with
    a requeue incident (it succeeded on retry), or a poison notice *)
 type 'a job =
@@ -281,8 +296,9 @@ let chain_pool ?(init_prefix = [||]) ~jobs ~make_exec ~process ~exhausted () =
 (* ------------------------------------------------------------------ *)
 (* engines *)
 
-let random_restarts ?(jobs = 1) ?(score = Search.no_score) ?checkpoint ?resume
-    budget ~make ~spec ~accept labeled =
+let random_restarts ?(jobs = 1) ?est_attempt_steps ?(score = Search.no_score)
+    ?checkpoint ?resume budget ~make ~spec ~accept labeled =
+  let jobs = effective_jobs ~jobs est_attempt_steps in
   if jobs <= 1 then
     Search.random_restarts ~score ?checkpoint ?resume budget ~make ~spec
       ~accept labeled
@@ -368,8 +384,9 @@ let random_restarts ?(jobs = 1) ?(score = Search.no_score) ?checkpoint ?resume
       ~exhausted:(fun () -> fail ~attempts:budget.Search.max_attempts ())
   end
 
-let enumerate_inputs ?(jobs = 1) ?(score = Search.no_score) ?checkpoint
-    ?resume budget ~spec ~accept labeled =
+let enumerate_inputs ?(jobs = 1) ?est_attempt_steps ?(score = Search.no_score)
+    ?checkpoint ?resume budget ~spec ~accept labeled =
+  let jobs = effective_jobs ~jobs est_attempt_steps in
   if jobs <= 1 then
     Search.enumerate_inputs ~score ?checkpoint ?resume budget ~spec ~accept
       labeled
@@ -484,8 +501,9 @@ let enumerate_inputs ?(jobs = 1) ?(score = Search.no_score) ?checkpoint
         ()
   end
 
-let dfs_schedules ?(jobs = 1) ?(score = Search.no_score) ?(prune = true)
-    ?checkpoint ?resume budget ~spec ~accept labeled =
+let dfs_schedules ?(jobs = 1) ?est_attempt_steps ?(score = Search.no_score)
+    ?(prune = true) ?checkpoint ?resume budget ~spec ~accept labeled =
+  let jobs = effective_jobs ~jobs est_attempt_steps in
   if jobs <= 1 then
     Search.dfs_schedules ~score ~prune ?checkpoint ?resume budget ~spec
       ~accept labeled
@@ -646,7 +664,9 @@ let check_scan_resume ~from = function
            ck.Checkpoint.base_seed from);
     Some ck
 
-let first_success ?(jobs = 1) ?checkpoint ?resume ~from ~count ~f () =
+let first_success ?(jobs = 1) ?est_attempt_steps ?checkpoint ?resume ~from
+    ~count ~f () =
+  let jobs = effective_jobs ~jobs est_attempt_steps in
   let resume = check_scan_resume ~from resume in
   let last = from + count - 1 in
   let start =

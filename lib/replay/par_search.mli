@@ -43,9 +43,18 @@ open Mvm
 
 (** Parallel {!Search.random_restarts}. [make] is called on worker
     domains: it must build fresh per-attempt state (all drivers in this
-    repository do). *)
+    repository do).
+
+    [est_attempt_steps] (on every engine) is the min-work heuristic: an
+    estimate of one attempt's cost in interpreter steps — typically the
+    recorded run's [base_steps]. When it falls below the domain-spawn
+    cost (~15k steps), the engine runs sequentially regardless of [jobs]:
+    BENCH_search.json shows parallel fan-out at 0.004-0.108x of
+    sequential on workloads that small. Outcomes are byte-identical
+    either way; only wall-clock changes. *)
 val random_restarts :
   ?jobs:int ->
+  ?est_attempt_steps:int ->
   ?score:(Interp.result -> float) ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.t ->
@@ -59,6 +68,7 @@ val random_restarts :
 (** Parallel {!Search.enumerate_inputs}. *)
 val enumerate_inputs :
   ?jobs:int ->
+  ?est_attempt_steps:int ->
   ?score:(Interp.result -> float) ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.t ->
@@ -75,6 +85,7 @@ val enumerate_inputs :
     re-classified (and re-charged) by the reducer after the fact. *)
 val dfs_schedules :
   ?jobs:int ->
+  ?est_attempt_steps:int ->
   ?score:(Interp.result -> float) ->
   ?prune:bool ->
   ?checkpoint:Checkpoint.sink ->
@@ -94,6 +105,7 @@ val dfs_schedules :
     "scan" engine kind, with [from] as the identity check. *)
 val first_success :
   ?jobs:int ->
+  ?est_attempt_steps:int ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.t ->
   from:int ->
@@ -104,7 +116,10 @@ val first_success :
 
 (**/**)
 
-(* internal: exposed for the crash-tolerance test harness *)
+(* internal: exposed for the test harnesses *)
+
+val spawn_cost_steps : int
+val effective_jobs : jobs:int -> int option -> int
 
 type 'a job =
   | Job_ok of 'a * Search.incident option

@@ -54,6 +54,14 @@ let exit_code ?(damaged = false) o =
 let env_world (log : Log.t) w =
   match log.Log.faults with None -> w | Some plan -> Fault.inject plan w
 
+(* Each search attempt re-executes the recorded program, so the recorded
+   run's length is the natural per-attempt cost estimate for the
+   min-work heuristic (Par_search falls back to sequential when an
+   attempt is cheaper than spawning domains). A log whose header lost
+   its base steps gives no estimate rather than a misleading zero. *)
+let est_of (log : Log.t) =
+  if log.Log.base_steps > 0 then Some log.Log.base_steps else None
+
 let perfect labeled ~spec log =
   let handle = Oracle.perfect log in
   let world = env_world log handle.Oracle.world in
@@ -88,7 +96,8 @@ let small_budget =
 
 let value_det ?(budget = small_budget) ?(jobs = 1) ?checkpoint ?resume labeled
     ~spec log =
-  Par_search.random_restarts ~jobs ?checkpoint ?resume budget
+  Par_search.random_restarts ~jobs ?est_attempt_steps:(est_of log)
+    ?checkpoint ?resume budget
     ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       let handle = Oracle.value_det ~seed:(budget.base_seed + attempt) log in
@@ -104,10 +113,11 @@ let output_det ?(budget = Search.default_budget) ?(exhaustive = true)
   let score = Constraints.closeness log in
   let o =
     if exhaustive then
-      Par_search.enumerate_inputs ~jobs ?checkpoint ?resume budget ~score
-        ~spec ~accept labeled
+      Par_search.enumerate_inputs ~jobs ?est_attempt_steps:(est_of log)
+        ?checkpoint ?resume budget ~score ~spec ~accept labeled
     else
-      Par_search.random_restarts ~jobs ?checkpoint ?resume budget ~score
+      Par_search.random_restarts ~jobs ?est_attempt_steps:(est_of log)
+        ?checkpoint ?resume budget ~score
         ~make:(fun ~attempt ->
           ( env_world log (World.random ~seed:(budget.base_seed + attempt)),
             Some (Constraints.output_prefix_abort log) ))
@@ -124,7 +134,8 @@ let failure_det ?(budget = Search.default_budget) ?(jobs = 1) ?checkpoint
       let prefer = Search.site_prefer p in
       fun ~seed -> World.prioritized ~seed ~prefer
   in
-  Par_search.random_restarts ~jobs ?checkpoint ?resume budget
+  Par_search.random_restarts ~jobs ?est_attempt_steps:(est_of log)
+    ?checkpoint ?resume budget
     ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       (env_world log (attempt_world ~seed:(budget.base_seed + attempt)), None))
@@ -135,7 +146,8 @@ let failure_det ?(budget = Search.default_budget) ?(jobs = 1) ?checkpoint
 
 let sync_det ?(budget = Search.default_budget) ?(jobs = 1) ?checkpoint ?resume
     labeled ~spec log =
-  Par_search.random_restarts ~jobs ?checkpoint ?resume budget
+  Par_search.random_restarts ~jobs ?est_attempt_steps:(est_of log)
+    ?checkpoint ?resume budget
     ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       let handle = Oracle.sync ~seed:(budget.base_seed + attempt) log in
@@ -150,7 +162,8 @@ let sync_det ?(budget = Search.default_budget) ?(jobs = 1) ?checkpoint ?resume
 
 let rcse ?(budget = Search.default_budget) ?(strict = true) ?(jobs = 1)
     ?checkpoint ?resume labeled ~spec log =
-  Par_search.random_restarts ~jobs ?checkpoint ?resume budget
+  Par_search.random_restarts ~jobs ?est_attempt_steps:(est_of log)
+    ?checkpoint ?resume budget
     ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
       let handle = Oracle.rcse ~strict ~seed:(budget.base_seed + attempt) log in
@@ -159,6 +172,27 @@ let rcse ?(budget = Search.default_budget) ?(strict = true) ?(jobs = 1)
     ~accept:(Constraints.failure_matches log)
     labeled
   |> of_search "rcse"
+
+(* A governed log has windows where the governor dialled fidelity down
+   and entries are missing by design. The deterministic oracles (value,
+   sync) would misalign against those gaps — their forced decisions
+   assume a complete stream — so governed logs replay by search: random
+   restarts under the recorded fault plan, accepted when the original
+   failure reproduces, closeness-scored so budget exhaustion still
+   yields the best partial. The degraded windows are exactly the search
+   regions; everything outside them is pinned by the surviving entries
+   through the closeness score. *)
+let governed ?(budget = Search.default_budget) ?(jobs = 1) ?checkpoint
+    ?resume labeled ~spec log =
+  Par_search.random_restarts ~jobs ?est_attempt_steps:(est_of log)
+    ?checkpoint ?resume budget
+    ~score:(Constraints.closeness log)
+    ~make:(fun ~attempt ->
+      (env_world log (World.random ~seed:(budget.base_seed + attempt)), None))
+    ~spec
+    ~accept:(Constraints.failure_matches log)
+    labeled
+  |> of_search "governed"
 
 let pp_outcome ppf o =
   Format.fprintf ppf "%s: %s after %d attempt(s), %d inference steps" o.model

@@ -125,6 +125,23 @@ val rcse :
   Log.t ->
   outcome
 
+(** Replay for logs recorded under an overhead governor
+    ({!Ddet_record.Governor}): degraded windows are missing entries by
+    design, so the deterministic oracles would misalign. Instead the
+    driver searches — random restarts under the recorded fault plan,
+    accepting any execution that reproduces the recorded failure, with
+    closeness scoring so exhaustion still yields the best partial. Use
+    when {!Ddet_record.Log.governed} holds. *)
+val governed :
+  ?budget:Search.budget ->
+  ?jobs:int ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
+  Label.labeled ->
+  spec:Spec.t ->
+  Log.t ->
+  outcome
+
 (** [pp_outcome] prints model, success, attempts and steps — plus the
     partial candidate's closeness when the replay degraded. *)
 val pp_outcome : Format.formatter -> outcome -> unit

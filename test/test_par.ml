@@ -120,6 +120,32 @@ let test_restarts_parity_counter () =
     s.Search.stats.Search.success;
   check_same_outcome "restarts/counter" s p
 
+(* the min-work heuristic: an attempt estimated cheaper than a domain
+   spawn forces the sequential path, and (by construction — it IS the
+   sequential engine) the outcome is unchanged; a big estimate leaves
+   the parallel path on, also outcome-unchanged by the parity law *)
+let test_min_work_heuristic () =
+  Alcotest.(check int) "tiny estimate forces sequential" 1
+    (Par_search.effective_jobs ~jobs:8 (Some 100));
+  Alcotest.(check int) "big estimate keeps the fan-out" 8
+    (Par_search.effective_jobs ~jobs:8 (Some 1_000_000));
+  Alcotest.(check int) "no estimate keeps the fan-out" 8
+    (Par_search.effective_jobs ~jobs:8 None);
+  let labeled = counter_prog ~iters:10 and spec = spec_out 20 in
+  let seed = find_failing_seed labeled spec in
+  let log = failure_log labeled spec seed in
+  let accept = Constraints.failure_matches log in
+  let budget =
+    { Search.max_attempts = 200; max_steps_per_attempt = 5_000; base_seed = 1; deadline_s = None }
+  in
+  let make ~attempt = (World.random ~seed:attempt, None) in
+  let s = Search.random_restarts budget ~make ~spec ~accept labeled in
+  let p =
+    Par_search.random_restarts ~jobs ~est_attempt_steps:100 budget ~make ~spec
+      ~accept labeled
+  in
+  check_same_outcome "min-work/counter" s p
+
 let test_dfs_parity_counter () =
   let labeled = counter_prog ~iters:4 and spec = spec_out 8 in
   let seed = find_failing_seed labeled spec in
@@ -274,6 +300,8 @@ let () =
     [
       ( "parity",
         [
+          Alcotest.test_case "min-work heuristic" `Quick
+            test_min_work_heuristic;
           Alcotest.test_case "restarts on the adder race" `Quick
             test_restarts_parity_counter;
           Alcotest.test_case "dfs on the adder race" `Quick

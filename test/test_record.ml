@@ -585,6 +585,99 @@ let test_segments_nothing_there () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "load invented a recording from nothing"
 
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(* every-byte truncation of the manifest: the [end N] trailer must catch
+   any cut, recovery must fall back to the sealed-segment scan and lose
+   nothing — but any cut that degrades the manifest must be flagged *)
+let test_segments_manifest_every_truncation () =
+  let _, log = record_with (Full_recorder.create ()) in
+  let base = seg_base () in
+  Log_segments.save ~segment_entries:4 base log;
+  let manifest = read_file (base ^ ".manifest") in
+  for n = 0 to String.length manifest do
+    write_file (base ^ ".manifest") (String.sub manifest 0 n);
+    match Log_segments.load base with
+    | Ok (log', r) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "all sealed entries recovered at byte %d" n)
+        true
+        (log'.Log.entries = log.Log.entries);
+      if not r.Log_segments.complete then
+        Alcotest.(check bool)
+          (Printf.sprintf "degraded manifest flagged at byte %d" n)
+          true
+          (Log_segments.is_damaged r)
+    | Error e -> Alcotest.fail (Printf.sprintf "byte %d: %s" n e)
+  done;
+  seg_cleanup base
+
+(* every-byte truncation of the header with no manifest (the worst crash
+   window): the sealed segments alone must still yield every entry, with
+   the load flagged as damaged; a torn header degrades metadata only *)
+let test_segments_header_every_truncation () =
+  let _, log = record_with (Full_recorder.create ()) in
+  let base = seg_base () in
+  Log_segments.save ~segment_entries:4 base log;
+  Stdlib.Sys.remove (base ^ ".manifest");
+  let header = read_file (base ^ ".header") in
+  for n = 0 to String.length header do
+    write_file (base ^ ".header") (String.sub header 0 n);
+    match Log_segments.load base with
+    | Ok (log', r) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "all sealed entries recovered at byte %d" n)
+        true
+        (log'.Log.entries = log.Log.entries);
+      Alcotest.(check bool)
+        (Printf.sprintf "manifest-less load flagged at byte %d" n)
+        true
+        (Log_segments.is_damaged r)
+    | Error e -> Alcotest.fail (Printf.sprintf "byte %d: %s" n e)
+  done;
+  seg_cleanup base
+
+(* every-byte truncation of a MIDDLE segment with no manifest: the torn
+   segment is unsealed, so recovery must stop there — its valid entry
+   prefix at most, and never an entry from the sealed segments after it
+   (the writer is sequential; nothing past a tear can be trusted) *)
+let test_segments_unsealed_every_truncation () =
+  let _, log = record_with (Full_recorder.create ()) in
+  let base = seg_base () in
+  Log_segments.save ~segment_entries:4 base log;
+  Stdlib.Sys.remove (base ^ ".manifest");
+  let torn = base ^ ".0001.seg" in
+  Alcotest.(check bool) "workload spans several segments" true
+    (Stdlib.Sys.file_exists (base ^ ".0002.seg"));
+  let seg = read_file torn in
+  for n = 0 to String.length seg - 1 do
+    write_file torn (String.sub seg 0 n);
+    match Log_segments.load base with
+    | Ok (log', r) ->
+      let got = List.length log'.Log.entries in
+      Alcotest.(check bool)
+        (Printf.sprintf "a prefix of the recording at byte %d" n)
+        true
+        (is_prefix log'.Log.entries log.Log.entries);
+      (* a cut that only sheds trailing whitespace leaves the segment
+         sealed and recovery lossless; any cut that actually tears it
+         must stop the walk there — sealed segments after the tear are
+         not this recording's suffix any more *)
+      Alcotest.(check bool)
+        (Printf.sprintf "nothing recovered past the tear at byte %d" n)
+        true
+        (got <= 4 + 4 || log'.Log.entries = log.Log.entries);
+      Alcotest.(check bool)
+        (Printf.sprintf "tear flagged at byte %d" n)
+        true
+        (Log_segments.is_damaged r)
+    | Error e -> Alcotest.fail (Printf.sprintf "byte %d: %s" n e)
+  done;
+  seg_cleanup base
+
 (* ------------------------------------------------------------------ *)
 (* Fidelity_level combinators *)
 
@@ -755,6 +848,12 @@ let () =
           Alcotest.test_case "corrupt segment detected" `Quick
             test_segments_corrupt_segment_detected;
           Alcotest.test_case "nothing there" `Quick test_segments_nothing_there;
+          Alcotest.test_case "manifest survives every truncation" `Quick
+            test_segments_manifest_every_truncation;
+          Alcotest.test_case "header survives every truncation" `Quick
+            test_segments_header_every_truncation;
+          Alcotest.test_case "unsealed segment never leaks entries" `Quick
+            test_segments_unsealed_every_truncation;
         ] );
       ( "fidelity-level",
         [
