@@ -97,6 +97,32 @@ let jobs_arg =
                Searches whose per-attempt cost is below the domain-spawn \
                cost run sequentially regardless of $(docv).")
 
+let chunk_arg =
+  Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"K"
+         ~doc:"Attempt indices a parallel worker claims per grab from the \
+               shared frontier (default 4). Higher amortises contention on \
+               short attempts; lower smooths load imbalance on long ones. \
+               Wall-clock only — outcomes are identical at any $(docv).")
+
+let spawn_cost_arg =
+  Arg.(value & opt (some int) None & info [ "spawn-cost" ] ~docv:"STEPS"
+         ~doc:"Min-work threshold for parallel search, in interpreter steps \
+               (default 15000): when one attempt is estimated cheaper than \
+               this, the search runs sequentially regardless of $(b,--jobs) \
+               — fan-out would cost more than it saves. Wall-clock only.")
+
+(* fold the scheduler flags over the default knobs *)
+let tuning_of chunk spawn_cost =
+  let t = Ddet_replay.Par_search.default_tuning in
+  let t =
+    match chunk with
+    | None -> t
+    | Some k -> { t with Ddet_replay.Par_search.chunk = max 1 k }
+  in
+  match spawn_cost with
+  | None -> t
+  | Some c -> { t with Ddet_replay.Par_search.spawn_cost_steps = max 0 c }
+
 let io_faults_conv =
   Arg.conv
     ( (fun s ->
@@ -226,7 +252,7 @@ let cmd_run app seed faults =
   describe_run app (App.production_run ?faults app ~seed);
   0
 
-let config_with ?deadline ?attempts ?overhead_budget jobs =
+let config_with ?deadline ?attempts ?overhead_budget ~tuning jobs =
   let base = { Config.default with Config.overhead_budget } in
   let b = base.Config.budget in
   let b = { b with Ddet_replay.Search.deadline_s = deadline } in
@@ -235,9 +261,10 @@ let config_with ?deadline ?attempts ?overhead_budget jobs =
     | None -> b
     | Some n -> { b with Ddet_replay.Search.max_attempts = n }
   in
-  { base with Config.jobs = max 1 jobs; budget = b }
+  { base with Config.jobs = max 1 jobs; tuning; budget = b }
 
-let cmd_find app cause exclusive faults jobs checkpoint every resume =
+let cmd_find app cause exclusive faults jobs chunk spawn_cost checkpoint every
+    resume =
   guard @@ fun () ->
   let checkpoint =
     Option.map (Ddet_replay.Checkpoint.sink ~every:(max 1 every)) checkpoint
@@ -245,7 +272,7 @@ let cmd_find app cause exclusive faults jobs checkpoint every resume =
   with_resume resume @@ fun resume ->
   match
     Workload.find_failing_seed ?cause ~exclusive ?faults ~jobs:(max 1 jobs)
-      ?checkpoint ?resume app
+      ~tuning:(tuning_of chunk spawn_cost) ?checkpoint ?resume app
   with
   | Some (seed, r) ->
     Printf.printf "seed %d fails:\n" seed;
@@ -342,8 +369,8 @@ let load_any ~salvage file =
   end
   else Error "no such file (and no segmented recording at that base path)"
 
-let cmd_replay app model file salvage jobs deadline checkpoint every resume
-    attempts =
+let cmd_replay app model file salvage jobs chunk spawn_cost deadline
+    checkpoint every resume attempts =
   guard @@ fun () ->
   match load_any ~salvage file with
   | Error msg ->
@@ -354,7 +381,9 @@ let cmd_replay app model file salvage jobs deadline checkpoint every resume
       Option.map (Ddet_replay.Checkpoint.sink ~every:(max 1 every)) checkpoint
     in
     with_resume resume @@ fun resume ->
-    let config = config_with ?deadline ?attempts jobs in
+    let config =
+      config_with ?deadline ?attempts ~tuning:(tuning_of chunk spawn_cost) jobs
+    in
     let prepared = Session.prepare ~config model app in
     let outcome = Session.replay ?checkpoint ?resume prepared log in
     Format.printf "%a@." Ddet_replay.Replayer.pp_outcome outcome;
@@ -365,10 +394,13 @@ let cmd_replay app model file salvage jobs deadline checkpoint every resume
     | None -> ());
     Ddet_replay.Replayer.exit_code ~damaged outcome
 
-let cmd_debug app model seed replays faults jobs deadline checkpoint every
-    resume overhead_budget =
+let cmd_debug app model seed replays faults jobs chunk spawn_cost deadline
+    checkpoint every resume overhead_budget =
   guard @@ fun () ->
-  let config = config_with ?deadline ?overhead_budget jobs in
+  let config =
+    config_with ?deadline ?overhead_budget ~tuning:(tuning_of chunk spawn_cost)
+      jobs
+  in
   match (checkpoint, resume) with
   | None, None ->
     let a =
@@ -498,7 +530,8 @@ let find_cmd =
     (Cmd.info "find" ~exits:search_exits
        ~doc:"Scan seeds for a failing production run.")
     Term.(const cmd_find $ app_arg $ cause_arg $ exclusive_arg $ faults_arg
-          $ jobs_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
+          $ jobs_arg $ chunk_arg $ spawn_cost_arg $ checkpoint_arg
+          $ checkpoint_every_arg $ resume_arg)
 
 let record_cmd =
   Cmd.v (Cmd.info "record" ~exits ~doc:"Record a production run under a model.")
@@ -512,16 +545,17 @@ let replay_cmd =
        ~doc:"Replay a saved log (monolithic file or segmented base path) \
              under its model.")
     Term.(const cmd_replay $ app_arg $ model_arg $ in_arg $ salvage_arg
-          $ jobs_arg $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg
-          $ resume_arg $ attempts_arg)
+          $ jobs_arg $ chunk_arg $ spawn_cost_arg $ deadline_arg
+          $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ attempts_arg)
 
 let debug_cmd =
   Cmd.v
     (Cmd.info "debug" ~exits:search_exits
        ~doc:"Record, replay and assess: overhead, DF, DE, DU.")
     Term.(const cmd_debug $ app_arg $ model_arg $ seed_arg $ replays_arg
-          $ faults_arg $ jobs_arg $ deadline_arg $ checkpoint_arg
-          $ checkpoint_every_arg $ resume_arg $ overhead_budget_arg)
+          $ faults_arg $ jobs_arg $ chunk_arg $ spawn_cost_arg $ deadline_arg
+          $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+          $ overhead_budget_arg)
 
 let classify_cmd =
   Cmd.v

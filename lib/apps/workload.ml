@@ -2,7 +2,7 @@ open Mvm
 open Ddet_metrics
 
 let find_failing_seed ?cause ?(exclusive = false) ?(from = 1) ?(max_seeds = 500)
-    ?faults ?(jobs = 1) ?checkpoint ?resume (app : App.t) =
+    ?faults ?(jobs = 1) ?tuning ?checkpoint ?resume (app : App.t) =
   let matches r =
     match Root_cause.observed app.App.catalog r with
     | [] -> false
@@ -15,7 +15,7 @@ let find_failing_seed ?cause ?(exclusive = false) ?(from = 1) ?(max_seeds = 500)
   in
   (* seeds are independent, so the scan fans over domains; first_success
      keeps the sequential semantics (lowest matching seed wins) *)
-  Ddet_replay.Par_search.first_success ~jobs ?checkpoint ?resume ~from
+  Ddet_replay.Par_search.first_success ~jobs ?tuning ?checkpoint ?resume ~from
     ~count:max_seeds
     ~f:(fun seed ->
       let r = App.production_run ?faults app ~seed in

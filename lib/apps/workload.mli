@@ -21,6 +21,7 @@ val find_failing_seed :
   ?max_seeds:int ->
   ?faults:Fault.plan ->
   ?jobs:int ->
+  ?tuning:Ddet_replay.Par_search.tuning ->
   ?checkpoint:Ddet_replay.Checkpoint.sink ->
   ?resume:Ddet_replay.Checkpoint.t ->
   App.t ->

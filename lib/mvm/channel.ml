@@ -23,3 +23,5 @@ let is_empty t chan =
 
 let depth t chan =
   match Hashtbl.find_opt t chan with None -> 0 | Some q -> Queue.length q
+
+let clear t = Hashtbl.iter (fun _ q -> Queue.clear q) t

@@ -21,3 +21,8 @@ val is_empty : t -> string -> bool
 
 (** [depth t chan] is the number of queued messages. *)
 val depth : t -> string -> int
+
+(** [clear t] drains every queue while keeping the channel table itself, so
+    a reused channel set (an arena) starts the next run empty without
+    reallocating. *)
+val clear : t -> unit

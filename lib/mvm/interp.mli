@@ -57,3 +57,57 @@ val run :
 
 (** [status_to_string s] is a short human-readable tag. *)
 val status_to_string : status -> string
+
+(** {1 Compiled form — the search hot path}
+
+    Replay search executes one program under millions of worlds, so the
+    per-step costs of the AST walk (function lookup by name, hashtable
+    locals, list prepends for block entry, input-domain lookups) are paid
+    millions of times for information that never changes. {!compile}
+    lowers a labelled program once into flat per-function instruction
+    arrays with pre-resolved jump targets, integer local slots, integer
+    region ids and pre-resolved call targets; {!run_compiled} executes
+    that form under exactly the same small-step semantics as {!run}:
+    the event trace, result, crash messages and the sequence of world-hook
+    calls are byte-identical (the proggen-corpus parity test in
+    [test_mvm] and the qcheck laws in [test_props] enforce this). *)
+
+(** A program lowered for fast execution. Immutable and domain-safe: one
+    [compiled] value may be shared by concurrent runs on many domains. *)
+type compiled
+
+(** [compile labeled] lowers the program. The program must be validated
+    (every [Label.program] is): compilation resolves region names
+    eagerly and raises [Invalid_argument] on an undeclared region.
+    Unknown call targets and arity mismatches are kept as runtime
+    crashes, exactly as the AST walker reports them. *)
+val compile : Label.labeled -> compiled
+
+(** Reusable execution state (a per-domain arena): region tables,
+    channel queues, lock table and thread vector, all sized for one
+    compiled program. Passing one to consecutive {!run_compiled} calls
+    hoists those allocations out of the per-attempt loop; the trace is
+    deliberately not part of the arena, because accepted results retain
+    their traces beyond the run that produced them. A state must not be
+    shared between concurrent runs. *)
+type state
+
+(** [make_state c] is a fresh arena for [c]. *)
+val make_state : compiled -> state
+
+(** [run_compiled c world] executes the compiled program; all optional
+    arguments behave exactly as on {!run}. [state] (re)uses an arena
+    built by {!make_state} for the same [compiled] value — it is reset
+    on entry, so no state leaks between runs.
+    @raise Invalid_argument if [state] was built for a different
+    program. *)
+val run_compiled :
+  ?max_steps:int ->
+  ?monitors:(Event.t -> unit) list ->
+  ?abort:(Event.t -> string option) ->
+  ?cancel:(unit -> string option) ->
+  ?trace_capacity:int ->
+  ?state:state ->
+  compiled ->
+  World.t ->
+  result

@@ -20,6 +20,8 @@ let get v i =
   if i < 0 || i >= v.len then invalid_arg "Vec.get";
   v.data.(i)
 
+let clear v = v.len <- 0
+
 let iter f v =
   for i = 0 to v.len - 1 do
     f v.data.(i)

@@ -19,6 +19,11 @@ val push : 'a t -> 'a -> unit
     @raise Invalid_argument if [i] is out of bounds. *)
 val get : 'a t -> int -> 'a
 
+(** [clear v] empties the vector without releasing its backing store, so a
+    reused vector (an arena) skips the regrowth cascade on its next fill.
+    Elements are not overwritten until pushed over. *)
+val clear : 'a t -> unit
+
 (** [iter f v] applies [f] to every element in insertion order. *)
 val iter : ('a -> unit) -> 'a t -> unit
 

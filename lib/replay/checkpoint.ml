@@ -19,14 +19,24 @@ type t = {
 
 let magic = "ddet-ckpt v1"
 
-let ints_suffix ints =
-  List.fold_left (fun acc i -> acc ^ " " ^ string_of_int i) "" ints
+(* append " i1 i2 ..." without the quadratic acc ^ " " ^ ... rebuild — a
+   DFS frontier's seen-list carries thousands of digests, and the old
+   string fold was the dominant cost of every tick *)
+let add_ints b ints =
+  List.iter
+    (fun i ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int i))
+    ints
+
+let add_int_array b a = add_ints b (Array.to_list a)
 
 (* The payload is everything before the [end] line; the trailer CRC covers
    its exact bytes. Closeness uses %h (hex float) so the resumed engine
-   compares candidates against bit-identical scores. *)
-let to_payload t =
-  let b = Buffer.create 256 in
+   compares candidates against bit-identical scores. [b] is cleared and
+   reused — a sink serialises into the same buffer for its whole life. *)
+let payload_into b t =
+  Buffer.clear b;
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   add "%s" magic;
   add "engine %s" t.engine;
@@ -36,22 +46,35 @@ let to_payload t =
   add "pruned %d" t.pruned;
   (match t.prefix with
   | None -> ()
-  | Some p -> add "prefix%s" (ints_suffix (Array.to_list p)));
+  | Some p ->
+    Buffer.add_string b "prefix";
+    add_int_array b p;
+    Buffer.add_char b '\n');
   (match t.best with
   | None -> ()
   | Some bst -> (
     match bst.b_prefix with
     | None -> add "best %h %d seed" bst.b_closeness bst.b_attempt
     | Some p ->
-      add "best %h %d prefix%s" bst.b_closeness bst.b_attempt
-        (ints_suffix (Array.to_list p))));
-  (match t.seen with [] -> () | ds -> add "seen%s" (ints_suffix ds));
+      Printf.ksprintf (Buffer.add_string b) "best %h %d prefix"
+        bst.b_closeness bst.b_attempt;
+      add_int_array b p;
+      Buffer.add_char b '\n'));
+  (match t.seen with
+  | [] -> ()
+  | ds ->
+    Buffer.add_string b "seen";
+    add_ints b ds;
+    Buffer.add_char b '\n');
   Buffer.contents b
 
-let write path t =
-  let payload = to_payload t in
+let to_payload t = payload_into (Buffer.create 256) t
+
+let write_payload path payload =
   Log_io.atomic_write path
     (payload ^ Printf.sprintf "end %s\n" (Log_io.crc_hex payload))
+
+let write path t = write_payload path (to_payload t)
 
 (* ------------------------------------------------------------------ *)
 (* parsing *)
@@ -167,21 +190,39 @@ let load path =
 (* ------------------------------------------------------------------ *)
 (* sink *)
 
-type sink = { s_path : string; every : int; mutable since : int }
+type sink = {
+  s_path : string;
+  every : int;
+  mutable since : int;
+  s_buf : Buffer.t;  (* reused serialization buffer *)
+  mutable s_last : string option;  (* payload of the last write *)
+}
 
 let sink ?(every = 32) path =
   if every < 1 then invalid_arg "Checkpoint.sink: every must be >= 1";
-  { s_path = path; every; since = 0 }
+  { s_path = path; every; since = 0; s_buf = Buffer.create 1024; s_last = None }
 
 let path s = s.s_path
+
+(* serialise into the sink's buffer and skip the write entirely when the
+   frontier payload is byte-identical to what the file already holds —
+   searches that prune or spin without advancing their odometer used to
+   rewrite the same checkpoint on every tick *)
+let persist s frontier =
+  let payload = payload_into s.s_buf (frontier ()) in
+  match s.s_last with
+  | Some prev when String.equal prev payload -> ()
+  | _ ->
+    write_payload s.s_path payload;
+    s.s_last <- Some payload
 
 let tick s frontier =
   s.since <- s.since + 1;
   if s.since >= s.every then begin
     s.since <- 0;
-    write s.s_path (frontier ())
+    persist s frontier
   end
 
 let flush s frontier =
   s.since <- 0;
-  write s.s_path (frontier ())
+  persist s frontier

@@ -61,11 +61,15 @@ val sink : ?every:int -> string -> sink
 
 (** [tick s frontier] counts one judged attempt; on every [every]-th call
     it evaluates [frontier] and writes the checkpoint. The thunk keeps
-    frontier capture lazy — off-tick attempts pay one increment. *)
+    frontier capture lazy — off-tick attempts pay one increment. The sink
+    serialises into one reused buffer, and a tick whose payload is
+    byte-identical to the last write is skipped entirely: the file
+    already holds exactly that frontier. *)
 val tick : sink -> (unit -> t) -> unit
 
-(** [flush s frontier] writes unconditionally (engines call it when a
-    search ends so the file reflects the final frontier). *)
+(** [flush s frontier] forces a persist, bypassing the [every] throttle
+    (engines call it when a search ends so the file reflects the final
+    frontier); the identical-payload skip still applies. *)
 val flush : sink -> (unit -> t) -> unit
 
 val path : sink -> string

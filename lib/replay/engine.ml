@@ -112,13 +112,61 @@ let cancel_abort cancel inner e =
   | Some c when c () -> Some "cancelled"
   | _ -> inner e
 
-let exec_inputs ?trace_capacity ?cancel ?wall ~budget:(max_steps : int)
+(* ------------------------------------------------------------------ *)
+(* per-worker execution context (the arena): compile the program once,
+   then reuse the interpreter exec state, the pruner's hash tables and a
+   warm trace capacity across every attempt that runs on the same domain.
+   A ctx must never be shared between concurrent attempts — each worker
+   builds its own. *)
+
+type ctx = {
+  ctx_compiled : Interp.compiled;
+  ctx_state : Interp.state;
+  ctx_hash : State_hash.t;
+  mutable ctx_cap : int;
+      (* last attempt's event count: the next trace starts at the size
+         the previous one ended with, so appends almost never regrow *)
+}
+
+let make_ctx labeled =
+  let compiled = Interp.compile labeled in
+  {
+    ctx_compiled = compiled;
+    ctx_state = Interp.make_state compiled;
+    ctx_hash = State_hash.create ();
+    ctx_cap = 0;
+  }
+
+(* one attempt's interpreter run: the AST walker without a ctx, the
+   compiled hot path with one. Explicit [trace_capacity] wins over the
+   ctx's warm capacity. *)
+let run_attempt ?ctx ?(monitors = []) ~max_steps ~abort ?cancel
+    ?trace_capacity labeled world =
+  match ctx with
+  | None ->
+    Interp.run ~max_steps ~monitors ~abort ?cancel ?trace_capacity labeled
+      world
+  | Some cx ->
+    let trace_capacity =
+      match trace_capacity with
+      | Some _ as c -> c
+      | None -> if cx.ctx_cap > 0 then Some cx.ctx_cap else None
+    in
+    let r =
+      Interp.run_compiled ~max_steps ~monitors ~abort ?cancel ?trace_capacity
+        ~state:cx.ctx_state cx.ctx_compiled world
+    in
+    cx.ctx_cap <- Trace.length r.Interp.trace;
+    r
+
+let exec_inputs ?ctx ?trace_capacity ?cancel ?wall ~budget:(max_steps : int)
     ~prefix labeled =
   let sizes = ref [] in
   let world = odometer_world prefix sizes in
   let abort = cancel_abort cancel (fun _ -> None) in
   let result =
-    Interp.run ~max_steps ~abort ?cancel:wall ?trace_capacity labeled world
+    run_attempt ?ctx ~max_steps ~abort ?cancel:wall ?trace_capacity labeled
+      world
   in
   {
     result;
@@ -152,21 +200,32 @@ let exec_inputs ?trace_capacity ?cancel ?wall ~budget:(max_steps : int)
 
 type pruning = { seen : Seen.t; plant : bool }
 
-let schedule_world ?pruning ~prefix ~sizes ~stop ~checkpoint ~plants () =
+(* The interpreter builds its candidate list in ascending-tid order (both
+   the AST walker and the compiled runner), so decisions index the
+   candidate list directly — the old List.map |> List.sort here (and even
+   a closure-free tid-list copy) was a measurable per-step allocation on
+   schedule-heavy searches. *)
+let nth_tid cands pos = (List.nth cands pos).World.tid
+
+let schedule_world ?pruning ?hash ~prefix ~sizes ~stop ~checkpoint ~plants ()
+    =
   let k = ref 0 in
-  let hash = State_hash.create () in
+  let hash =
+    match hash with
+    | Some h ->
+      State_hash.reset h;
+      h
+    | None -> State_hash.create ()
+  in
   let plen = Array.length prefix in
   {
     World.name = "dfs-schedules";
     pick_thread =
       (fun ~step cands ->
-        let sorted =
-          List.sort compare (List.map (fun c -> c.World.tid) cands)
-        in
-        match sorted with
-        | [ only ] -> only
+        match cands with
+        | [ only ] -> only.World.tid
         | _ ->
-          let n = List.length sorted in
+          let n = List.length cands in
           let i = !k in
           incr k;
           if i < plen then begin
@@ -174,9 +233,9 @@ let schedule_world ?pruning ~prefix ~sizes ~stop ~checkpoint ~plants () =
             let pos = prefix.(i) in
             if pos >= n then begin
               stop := Some (Early_clamped, reason_clamped);
-              List.hd sorted
+              nth_tid cands 0
             end
-            else List.nth sorted pos
+            else nth_tid cands pos
           end
           else begin
             (match pruning with
@@ -198,7 +257,7 @@ let schedule_world ?pruning ~prefix ~sizes ~stop ~checkpoint ~plants () =
                 plants := d :: !plants;
                 sizes := n :: !sizes
               end);
-            List.hd sorted
+            nth_tid cands 0
           end);
     pick_input =
       (fun ~step:_ ~tid:_ ~chan:_ ~domain ->
@@ -210,22 +269,24 @@ let schedule_world ?pruning ~prefix ~sizes ~stop ~checkpoint ~plants () =
   }
   |> fun w -> (w, hash)
 
-let exec_schedule ?trace_capacity ?pruning ?cancel ?wall
+let exec_schedule ?ctx ?trace_capacity ?pruning ?cancel ?wall
     ~budget:(max_steps : int) ~prefix labeled =
   let sizes = ref [] in
   let stop = ref None in
   let checkpoint = ref None in
   let plants = ref [] in
   let world, hash =
-    schedule_world ?pruning ~prefix ~sizes ~stop ~checkpoint ~plants ()
+    schedule_world ?pruning
+      ?hash:(Option.map (fun cx -> cx.ctx_hash) ctx)
+      ~prefix ~sizes ~stop ~checkpoint ~plants ()
   in
   let monitors =
     match pruning with None -> [] | Some _ -> [ State_hash.feed hash ]
   in
   let abort = cancel_abort cancel (fun _ -> Option.map snd !stop) in
   let result =
-    Interp.run ~max_steps ~monitors ~abort ?cancel:wall ?trace_capacity labeled
-      world
+    run_attempt ?ctx ~monitors ~max_steps ~abort ?cancel:wall ?trace_capacity
+      labeled world
   in
   let early = match !stop with Some (e, _) -> e | None -> Ran in
   {

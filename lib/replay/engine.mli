@@ -53,13 +53,46 @@ type probe = {
   early : early;
 }
 
+(** Per-worker execution context — the arena of the search hot path. It
+    holds the program compiled once ({!Interp.compile}), a reusable
+    interpreter exec state, the pruner's hash tables and a warm trace
+    capacity, all reused across every attempt executed with it: attempts
+    stop paying compile cost, table allocation and trace regrowth.
+    Attempts run through a ctx use {!Interp.run_compiled} — byte-identical
+    results to the AST walker, substantially cheaper per step. A ctx must
+    not be shared between concurrent attempts; each worker domain builds
+    its own with {!make_ctx}. *)
+type ctx
+
+(** [make_ctx labeled] compiles the program and allocates its arena. *)
+val make_ctx : Label.labeled -> ctx
+
+(** [run_attempt ~max_steps ~abort labeled world] executes one attempt:
+    the AST walker without a [ctx], the compiled hot path with one
+    (warm-starting the trace at the previous attempt's event count unless
+    [trace_capacity] overrides it). The raw entry point for engines that
+    build their own worlds — the odometer engines use {!exec_inputs} and
+    {!exec_schedule} instead. *)
+val run_attempt :
+  ?ctx:ctx ->
+  ?monitors:(Event.t -> unit) list ->
+  max_steps:int ->
+  abort:(Event.t -> string option) ->
+  ?cancel:(unit -> string option) ->
+  ?trace_capacity:int ->
+  Label.labeled ->
+  World.t ->
+  Interp.result
+
 (** [exec_inputs ~budget ~prefix labeled] runs one input-odometer attempt;
     [budget] is the step cap. [cancel] is polled at every event: parallel
     workers use it to abandon speculative runs that can no longer be
     processed (the result is then discarded, never judged). [wall] is the
     coarse cousin forwarded to {!Interp.run}'s [cancel] (polled every 128
-    steps): deadline budgets use it to cut a long attempt mid-run. *)
+    steps): deadline budgets use it to cut a long attempt mid-run. [ctx]
+    switches the attempt onto the compiled hot path (see {!ctx}). *)
 val exec_inputs :
+  ?ctx:ctx ->
   ?trace_capacity:int ->
   ?cancel:(unit -> bool) ->
   ?wall:(unit -> string option) ->
@@ -82,6 +115,7 @@ type pruning = {
     the first post-prefix decision if its canonical state digest is
     already in [seen]. *)
 val exec_schedule :
+  ?ctx:ctx ->
   ?trace_capacity:int ->
   ?pruning:pruning ->
   ?cancel:(unit -> bool) ->

@@ -14,15 +14,27 @@ open Mvm
    Two pool shapes:
 
    - {!indexed_pool}: attempts are independent functions of their index
-     (random restarts, seed scans). Workers claim indices from an atomic
-     frontier, bounded to a window ahead of the reducer so speculation
-     cannot run away.
+     (random restarts, seed scans). Workers claim *chunks* of indices
+     from an atomic frontier with one CAS, bounded to a window ahead of
+     the reducer so speculation cannot run away, and publish results
+     into a lock-free ring of atomic slots that the reducer drains in
+     index order. No mutex, no condition variable: on short attempts the
+     old per-attempt lock/wake handoff was the scheduler, not the
+     search.
 
    - {!chain_pool}: each attempt's successor depends on fan-out sizes its
      run discovers (the odometer engines). Successor prefixes are
      speculated with the last authoritative sizes and validated by the
      reducer; a misspeculation invalidates only the chain suffix, whose
      in-flight runs are cancelled through the interpreter's abort hook.
+     Dependencies make chunked claiming pointless here, so this pool
+     keeps its mutex — its attempts are long enough to amortise it.
+
+   Per-worker arenas: every engine's [make_exec] builds one
+   {!Engine.ctx} per worker domain — the program compiled once, the
+   interpreter exec state, the pruner's hash tables and a warm trace
+   capacity all reused across that worker's attempts. Attempt cost drops
+   to the interpreter loop itself.
 
    Supervision: a worker whose attempt raises does not tear the search
    down. The job is retried in place (bounded by
@@ -33,22 +45,44 @@ open Mvm
    odometer attempt never reports its fan-outs, so the chain has no
    successor). *)
 
-let window_of jobs = max 2 (jobs * 4)
+(* ------------------------------------------------------------------ *)
+(* tuning *)
 
-(* Min-work heuristic. Spawning and coordinating worker domains costs
-   roughly this many interpreter steps' worth of work per search;
-   BENCH_search.json shows jobs=4 running at 0.004-0.108x of sequential
-   on small workloads, where the whole search finishes before the pool
-   has amortised its setup. When the caller can estimate the cost of one
-   attempt (typically the recorded run's base_steps) and it falls below
-   this, parallel fan-out is a guaranteed loss: the engine silently runs
-   sequentially instead. Outcomes are unaffected either way — the
-   parallel engines are byte-identical to their sequential counterparts
-   by construction. *)
-let spawn_cost_steps = 15_000
+type tuning = {
+  chunk : int;
+  window_per_job : int;
+  spawn_cost_steps : int;
+  cap_domains : bool;
+}
 
-let effective_jobs ~jobs est =
-  match est with Some e when e < spawn_cost_steps -> 1 | _ -> jobs
+let default_tuning =
+  { chunk = 4; window_per_job = 4; spawn_cost_steps = 15_000; cap_domains = true }
+
+(* speculation window: how far past the reducer's frontier workers may
+   claim. Must cover at least one chunk or nobody could ever claim. *)
+let window_of t jobs = max (max 2 t.chunk) (jobs * t.window_per_job)
+
+(* kept as a named constant for the test harnesses and docs *)
+let spawn_cost_steps = default_tuning.spawn_cost_steps
+
+let effective_jobs ?(tuning = default_tuning) ~jobs est =
+  (* Min-work heuristic: spawning and coordinating worker domains costs
+     roughly [tuning.spawn_cost_steps] interpreter steps' worth of work
+     per search; when the caller's estimate of one attempt (typically the
+     recorded run's base_steps) falls below it, parallel fan-out is a
+     guaranteed loss and the engine silently runs sequentially.
+
+     Cores cap: with [cap_domains] (the default), jobs is clamped to
+     [Domain.recommended_domain_count ()] — extra domains on an
+     oversubscribed machine only add preemption and cache pressure, and
+     the outcome is identical at any job count by construction. Benches
+     that measure contention deliberately switch the cap off. *)
+  let jobs =
+    match est with Some e when e < tuning.spawn_cost_steps -> 1 | _ -> jobs
+  in
+  if tuning.cap_domains then
+    min jobs (max 1 (Domain.recommended_domain_count ()))
+  else jobs
 
 (* what a worker delivers for one job: the attempt's value, possibly with
    a requeue incident (it succeeded on retry), or a poison notice *)
@@ -93,76 +127,102 @@ let attempt_job ~attempt ~worker f =
   go ~retries:0 ~last_error:None
 
 (* ------------------------------------------------------------------ *)
+(* waiting: spin first — the other side is usually a few hundred ns away
+   from its next atomic publish — then sleep; on boxes with fewer cores
+   than domains a pure spin-wait would starve the domain holding the
+   work. *)
 
-let indexed_pool ~jobs ~first ~last ~make_exec ~process ~exhausted =
-  let m = Mutex.create () in
-  let c = Condition.create () in
-  let results : (int, 'a) Hashtbl.t = Hashtbl.create 64 in
-  let next_claim = ref first in
-  let next_proc = ref first in
+let backoff spins =
+  if spins < 64 then Domain.cpu_relax () else Unix.sleepf 0.000_05
+
+(* ------------------------------------------------------------------ *)
+
+let indexed_pool ?(tuning = default_tuning) ~jobs ~first ~last ~make_exec
+    ~process ~exhausted =
+  let chunk = max 1 tuning.chunk in
+  let window = window_of tuning jobs in
+  (* Result mailbox: a bounded ring of atomic slots addressed by attempt
+     index land mask. Safety of reusing slot [i land mask] between
+     attempts [i] and [i + cap]: a worker only claims a range whose low
+     end satisfies [lo < next_proc + window] (checked before the CAS),
+     so every index it may ever write is < next_proc + window + chunk
+     <= next_proc + cap - 1; and the reducer clears a slot *before*
+     publishing the advanced [next_proc]. So by the time attempt [i]'s
+     claim check passes, attempt [i - cap] <= next_proc - 1 has been
+     consumed and its cell reset. *)
+  let cap =
+    let need = window + chunk + 1 in
+    let rec p2 n = if n >= need then n else p2 (n * 2) in
+    p2 2
+  in
+  let mask = cap - 1 in
+  let slots = Array.init cap (fun _ -> Atomic.make None) in
+  let next_claim = Atomic.make first in
+  let next_proc = Atomic.make first in
   let stop = Atomic.make false in
-  let window = window_of jobs in
   let worker w () =
     let exec = make_exec w in
     let cancel () = Atomic.get stop in
-    let rec loop () =
-      Mutex.lock m;
-      while
-        (not (Atomic.get stop))
-        && !next_claim <= last
-        && !next_claim >= !next_proc + window
-      do
-        Condition.wait c m
-      done;
-      if Atomic.get stop || !next_claim > last then Mutex.unlock m
-      else begin
-        let i = !next_claim in
-        incr next_claim;
-        Mutex.unlock m;
-        let r = exec ~cancel i in
-        Mutex.lock m;
-        Hashtbl.replace results i r;
-        Condition.broadcast c;
-        Mutex.unlock m;
-        loop ()
-      end
+    (* claim a run of up to [chunk] consecutive indices with one CAS *)
+    let rec claim spins =
+      if Atomic.get stop then None
+      else
+        let lo = Atomic.get next_claim in
+        if lo > last then None
+        else if lo >= Atomic.get next_proc + window then begin
+          backoff spins;
+          claim (spins + 1)
+        end
+        else
+          let hi = min (lo + chunk - 1) last in
+          if Atomic.compare_and_set next_claim lo (hi + 1) then Some (lo, hi)
+          else claim 0
     in
-    loop ()
+    let rec run () =
+      match claim 0 with
+      | None -> ()
+      | Some (lo, hi) ->
+        let i = ref lo in
+        let live = ref true in
+        while !live && !i <= hi do
+          let r = exec ~cancel !i in
+          Atomic.set slots.(!i land mask) (Some r);
+          incr i;
+          if Atomic.get stop then live := false
+        done;
+        if !live then run ()
+    in
+    run ()
   in
   let domains = List.init jobs (fun w -> Domain.spawn (worker w)) in
   let stop_all () =
-    Mutex.lock m;
     Atomic.set stop true;
-    Condition.broadcast c;
-    Mutex.unlock m;
     List.iter Domain.join domains
   in
-  let rec reduce () =
-    if !next_proc > last then begin
+  let rec reduce spins =
+    let i = Atomic.get next_proc in
+    if i > last then begin
       stop_all ();
       exhausted ()
     end
-    else begin
-      Mutex.lock m;
-      while not (Hashtbl.mem results !next_proc) do
-        Condition.wait c m
-      done;
-      let r = Hashtbl.find results !next_proc in
-      Hashtbl.remove results !next_proc;
-      Mutex.unlock m;
-      match (try process !next_proc r with e -> stop_all (); raise e) with
-      | `Stop out ->
-        stop_all ();
-        out
-      | `Continue ->
-        Mutex.lock m;
-        incr next_proc;
-        Condition.broadcast c;
-        Mutex.unlock m;
-        reduce ()
-    end
+    else
+      let cell = slots.(i land mask) in
+      match Atomic.get cell with
+      | None ->
+        backoff spins;
+        reduce (spins + 1)
+      | Some r -> (
+        (* clear before advancing — the ring-safety argument above *)
+        Atomic.set cell None;
+        match (try process i r with e -> stop_all (); raise e) with
+        | `Stop out ->
+          stop_all ();
+          out
+        | `Continue ->
+          Atomic.set next_proc (i + 1);
+          reduce 0)
   in
-  reduce ()
+  reduce 0
 
 (* ------------------------------------------------------------------ *)
 
@@ -173,7 +233,8 @@ type chain_state =
 
 type chain_entry = { prefix : int array; mutable st : chain_state }
 
-let chain_pool ?(init_prefix = [||]) ~jobs ~make_exec ~process ~exhausted () =
+let chain_pool ?(tuning = default_tuning) ?(init_prefix = [||]) ~jobs
+    ~make_exec ~process ~exhausted () =
   let m = Mutex.create () in
   let c = Condition.create () in
   let chain : (int, chain_entry) Hashtbl.t = Hashtbl.create 64 in
@@ -182,7 +243,7 @@ let chain_pool ?(init_prefix = [||]) ~jobs ~make_exec ~process ~exhausted () =
   let next_proc = ref 0 in
   let spec_hi = ref 1 in
   let guess : int list ref = ref [] in
-  let window = window_of jobs in
+  let window = window_of tuning jobs in
   Hashtbl.replace chain 0 { prefix = init_prefix; st = Pending };
   (* speculative generation: extend the chain with the reducer's best
      guess of successor prefixes (advance under the last authoritative
@@ -296,9 +357,10 @@ let chain_pool ?(init_prefix = [||]) ~jobs ~make_exec ~process ~exhausted () =
 (* ------------------------------------------------------------------ *)
 (* engines *)
 
-let random_restarts ?(jobs = 1) ?est_attempt_steps ?(score = Search.no_score)
-    ?checkpoint ?resume budget ~make ~spec ~accept labeled =
-  let jobs = effective_jobs ~jobs est_attempt_steps in
+let random_restarts ?(jobs = 1) ?(tuning = default_tuning) ?est_attempt_steps
+    ?(score = Search.no_score) ?checkpoint ?resume budget ~make ~spec ~accept
+    labeled =
+  let jobs = effective_jobs ~tuning ~jobs est_attempt_steps in
   if jobs <= 1 then
     Search.random_restarts ~score ?checkpoint ?resume budget ~make ~spec
       ~accept labeled
@@ -341,24 +403,23 @@ let random_restarts ?(jobs = 1) ?est_attempt_steps ?(score = Search.no_score)
         ~incidents:(List.rev !incidents) best
     in
     let make_exec w =
-      let cap = ref None in
+      (* the worker's arena: compiled program, reusable exec state, warm
+         trace capacity — shared by every attempt this domain runs *)
+      let ctx = Engine.make_ctx labeled in
       fun ~cancel attempt ->
         attempt_job ~attempt ~worker:w (fun () ->
             let world, abort = make ~attempt in
             let inner = match abort with Some a -> a | None -> fun _ -> None in
             let abort e = if cancel () then Some "cancelled" else inner e in
-            let r =
-              Interp.run ~max_steps:budget.Search.max_steps_per_attempt ~abort
-                ?cancel:(Search.wall_cancel deadline) ?trace_capacity:!cap
-                labeled world
-            in
-            cap := Some (Trace.length r.Interp.trace);
-            r)
+            Engine.run_attempt ~ctx
+              ~max_steps:budget.Search.max_steps_per_attempt ~abort
+              ?cancel:(Search.wall_cancel deadline) labeled world)
     in
     let first =
       match resume with Some c -> c.Checkpoint.attempt + 1 | None -> 1
     in
-    indexed_pool ~jobs ~first ~last:budget.Search.max_attempts ~make_exec
+    indexed_pool ~tuning ~jobs ~first ~last:budget.Search.max_attempts
+      ~make_exec
       ~process:(fun i job ->
         if Search.deadline_passed deadline then
           `Stop (fail ~attempts:(i - 1) ~deadline_hit:true ())
@@ -384,9 +445,10 @@ let random_restarts ?(jobs = 1) ?est_attempt_steps ?(score = Search.no_score)
       ~exhausted:(fun () -> fail ~attempts:budget.Search.max_attempts ())
   end
 
-let enumerate_inputs ?(jobs = 1) ?est_attempt_steps ?(score = Search.no_score)
-    ?checkpoint ?resume budget ~spec ~accept labeled =
-  let jobs = effective_jobs ~jobs est_attempt_steps in
+let enumerate_inputs ?(jobs = 1) ?(tuning = default_tuning) ?est_attempt_steps
+    ?(score = Search.no_score) ?checkpoint ?resume budget ~spec ~accept
+    labeled =
+  let jobs = effective_jobs ~tuning ~jobs est_attempt_steps in
   if jobs <= 1 then
     Search.enumerate_inputs ~score ?checkpoint ?resume budget ~spec ~accept
       labeled
@@ -432,16 +494,12 @@ let enumerate_inputs ?(jobs = 1) ?est_attempt_steps ?(score = Search.no_score)
         ~incidents:(List.rev !incidents) best
     in
     let make_exec w =
-      let cap = ref None in
+      let ctx = Engine.make_ctx labeled in
       fun ~cancel prefix ->
         attempt_job ~attempt:0 ~worker:w (fun () ->
-            let p =
-              Engine.exec_inputs ~cancel ?wall:(Search.wall_cancel deadline)
-                ?trace_capacity:!cap
-                ~budget:budget.Search.max_steps_per_attempt ~prefix labeled
-            in
-            cap := Some (Trace.length p.Engine.result.Interp.trace);
-            p)
+            Engine.exec_inputs ~ctx ~cancel
+              ?wall:(Search.wall_cancel deadline)
+              ~budget:budget.Search.max_steps_per_attempt ~prefix labeled)
     in
     match resume with
     | Some { Checkpoint.prefix = None; _ } ->
@@ -453,7 +511,7 @@ let enumerate_inputs ?(jobs = 1) ?est_attempt_steps ?(score = Search.no_score)
         | Some { Checkpoint.prefix = Some p; _ } -> p
         | _ -> [||]
       in
-      chain_pool ~init_prefix ~jobs ~make_exec
+      chain_pool ~tuning ~init_prefix ~jobs ~make_exec
         ~process:(fun ~prefix job ->
           if Search.deadline_passed deadline then
             `Stop
@@ -501,9 +559,10 @@ let enumerate_inputs ?(jobs = 1) ?est_attempt_steps ?(score = Search.no_score)
         ()
   end
 
-let dfs_schedules ?(jobs = 1) ?est_attempt_steps ?(score = Search.no_score)
-    ?(prune = true) ?checkpoint ?resume budget ~spec ~accept labeled =
-  let jobs = effective_jobs ~jobs est_attempt_steps in
+let dfs_schedules ?(jobs = 1) ?(tuning = default_tuning) ?est_attempt_steps
+    ?(score = Search.no_score) ?(prune = true) ?checkpoint ?resume budget
+    ~spec ~accept labeled =
+  let jobs = effective_jobs ~tuning ~jobs est_attempt_steps in
   if jobs <= 1 then
     Search.dfs_schedules ~score ~prune ?checkpoint ?resume budget ~spec
       ~accept labeled
@@ -563,16 +622,12 @@ let dfs_schedules ?(jobs = 1) ?est_attempt_steps ?(score = Search.no_score)
         best
     in
     let make_exec w =
-      let cap = ref None in
+      let ctx = Engine.make_ctx labeled in
       fun ~cancel prefix ->
         attempt_job ~attempt:0 ~worker:w (fun () ->
-            let p =
-              Engine.exec_schedule ~cancel ?pruning
-                ?wall:(Search.wall_cancel deadline) ?trace_capacity:!cap
-                ~budget:budget.Search.max_steps_per_attempt ~prefix labeled
-            in
-            cap := Some (Trace.length p.Engine.result.Interp.trace);
-            p)
+            Engine.exec_schedule ~ctx ~cancel ?pruning
+              ?wall:(Search.wall_cancel deadline)
+              ~budget:budget.Search.max_steps_per_attempt ~prefix labeled)
     in
     match resume with
     | Some { Checkpoint.prefix = None; _ } ->
@@ -583,7 +638,7 @@ let dfs_schedules ?(jobs = 1) ?est_attempt_steps ?(score = Search.no_score)
         | Some { Checkpoint.prefix = Some p; _ } -> p
         | _ -> [||]
       in
-      chain_pool ~init_prefix ~jobs ~make_exec
+      chain_pool ~tuning ~init_prefix ~jobs ~make_exec
         ~process:(fun ~prefix job ->
           if Search.deadline_passed deadline then
             `Stop
@@ -664,9 +719,9 @@ let check_scan_resume ~from = function
            ck.Checkpoint.base_seed from);
     Some ck
 
-let first_success ?(jobs = 1) ?est_attempt_steps ?checkpoint ?resume ~from
-    ~count ~f () =
-  let jobs = effective_jobs ~jobs est_attempt_steps in
+let first_success ?(jobs = 1) ?(tuning = default_tuning) ?est_attempt_steps
+    ?checkpoint ?resume ~from ~count ~f () =
+  let jobs = effective_jobs ~tuning ~jobs est_attempt_steps in
   let resume = check_scan_resume ~from resume in
   let last = from + count - 1 in
   let start =
@@ -707,7 +762,7 @@ let first_success ?(jobs = 1) ?est_attempt_steps ?checkpoint ?resume ~from
     go start
   end
   else
-    indexed_pool ~jobs ~first:start ~last
+    indexed_pool ~tuning ~jobs ~first:start ~last
       ~make_exec:(fun w ->
         fun ~cancel:_ i -> attempt_job ~attempt:i ~worker:w (fun () -> f i))
       ~process:(fun i job ->

@@ -12,12 +12,19 @@
     changes. With [jobs <= 1] (the default) each engine simply calls its
     {!Search} counterpart.
 
+    Independent attempts (restarts, seed scans) go through a lock-free
+    pool: workers claim {e chunks} of attempt indices from an atomic
+    frontier with a single CAS and publish results into a bounded ring of
+    atomic slots that the reducer drains in index order — no mutex, no
+    per-attempt wakeups. Each worker domain owns an {!Engine.ctx} arena
+    (program compiled once, reused interpreter state, warm trace
+    capacity), so per-attempt cost is the interpreter loop itself.
+
     The odometer engines cannot know attempt [k+1]'s prefix until attempt
     [k] reports its decision fan-outs, so successors are {e speculated}
     from the last authoritative sizes and validated by the reducer;
     misspeculated suffixes are cancelled through the interpreter's abort
-    hook and regenerated. Random restarts are embarrassingly parallel and
-    skip all that.
+    hook and regenerated.
 
     Note for debugging-efficiency (DE) accounting: [total_steps] — the
     paper-facing inference-work metric — is unchanged by [jobs], but
@@ -41,19 +48,48 @@
 
 open Mvm
 
+(** Scheduler tuning. All four knobs change only wall-clock behaviour,
+    never outcomes — the parity law in the test suite checks engines
+    byte-identical across arbitrary tunings. *)
+type tuning = {
+  chunk : int;
+      (** attempt indices a worker claims per CAS on the shared frontier.
+          Higher amortises contention on short attempts; lower smooths
+          load imbalance on long ones. *)
+  window_per_job : int;
+      (** speculation window, per job: workers may run at most
+          [jobs * window_per_job] attempts ahead of the reducer's
+          frontier (floored at [max 2 chunk]). Bounds wasted speculative
+          work after a first hit. *)
+  spawn_cost_steps : int;
+      (** min-work heuristic: when [est_attempt_steps] falls below this,
+          fan-out is a guaranteed loss and the engine runs sequentially
+          regardless of [jobs]. *)
+  cap_domains : bool;
+      (** clamp [jobs] to [Domain.recommended_domain_count ()]. Extra
+          domains on an oversubscribed machine only add preemption and
+          cache pressure; outcomes are identical at any job count.
+          Benches that measure contention on purpose switch this off. *)
+}
+
+val default_tuning : tuning
+(** [{ chunk = 4; window_per_job = 4; spawn_cost_steps = 15_000;
+      cap_domains = true }] *)
+
 (** Parallel {!Search.random_restarts}. [make] is called on worker
     domains: it must build fresh per-attempt state (all drivers in this
     repository do).
 
     [est_attempt_steps] (on every engine) is the min-work heuristic: an
     estimate of one attempt's cost in interpreter steps — typically the
-    recorded run's [base_steps]. When it falls below the domain-spawn
-    cost (~15k steps), the engine runs sequentially regardless of [jobs]:
-    BENCH_search.json shows parallel fan-out at 0.004-0.108x of
+    recorded run's [base_steps]. When it falls below
+    [tuning.spawn_cost_steps], the engine runs sequentially regardless
+    of [jobs]: BENCH_search.json shows parallel fan-out far below 1x of
     sequential on workloads that small. Outcomes are byte-identical
     either way; only wall-clock changes. *)
 val random_restarts :
   ?jobs:int ->
+  ?tuning:tuning ->
   ?est_attempt_steps:int ->
   ?score:(Interp.result -> float) ->
   ?checkpoint:Checkpoint.sink ->
@@ -68,6 +104,7 @@ val random_restarts :
 (** Parallel {!Search.enumerate_inputs}. *)
 val enumerate_inputs :
   ?jobs:int ->
+  ?tuning:tuning ->
   ?est_attempt_steps:int ->
   ?score:(Interp.result -> float) ->
   ?checkpoint:Checkpoint.sink ->
@@ -85,6 +122,7 @@ val enumerate_inputs :
     re-classified (and re-charged) by the reducer after the fact. *)
 val dfs_schedules :
   ?jobs:int ->
+  ?tuning:tuning ->
   ?est_attempt_steps:int ->
   ?score:(Interp.result -> float) ->
   ?prune:bool ->
@@ -105,6 +143,7 @@ val dfs_schedules :
     "scan" engine kind, with [from] as the identity check. *)
 val first_success :
   ?jobs:int ->
+  ?tuning:tuning ->
   ?est_attempt_steps:int ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.t ->
@@ -119,7 +158,8 @@ val first_success :
 (* internal: exposed for the test harnesses *)
 
 val spawn_cost_steps : int
-val effective_jobs : jobs:int -> int option -> int
+val window_of : tuning -> int -> int
+val effective_jobs : ?tuning:tuning -> jobs:int -> int option -> int
 
 type 'a job =
   | Job_ok of 'a * Search.incident option
@@ -129,6 +169,7 @@ val attempt_job :
   attempt:int -> worker:int -> (unit -> 'a) -> 'a job
 
 val indexed_pool :
+  ?tuning:tuning ->
   jobs:int ->
   first:int ->
   last:int ->
@@ -138,6 +179,7 @@ val indexed_pool :
   'out
 
 val chain_pool :
+  ?tuning:tuning ->
   ?init_prefix:int array ->
   jobs:int ->
   make_exec:(int -> cancel:(unit -> bool) -> int array -> Engine.probe job) ->

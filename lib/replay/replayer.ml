@@ -94,9 +94,9 @@ let small_budget =
     deadline_s = None;
   }
 
-let value_det ?(budget = small_budget) ?(jobs = 1) ?checkpoint ?resume labeled
+let value_det ?(budget = small_budget) ?(jobs = 1) ?tuning ?checkpoint ?resume labeled
     ~spec log =
-  Par_search.random_restarts ~jobs ?est_attempt_steps:(est_of log)
+  Par_search.random_restarts ~jobs ?tuning ?est_attempt_steps:(est_of log)
     ?checkpoint ?resume budget
     ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
@@ -108,15 +108,15 @@ let value_det ?(budget = small_budget) ?(jobs = 1) ?checkpoint ?resume labeled
   |> of_search "value"
 
 let output_det ?(budget = Search.default_budget) ?(exhaustive = true)
-    ?(jobs = 1) ?checkpoint ?resume labeled ~spec log =
+    ?(jobs = 1) ?tuning ?checkpoint ?resume labeled ~spec log =
   let accept = Constraints.outputs_match log in
   let score = Constraints.closeness log in
   let o =
     if exhaustive then
-      Par_search.enumerate_inputs ~jobs ?est_attempt_steps:(est_of log)
+      Par_search.enumerate_inputs ~jobs ?tuning ?est_attempt_steps:(est_of log)
         ?checkpoint ?resume budget ~score ~spec ~accept labeled
     else
-      Par_search.random_restarts ~jobs ?est_attempt_steps:(est_of log)
+      Par_search.random_restarts ~jobs ?tuning ?est_attempt_steps:(est_of log)
         ?checkpoint ?resume budget ~score
         ~make:(fun ~attempt ->
           ( env_world log (World.random ~seed:(budget.base_seed + attempt)),
@@ -125,7 +125,7 @@ let output_det ?(budget = Search.default_budget) ?(exhaustive = true)
   in
   of_search "output" o
 
-let failure_det ?(budget = Search.default_budget) ?(jobs = 1) ?checkpoint
+let failure_det ?(budget = Search.default_budget) ?(jobs = 1) ?tuning ?checkpoint
     ?resume ?priority labeled ~spec log =
   let attempt_world =
     match priority with
@@ -134,7 +134,7 @@ let failure_det ?(budget = Search.default_budget) ?(jobs = 1) ?checkpoint
       let prefer = Search.site_prefer p in
       fun ~seed -> World.prioritized ~seed ~prefer
   in
-  Par_search.random_restarts ~jobs ?est_attempt_steps:(est_of log)
+  Par_search.random_restarts ~jobs ?tuning ?est_attempt_steps:(est_of log)
     ?checkpoint ?resume budget
     ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
@@ -144,9 +144,9 @@ let failure_det ?(budget = Search.default_budget) ?(jobs = 1) ?checkpoint
     labeled
   |> of_search "failure"
 
-let sync_det ?(budget = Search.default_budget) ?(jobs = 1) ?checkpoint ?resume
+let sync_det ?(budget = Search.default_budget) ?(jobs = 1) ?tuning ?checkpoint ?resume
     labeled ~spec log =
-  Par_search.random_restarts ~jobs ?est_attempt_steps:(est_of log)
+  Par_search.random_restarts ~jobs ?tuning ?est_attempt_steps:(est_of log)
     ?checkpoint ?resume budget
     ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
@@ -161,8 +161,8 @@ let sync_det ?(budget = Search.default_budget) ?(jobs = 1) ?checkpoint ?resume
   |> of_search "sync"
 
 let rcse ?(budget = Search.default_budget) ?(strict = true) ?(jobs = 1)
-    ?checkpoint ?resume labeled ~spec log =
-  Par_search.random_restarts ~jobs ?est_attempt_steps:(est_of log)
+    ?tuning ?checkpoint ?resume labeled ~spec log =
+  Par_search.random_restarts ~jobs ?tuning ?est_attempt_steps:(est_of log)
     ?checkpoint ?resume budget
     ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
@@ -182,9 +182,9 @@ let rcse ?(budget = Search.default_budget) ?(strict = true) ?(jobs = 1)
    yields the best partial. The degraded windows are exactly the search
    regions; everything outside them is pinned by the surviving entries
    through the closeness score. *)
-let governed ?(budget = Search.default_budget) ?(jobs = 1) ?checkpoint
+let governed ?(budget = Search.default_budget) ?(jobs = 1) ?tuning ?checkpoint
     ?resume labeled ~spec log =
-  Par_search.random_restarts ~jobs ?est_attempt_steps:(est_of log)
+  Par_search.random_restarts ~jobs ?tuning ?est_attempt_steps:(est_of log)
     ?checkpoint ?resume budget
     ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->

@@ -60,10 +60,14 @@ val perfect : Label.labeled -> spec:Spec.t -> Log.t -> outcome
 (** [value_det] tries a few seeds; per-thread value forcing makes each
     attempt cheap. All searching drivers take [jobs] (default 1): with
     [jobs > 1] the search fans over that many OCaml 5 domains via
-    {!Par_search}, with outcomes identical to the sequential search. *)
+    {!Par_search}, with outcomes identical to the sequential search.
+    [tuning] adjusts the parallel scheduler's knobs (chunk size,
+    speculation window, min-work threshold, cores cap) — wall-clock
+    only, never outcomes. *)
 val value_det :
   ?budget:Search.budget ->
   ?jobs:int ->
+  ?tuning:Par_search.tuning ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.t ->
   Label.labeled ->
@@ -78,6 +82,7 @@ val output_det :
   ?budget:Search.budget ->
   ?exhaustive:bool ->
   ?jobs:int ->
+  ?tuning:Par_search.tuning ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.t ->
   Label.labeled ->
@@ -93,6 +98,7 @@ val output_det :
 val failure_det :
   ?budget:Search.budget ->
   ?jobs:int ->
+  ?tuning:Par_search.tuning ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.t ->
   ?priority:Search.site_priority ->
@@ -104,6 +110,7 @@ val failure_det :
 val sync_det :
   ?budget:Search.budget ->
   ?jobs:int ->
+  ?tuning:Par_search.tuning ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.t ->
   Label.labeled ->
@@ -118,6 +125,7 @@ val rcse :
   ?budget:Search.budget ->
   ?strict:bool ->
   ?jobs:int ->
+  ?tuning:Par_search.tuning ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.t ->
   Label.labeled ->
@@ -135,6 +143,7 @@ val rcse :
 val governed :
   ?budget:Search.budget ->
   ?jobs:int ->
+  ?tuning:Par_search.tuning ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.t ->
   Label.labeled ->

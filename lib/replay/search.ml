@@ -251,7 +251,9 @@ let random_restarts ?(score = no_score) ?checkpoint ?resume budget ~make ~spec
   in
   let incidents = ref [] in
   let deadline = deadline_of budget in
-  let cap = ref None in
+  (* the search's arena: program compiled once, interpreter state, hash
+     tables and warm trace capacity reused across every attempt *)
+  let ctx = Engine.make_ctx labeled in
   let rerun attempt =
     let world, abort = make ~attempt in
     let r =
@@ -287,12 +289,9 @@ let random_restarts ?(score = no_score) ?checkpoint ?resume budget ~make ~spec
   in
   let exec attempt =
     let world, abort = make ~attempt in
-    let r =
-      Interp.run ~max_steps:budget.max_steps_per_attempt ?abort
-        ?cancel:(wall_cancel deadline) ?trace_capacity:!cap labeled world
-    in
-    cap := Some (Trace.length r.Interp.trace);
-    r
+    let abort = match abort with Some a -> a | None -> fun _ -> None in
+    Engine.run_attempt ~ctx ~max_steps:budget.max_steps_per_attempt ~abort
+      ?cancel:(wall_cancel deadline) labeled world
   in
   let rec go attempt =
     if attempt > budget.max_attempts then fail ~attempts:(attempt - 1) ()
@@ -330,7 +329,7 @@ let enumerate_inputs ?(score = no_score) ?checkpoint ?resume budget ~spec
   in
   let incidents = ref [] in
   let deadline = deadline_of budget in
-  let cap = ref None in
+  let ctx = Engine.make_ctx labeled in
   let rerun prefix =
     Spec.apply spec
       (Engine.exec_inputs ~budget:budget.max_steps_per_attempt ~prefix labeled)
@@ -375,13 +374,9 @@ let enumerate_inputs ?(score = no_score) ?checkpoint ?resume budget ~spec
       else (
         match
           supervised ~attempt ~worker:None incidents (fun () ->
-              let p =
-                Engine.exec_inputs ?trace_capacity:!cap
-                  ?wall:(wall_cancel deadline)
-                  ~budget:budget.max_steps_per_attempt ~prefix labeled
-              in
-              cap := Some (Trace.length p.Engine.result.Interp.trace);
-              p)
+              Engine.exec_inputs ~ctx
+                ?wall:(wall_cancel deadline)
+                ~budget:budget.max_steps_per_attempt ~prefix labeled)
         with
         | None ->
           (* poisoned: without the probe's sizes the odometer cannot
@@ -427,7 +422,7 @@ let dfs_schedules ?(score = no_score) ?(prune = true) ?on_prune ?checkpoint
   in
   let incidents = ref [] in
   let deadline = deadline_of budget in
-  let cap = ref None in
+  let ctx = Engine.make_ctx labeled in
   let rerun prefix =
     (* a candidate judged by the search was a completed, unpruned run, so
        re-executing its prefix without pruning reproduces it exactly *)
@@ -478,13 +473,9 @@ let dfs_schedules ?(score = no_score) ?(prune = true) ?on_prune ?checkpoint
       else (
         match
           supervised ~attempt ~worker:None incidents (fun () ->
-              let p =
-                Engine.exec_schedule ?trace_capacity:!cap ?pruning
-                  ?wall:(wall_cancel deadline)
-                  ~budget:budget.max_steps_per_attempt ~prefix labeled
-              in
-              cap := Some (Trace.length p.Engine.result.Interp.trace);
-              p)
+              Engine.exec_schedule ~ctx ?pruning
+                ?wall:(wall_cancel deadline)
+                ~budget:budget.max_steps_per_attempt ~prefix labeled)
         with
         | None -> fail ~attempts:attempt ~prefix:(Some prefix) ()
         | Some p -> (

@@ -111,6 +111,18 @@ let feed t (e : Event.t) =
     ->
     ()
 
+let reset t =
+  Hashtbl.reset t.per_tid;
+  t.tid_sum <- 0;
+  Hashtbl.reset t.mem;
+  t.mem_sum <- 0;
+  Hashtbl.reset t.chan_send;
+  Hashtbl.reset t.chan_recv;
+  Hashtbl.reset t.chan_out;
+  t.chan_sum <- 0;
+  Hashtbl.reset t.locks;
+  t.lock_sum <- 0
+
 let digest t =
   mix
     (mix (mix (mix 0 t.tid_sum) t.mem_sum) t.chan_sum)

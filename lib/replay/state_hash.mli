@@ -25,3 +25,9 @@ val feed : t -> Mvm.Event.t -> unit
 (** [digest t] is the canonical hash of everything fed so far. Cheap —
     callable at every scheduling decision. *)
 val digest : t -> int
+
+(** [reset t] forgets everything fed so far, returning [t] to the state
+    of a fresh {!create} — the arena pattern: search engines feed one
+    hash instance per worker across millions of attempts instead of
+    allocating the five tables anew for each. *)
+val reset : t -> unit

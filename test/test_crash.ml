@@ -18,6 +18,10 @@ open Ddet_apps
 
 let jobs = 4
 
+(* cap_domains off: these tests exercise the parallel pools themselves,
+   which the cores cap would silently bypass on small CI boxes *)
+let tuning = { Par_search.default_tuning with Par_search.cap_domains = false }
+
 (* ------------------------------------------------------------------ *)
 (* workloads (as in test_par) *)
 
@@ -222,7 +226,7 @@ let test_restarts_kill_resume () =
     budget;
   kill_and_resume "restarts/par"
     (fun ?checkpoint ?resume b ->
-      Par_search.random_restarts ~jobs ?checkpoint ?resume b ~make:(make_of b)
+      Par_search.random_restarts ~tuning ~jobs ?checkpoint ?resume b ~make:(make_of b)
         ~spec ~accept labeled)
     budget
 
@@ -243,7 +247,7 @@ let test_cross_jobs_resume () =
       ~accept labeled
   in
   let par ?checkpoint ?resume b =
-    Par_search.random_restarts ~jobs ?checkpoint ?resume b ~make:(make_of b)
+    Par_search.random_restarts ~tuning ~jobs ?checkpoint ?resume b ~make:(make_of b)
       ~spec ~accept labeled
   in
   let rec pick bs =
@@ -286,7 +290,7 @@ let test_dfs_kill_resume () =
     budget;
   kill_and_resume "dfs/par"
     (fun ?checkpoint ?resume b ->
-      Par_search.dfs_schedules ~jobs ?checkpoint ?resume b ~spec ~accept
+      Par_search.dfs_schedules ~tuning ~jobs ?checkpoint ?resume b ~spec ~accept
         labeled)
     budget
 
@@ -303,7 +307,7 @@ let test_enumerate_kill_resume () =
     budget;
   kill_and_resume "inputs/par"
     (fun ?checkpoint ?resume b ->
-      Par_search.enumerate_inputs ~jobs ?checkpoint ?resume b ~spec ~accept
+      Par_search.enumerate_inputs ~tuning ~jobs ?checkpoint ?resume b ~spec ~accept
         adder_prog)
     budget
 
@@ -480,7 +484,7 @@ let test_poisoned_attempt_skipped () =
   in
   let s = Search.random_restarts budget ~make ~spec ~accept:never labeled in
   let p =
-    Par_search.random_restarts ~jobs budget ~make ~spec ~accept:never labeled
+    Par_search.random_restarts ~tuning ~jobs budget ~make ~spec ~accept:never labeled
   in
   List.iter
     (fun (name, (o : Search.outcome)) ->
@@ -536,7 +540,7 @@ let test_flaky_attempt_requeued () =
 let test_poisoned_scan_probe () =
   let f n = if n = 8 then failwith "probe crash" else if n * n > 50 then Some (n * n) else None in
   let s = Par_search.first_success ~from:0 ~count:20 ~f () in
-  let p = Par_search.first_success ~jobs ~from:0 ~count:20 ~f () in
+  let p = Par_search.first_success ~tuning ~jobs ~from:0 ~count:20 ~f () in
   Alcotest.(check (option (pair int int)))
     "sequential scan skips the crashing probe" (Some (9, 81)) s;
   Alcotest.(check (option (pair int int))) "parallel scan agrees" s p
@@ -553,7 +557,7 @@ let test_deadline_exhausts_immediately () =
   let make ~attempt = (World.random ~seed:attempt, None) in
   let s = Search.random_restarts budget ~make ~spec ~accept:never labeled in
   let p =
-    Par_search.random_restarts ~jobs budget ~make ~spec ~accept:never labeled
+    Par_search.random_restarts ~tuning ~jobs budget ~make ~spec ~accept:never labeled
   in
   List.iter
     (fun (name, (o : Search.outcome)) ->
@@ -699,7 +703,7 @@ let test_scan_kill_resume () =
   List.iter
     (fun jobs ->
       let resumed =
-        Par_search.first_success ~jobs ~resume:c ~from:0 ~count:20 ~f ()
+        Par_search.first_success ~tuning ~jobs ~resume:c ~from:0 ~count:20 ~f ()
       in
       Alcotest.(check (option (pair int int)))
         (Printf.sprintf "resumed scan j%d" jobs)

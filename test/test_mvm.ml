@@ -659,6 +659,155 @@ let test_proggen_runs_clean () =
     done
   done
 
+(* ------------------------------------------------------------------ *)
+(* Compiled interpreter parity: Interp.run_compiled must reproduce
+   Interp.run byte for byte — same events, steps, outputs, failure —
+   on every program and world, with the arena state reused across runs. *)
+
+let same_result name (a : Interp.result) (b : Interp.result) =
+  Alcotest.(check string)
+    (name ^ ": status")
+    (Interp.status_to_string a.status)
+    (Interp.status_to_string b.status);
+  Alcotest.(check int) (name ^ ": steps") a.steps b.steps;
+  Alcotest.(check bool)
+    (name ^ ": events")
+    true
+    (Trace.events a.trace = Trace.events b.trace);
+  Alcotest.(check bool) (name ^ ": outputs") true (a.outputs = b.outputs);
+  Alcotest.(check bool) (name ^ ": failure") true (a.failure = b.failure)
+
+let check_parity ?(seeds = [ 1; 2; 3; 4; 5 ]) (labeled : Label.labeled) =
+  let c = Interp.compile labeled in
+  (* one arena for every run of this program: also exercises the reset *)
+  let state = Interp.make_state c in
+  let name = labeled.Label.prog.Ast.name in
+  let go world_of =
+    let r_ast = Interp.run ~max_steps:50_000 labeled (world_of ()) in
+    let r_c = Interp.run_compiled ~max_steps:50_000 ~state c (world_of ()) in
+    same_result name r_ast r_c
+  in
+  go (fun () -> World.round_robin ());
+  List.iter
+    (fun sd ->
+      go (fun () -> World.random ~seed:sd);
+      (* the uncached (non-passive) candidate path must agree too *)
+      go (fun () ->
+          { (World.random ~seed:sd) with World.passive_try_recv = false }))
+    seeds
+
+let sink_prog =
+  program ~name:"sink"
+    ~regions:[ scalar "acc" (Value.int 0); array "buf" 4 (Value.int 0) ]
+    ~inputs:[ ("cfg", [ Value.int 1; Value.int 2 ]) ]
+    ~main:"main"
+    [
+      func "add" [ "k" ]
+        [ store_g "acc" (g "acc" +: v "k"); return (g "acc") ];
+      func "worker" [ "n" ]
+        [
+          lock "m";
+          store "buf" (v "n" %: i 4) (v "n" *: i 2);
+          unlock "m";
+          send "ch" (v "n");
+        ];
+      func "main" []
+        [
+          input "x" "cfg";
+          spawn "worker" [ i 1 ];
+          spawn "worker" [ i 2 ];
+          call ~dest:"r" "add" [ v "x" ];
+          call "add" [ i 3 ];
+          assign "i" (i 0);
+          while_
+            (v "i" <: i 3)
+            [
+              store "buf" (v "i") (idx "buf" (v "i") +: v "r");
+              assign "i" (v "i" +: i 1);
+            ];
+          atomic
+            [
+              assign "j" (i 0);
+              while_
+                (v "j" <: i 2)
+                [ store_g "acc" (g "acc" +: i 1); assign "j" (v "j" +: i 1) ];
+              if_ (g "acc" >: i 0) [ send "ch" (i 99) ] [ skip ];
+            ];
+          recv "a" "ch";
+          recv "b" "ch";
+          recv "c" "ch";
+          try_recv "ok" "d" "ch";
+          if_ (v "ok") [ output "out" (v "d") ] [ output "out" (i (-1)) ];
+          output "out" (max_ (v "a") (min_ (v "b") (v "c")));
+          output "out" (s "x=" ^: s "done");
+          assert_ (g "acc" >=: i 0) "acc nonneg";
+          yield;
+        ];
+    ]
+
+let crash_progs =
+  let one name body = simple_prog body |> fun l ->
+    ({ l with Label.prog = { l.Label.prog with Ast.name } } : Label.labeled)
+  in
+  [
+    one "div-zero" [ output "out" (i 1 /: i 0) ];
+    one "mod-zero" [ output "out" (i 1 %: i 0) ];
+    one "unbound" [ assign "x" (v "nope") ];
+    one "type-error" [ output "out" (i 1 +: b true) ];
+    one "assert-fail" [ assert_ (i 1 =: i 2) "boom" ];
+    one "fail" [ fail "kaput" ];
+    one "relock" [ lock "m"; lock "m" ];
+    one "bad-unlock" [ unlock "m" ];
+    one "deadlock" [ recv "x" "never" ];
+    one "atomic-recv" [ atomic [ recv "x" "never" ] ];
+    one "atomic-budget" [ atomic [ while_ (b true) [ skip ] ] ];
+    program ~name:"oob-load"
+      ~regions:[ array "buf" 4 (Value.int 0) ]
+      ~inputs:[] ~main:"main"
+      [ func "main" [] [ output "out" (idx "buf" (i 9)) ] ];
+    program ~name:"oob-store"
+      ~regions:[ array "buf" 4 (Value.int 0) ]
+      ~inputs:[] ~main:"main"
+      [ func "main" [] [ store "buf" (i (-1)) (i 5) ] ];
+  ]
+
+let arity_progs =
+  (* Label.validate checks names, not arity: arity mismatches crash at
+     call time and both interpreters must report them identically. *)
+  let mk name stmts =
+    program ~name
+      ~regions:[ scalar "c" (Value.int 0) ]
+      ~inputs:[] ~main:"main"
+      [ func "f" [ "a"; "b" ] [ skip ]; func "main" [] stmts ]
+  in
+  [
+    mk "arity-call" [ call "f" [ i 1 ] ];
+    mk "arity-spawn" [ spawn "f" [ i 1; i 2; i 3 ] ];
+    mk "atomic-call" [ atomic [ call "f" [ i 1; i 2 ] ] ];
+    mk "atomic-spawn" [ atomic [ spawn "f" [ i 1; i 2 ] ] ];
+  ]
+
+let test_compiled_parity_sink () = check_parity sink_prog
+
+let test_compiled_parity_crashes () =
+  List.iter (fun p -> check_parity ~seeds:[ 1; 2 ] p) crash_progs;
+  List.iter (fun p -> check_parity ~seeds:[ 1; 2 ] p) arity_progs
+
+let test_compiled_parity_corpus () =
+  for pseed = 1 to 10 do
+    let p = Proggen.generate Proggen.default (Prng.create pseed) in
+    check_parity p
+  done
+
+let test_compiled_state_isolation () =
+  (* A reused arena must leak nothing between runs: running a mutating
+     program twice on one state gives identical results. *)
+  let c = Interp.compile sink_prog in
+  let state = Interp.make_state c in
+  let r1 = Interp.run_compiled ~state c (World.random ~seed:7) in
+  let r2 = Interp.run_compiled ~state c (World.random ~seed:7) in
+  same_result "state-isolation" r1 r2
+
 let () =
   Alcotest.run "mvm"
     [
@@ -759,5 +908,15 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_proggen_deterministic;
           Alcotest.test_case "runs clean" `Quick test_proggen_runs_clean;
+        ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "kitchen-sink parity" `Quick
+            test_compiled_parity_sink;
+          Alcotest.test_case "crash parity" `Quick test_compiled_parity_crashes;
+          Alcotest.test_case "proggen corpus parity" `Quick
+            test_compiled_parity_corpus;
+          Alcotest.test_case "arena isolation" `Quick
+            test_compiled_state_isolation;
         ] );
     ]

@@ -13,6 +13,10 @@ open Ddet_apps
 
 let jobs = 4
 
+(* cap_domains off: these tests exercise the parallel pools themselves,
+   which the cores cap would silently bypass on small CI boxes *)
+let tuning = { Par_search.default_tuning with Par_search.cap_domains = false }
+
 (* ------------------------------------------------------------------ *)
 (* workloads *)
 
@@ -115,7 +119,7 @@ let test_restarts_parity_counter () =
   in
   let make ~attempt = (World.random ~seed:attempt, None) in
   let s = Search.random_restarts budget ~make ~spec ~accept labeled in
-  let p = Par_search.random_restarts ~jobs budget ~make ~spec ~accept labeled in
+  let p = Par_search.random_restarts ~tuning ~jobs budget ~make ~spec ~accept labeled in
   Alcotest.(check bool) "restarts reproduce the race" true
     s.Search.stats.Search.success;
   check_same_outcome "restarts/counter" s p
@@ -126,11 +130,14 @@ let test_restarts_parity_counter () =
    the parallel path on, also outcome-unchanged by the parity law *)
 let test_min_work_heuristic () =
   Alcotest.(check int) "tiny estimate forces sequential" 1
-    (Par_search.effective_jobs ~jobs:8 (Some 100));
+    (Par_search.effective_jobs ~tuning ~jobs:8 (Some 100));
   Alcotest.(check int) "big estimate keeps the fan-out" 8
-    (Par_search.effective_jobs ~jobs:8 (Some 1_000_000));
+    (Par_search.effective_jobs ~tuning ~jobs:8 (Some 1_000_000));
   Alcotest.(check int) "no estimate keeps the fan-out" 8
-    (Par_search.effective_jobs ~jobs:8 None);
+    (Par_search.effective_jobs ~tuning ~jobs:8 None);
+  Alcotest.(check bool) "cores cap clamps to the machine" true
+    (Par_search.effective_jobs ~jobs:64 None
+    <= max 1 (Domain.recommended_domain_count ()));
   let labeled = counter_prog ~iters:10 and spec = spec_out 20 in
   let seed = find_failing_seed labeled spec in
   let log = failure_log labeled spec seed in
@@ -141,7 +148,7 @@ let test_min_work_heuristic () =
   let make ~attempt = (World.random ~seed:attempt, None) in
   let s = Search.random_restarts budget ~make ~spec ~accept labeled in
   let p =
-    Par_search.random_restarts ~jobs ~est_attempt_steps:100 budget ~make ~spec
+    Par_search.random_restarts ~tuning ~jobs ~est_attempt_steps:100 budget ~make ~spec
       ~accept labeled
   in
   check_same_outcome "min-work/counter" s p
@@ -155,7 +162,7 @@ let test_dfs_parity_counter () =
     { Search.max_attempts = 300; max_steps_per_attempt = 5_000; base_seed = 1; deadline_s = None }
   in
   let s = Search.dfs_schedules budget ~spec ~accept labeled in
-  let p = Par_search.dfs_schedules ~jobs budget ~spec ~accept labeled in
+  let p = Par_search.dfs_schedules ~tuning ~jobs budget ~spec ~accept labeled in
   Alcotest.(check bool) "dfs reproduces the race" true
     s.Search.stats.Search.success;
   Alcotest.(check bool) "pruning fired" true (s.Search.stats.Search.pruned > 0);
@@ -170,7 +177,7 @@ let test_enumerate_inputs_parity_adder () =
     { Search.max_attempts = 50; max_steps_per_attempt = 1_000; base_seed = 1; deadline_s = None }
   in
   let s = Search.enumerate_inputs budget ~spec ~accept adder_prog in
-  let p = Par_search.enumerate_inputs ~jobs budget ~spec ~accept adder_prog in
+  let p = Par_search.enumerate_inputs ~tuning ~jobs budget ~spec ~accept adder_prog in
   Alcotest.(check bool) "enumeration reaches sum=7" true
     s.Search.stats.Search.success;
   check_same_outcome "inputs/adder" s p
@@ -231,10 +238,10 @@ let test_session_parity_faulted_cloudstore () =
 let test_first_success_parity () =
   let f n = if n * n > 50 then Some (n * n) else None in
   let s = Par_search.first_success ~from:0 ~count:20 ~f () in
-  let p = Par_search.first_success ~jobs ~from:0 ~count:20 ~f () in
+  let p = Par_search.first_success ~tuning ~jobs ~from:0 ~count:20 ~f () in
   Alcotest.(check (option (pair int int))) "lowest index wins" (Some (8, 64)) s;
   Alcotest.(check (option (pair int int))) "parallel agrees" s p;
-  let none = Par_search.first_success ~jobs ~from:0 ~count:5 ~f () in
+  let none = Par_search.first_success ~tuning ~jobs ~from:0 ~count:5 ~f () in
   Alcotest.(check (option (pair int int))) "exhausted scan" None none
 
 let test_find_failing_seed_parity () =
