@@ -88,7 +88,11 @@ let faults_arg =
          ~doc:"Run under a deterministic fault plan, e.g. \
                $(b,seed=7,drop:ack_0:0.25,dup:repl:0.1,stall:2:50-90). \
                Actions: drop/dup/perturb CHAN:PROB, delay CHAN:FROM-TO, \
-               stall TID:FROM-TO, crash TID:STEP.")
+               stall TID:FROM-TO, crash TID:STEP. Apps with a node map \
+               also take node-granular clauses — \
+               $(b,partition:a+b|c:FROM-TO), $(b,nodecrash:NODE:STEP), \
+               $(b,noderestart:NODE:FROM-TO) — which desugar to the \
+               primitives above against the app's topology.")
 
 let jobs_arg =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
@@ -198,6 +202,24 @@ let segments_arg =
                FILE.header, FILE.NNNN.seg and FILE.manifest; $(b,replay) \
                detects the segment set automatically.")
 
+let shards_arg =
+  Arg.(value & flag & info [ "shards" ]
+         ~doc:"Save the recording sharded per node — one independently \
+               loadable log per node of the app's deployment map plus a \
+               causal manifest (FILE.NODE.shard each, FILE.causal): the \
+               on-disk shape of distributed evidence, where shards are \
+               lost or corrupted independently. Requires an app with a \
+               node map (msg_server, cloudstore); $(b,replay) detects \
+               the shard set automatically.")
+
+let lose_node_arg =
+  Arg.(value & opt_all string [] & info [ "lose-node" ] ~docv:"NODE"
+         ~doc:"When replaying a sharded recording, treat $(docv)'s shard \
+               as lost without touching the file — simulate a node whose \
+               evidence never made it out. Repeatable. Surviving shards \
+               replay as partial evidence: the lost node's schedule and \
+               inputs become search dimensions.")
+
 (* resume files and engine/seed mismatches surface as Invalid_argument
    from the search layer; turn them into diagnostics, not backtraces *)
 let guard f =
@@ -282,11 +304,24 @@ let cmd_find app cause exclusive faults jobs chunk spawn_cost checkpoint every
     Printf.eprintf "no failing seed found in the scanned range\n";
     Ddet_replay.Replayer.exit_deadline
 
-let cmd_record app model seed verbose out faults segments io_faults
+let cmd_record app model seed verbose out faults segments shards io_faults
     overhead_budget =
+  guard @@ fun () ->
+  if shards && segments <> None then begin
+    Printf.eprintf "--shards and --segments are mutually exclusive\n";
+    1
+  end
+  else
   let config = { Config.default with Config.overhead_budget } in
   let prepared = Session.prepare ~config model app in
-  let original, log = Session.record ?faults prepared ~seed in
+  let original, log, causal =
+    if shards then
+      let original, log, causal = Session.record_dist ?faults prepared ~seed in
+      (original, log, Some causal)
+    else
+      let original, log = Session.record ?faults prepared ~seed in
+      (original, log, None)
+  in
   describe_run app original;
   Printf.printf "\nlog: %d entries, %d payload bytes, modeled overhead %.2fx\n"
     (Ddet_record.Log.entry_count log)
@@ -314,6 +349,28 @@ let cmd_record app model seed verbose out faults segments io_faults
         in
         (Some stats, Ddet_record.Retry.store faulty)
     in
+    match causal with
+    | Some causal ->
+      (* one log per node plus the causal manifest; individual shard
+         failures are survivable by design, so report and carry on *)
+      let report = Ddet_record.Sharded_log.save_via store ~base:path ~causal log in
+      (match stats with
+      | Some s ->
+        Format.printf "io-faults: %a@." Ddet_record.Faulty_store.pp_stats (s ())
+      | None -> ());
+      Format.printf "@[<v>%a@]@." Ddet_record.Sharded_log.pp_save_report report;
+      if Ddet_record.Sharded_log.save_ok report then begin
+        Printf.printf "saved sharded to %s (.NODE.shard per node, .causal)\n"
+          path;
+        0
+      end
+      else begin
+        Printf.eprintf
+          "sharded save incomplete; surviving shards replay as partial \
+           evidence\n";
+        Ddet_replay.Replayer.exit_salvaged
+      end
+    | None ->
     let saved =
       match segments with
       | Some n ->
@@ -369,9 +426,60 @@ let load_any ~salvage file =
   end
   else Error "no such file (and no segmented recording at that base path)"
 
-let cmd_replay app model file salvage jobs chunk spawn_cost deadline
+(* Replay over a sharded recording: load surviving shards, stitch, and
+   either run the model's own replay (complete evidence) or degrade to
+   partial-evidence search. The exit-code contract here: a reproduction
+   from missing/salvaged shards is still 0 — honestly-searched-around
+   evidence is a success, reported as degraded DF — exhaustion with a
+   best partial is 3, and an all-shards-lost set is 4. *)
+let replay_sharded app model file lose jobs chunk spawn_cost deadline
+    checkpoint every resume attempts =
+  match Ddet_record.Sharded_log.load ~lose file with
+  | Error msg ->
+    Printf.eprintf "cannot load %s: %s\n" file msg;
+    1
+  | Ok loaded ->
+    let st = Ddet_replay.Stitch.stitch loaded in
+    Format.printf "@[<v>%a@]@." Ddet_replay.Stitch.pp st;
+    if Ddet_record.Sharded_log.all_lost loaded then begin
+      Printf.eprintf
+        "every shard is lost or corrupt: no evidence left to replay\n";
+      Ddet_replay.Replayer.exit_salvaged
+    end
+    else begin
+      let checkpoint =
+        Option.map (Ddet_replay.Checkpoint.sink ~every:(max 1 every)) checkpoint
+      in
+      with_resume resume @@ fun resume ->
+      let config =
+        config_with ?deadline ?attempts ~tuning:(tuning_of chunk spawn_cost)
+          jobs
+      in
+      let prepared = Session.prepare ~config model app in
+      let outcome = Session.replay_stitched ?checkpoint ?resume prepared st in
+      Format.printf "%a@." Ddet_replay.Replayer.pp_outcome outcome;
+      (match outcome.Ddet_replay.Replayer.result with
+      | Some r ->
+        print_newline ();
+        describe_run app r
+      | None -> ());
+      Ddet_replay.Replayer.exit_code outcome
+    end
+
+let cmd_replay app model file salvage lose jobs chunk spawn_cost deadline
     checkpoint every resume attempts =
   guard @@ fun () ->
+  (* detection order: a monolithic file wins, then a shard set at the
+     base path, then a segmented recording *)
+  if (not (Sys.file_exists file)) && Ddet_record.Sharded_log.exists file then
+    replay_sharded app model file lose jobs chunk spawn_cost deadline
+      checkpoint every resume attempts
+  else if lose <> [] then begin
+    Printf.eprintf
+      "--lose-node applies to sharded recordings; %s is not one\n" file;
+    1
+  end
+  else
   match load_any ~salvage file with
   | Error msg ->
     Printf.eprintf "cannot load %s: %s\n" file msg;
@@ -394,13 +502,65 @@ let cmd_replay app model file salvage jobs chunk spawn_cost deadline
     | None -> ());
     Ddet_replay.Replayer.exit_code ~damaged outcome
 
+(* The distributed experiment in one command: record sharded per node,
+   simulate the named nodes' shards never making it out, stitch the
+   survivors and search — the assessment then reports per-node DF and
+   the honest floor. The shard set lives under a temp base, removed
+   afterwards. *)
+let debug_sharded ~config ?faults app model seed lose =
+  let prepared = Session.prepare ~config model app in
+  let original, log, causal = Session.record_dist ?faults prepared ~seed in
+  let base = Filename.temp_file "ddreplay" ".dist" in
+  let cleanup () =
+    let dir = Filename.dirname base and name = Filename.basename base in
+    Array.iter
+      (fun f ->
+        if String.starts_with ~prefix:name f then
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let report =
+    Ddet_record.Sharded_log.save_via (Ddet_record.Store.default ()) ~base
+      ~causal log
+  in
+  if not (Ddet_record.Sharded_log.save_ok report) then begin
+    Format.eprintf "@[<v>%a@]@." Ddet_record.Sharded_log.pp_save_report report;
+    1
+  end
+  else
+    match Ddet_record.Sharded_log.load ~lose base with
+    | Error msg ->
+      Printf.eprintf "cannot reload shard set: %s\n" msg;
+      1
+    | Ok loaded ->
+      let st = Ddet_replay.Stitch.stitch loaded in
+      Format.printf "@[<v>%a@]@." Ddet_replay.Stitch.pp st;
+      if Ddet_record.Sharded_log.all_lost loaded then begin
+        Printf.eprintf
+          "every shard is lost or corrupt: no evidence left to replay\n";
+        Ddet_replay.Replayer.exit_salvaged
+      end
+      else begin
+        let outcome = Session.replay_stitched prepared st in
+        let a =
+          Session.assess ~evidence:st.Ddet_replay.Stitch.evidence prepared
+            ~original ~log outcome
+        in
+        Format.printf "%a@." Ddet_metrics.Utility.pp a;
+        Ddet_replay.Replayer.exit_code outcome
+      end
+
 let cmd_debug app model seed replays faults jobs chunk spawn_cost deadline
-    checkpoint every resume overhead_budget =
+    checkpoint every resume overhead_budget shards lose =
   guard @@ fun () ->
   let config =
     config_with ?deadline ?overhead_budget ~tuning:(tuning_of chunk spawn_cost)
       jobs
   in
+  if shards || lose <> [] then
+    debug_sharded ~config ?faults app model seed lose
+  else
   match (checkpoint, resume) with
   | None, None ->
     let a =
@@ -503,13 +663,19 @@ let exits = Cmd.Exit.defaults
    in --help for every command that searches *)
 let search_exits =
   Cmd.Exit.info Ddet_replay.Replayer.exit_ok
-    ~doc:"the recorded failure (or seed scan target) was reproduced."
+    ~doc:"the recorded failure (or seed scan target) was reproduced — \
+          including from partial shard evidence: a sharded replay that \
+          reproduces despite missing or salvaged shards still exits 0, \
+          with the degradation reported as per-node DF, not as failure."
   :: Cmd.Exit.info Ddet_replay.Replayer.exit_partial
        ~doc:"budget exhausted; the replay degraded to its best partial \
-             candidate (the DF 1/n floor)."
+             candidate (the DF 1/n floor). For sharded recordings: the \
+             partial-evidence search did not reproduce the failure but \
+             has a closest candidate to show."
   :: Cmd.Exit.info Ddet_replay.Replayer.exit_salvaged
        ~doc:"the log was damaged and salvaged; the replay ran against the \
-             recovered prefix."
+             recovered prefix. For sharded recordings: every shard was \
+             lost or corrupt — no evidence left to replay at all."
   :: Cmd.Exit.info Ddet_replay.Replayer.exit_deadline
        ~doc:"deadline or budget ran out with nothing to show."
   :: List.filter
@@ -536,17 +702,21 @@ let find_cmd =
 let record_cmd =
   Cmd.v (Cmd.info "record" ~exits ~doc:"Record a production run under a model.")
     Term.(const cmd_record $ app_arg $ model_arg $ seed_arg $ verbose_arg
-          $ out_arg $ faults_arg $ segments_arg $ io_faults_arg
+          $ out_arg $ faults_arg $ segments_arg $ shards_arg $ io_faults_arg
           $ overhead_budget_arg)
 
 let replay_cmd =
   Cmd.v
     (Cmd.info "replay" ~exits:search_exits
-       ~doc:"Replay a saved log (monolithic file or segmented base path) \
-             under its model.")
+       ~doc:"Replay a saved log (monolithic file, per-node shard set or \
+             segmented base path — detected automatically) under its \
+             model. Sharded recordings with missing or corrupt shards \
+             degrade to partial-evidence search: surviving nodes' logs \
+             are enforced, lost nodes are searched.")
     Term.(const cmd_replay $ app_arg $ model_arg $ in_arg $ salvage_arg
-          $ jobs_arg $ chunk_arg $ spawn_cost_arg $ deadline_arg
-          $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ attempts_arg)
+          $ lose_node_arg $ jobs_arg $ chunk_arg $ spawn_cost_arg
+          $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+          $ attempts_arg)
 
 let debug_cmd =
   Cmd.v
@@ -555,7 +725,7 @@ let debug_cmd =
     Term.(const cmd_debug $ app_arg $ model_arg $ seed_arg $ replays_arg
           $ faults_arg $ jobs_arg $ chunk_arg $ spawn_cost_arg $ deadline_arg
           $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
-          $ overhead_budget_arg)
+          $ overhead_budget_arg $ shards_arg $ lose_node_arg)
 
 let classify_cmd =
   Cmd.v

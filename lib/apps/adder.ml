@@ -62,4 +62,5 @@ let app () =
     spec;
     catalog;
     control_plane = [];
+    nodes = None;
   }

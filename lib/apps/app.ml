@@ -7,10 +7,27 @@ type t = {
   spec : Spec.t;
   catalog : Ddet_metrics.Root_cause.catalog;
   control_plane : string list;
+  nodes : Node.map option;
 }
 
 let run ?max_steps app world =
   Spec.apply app.spec (Interp.run ?max_steps app.labeled world)
 
+(* Node-granular faults are sugar over thread/channel primitives; they
+   desugar against the app's deployment map before any world is built.
+   An app with no map cannot interpret them, and saying so beats a
+   confusing Fault.inject failure deeper down. *)
+let lower_faults app plan =
+  if not (Fault.has_node_faults plan) then plan
+  else
+    match app.nodes with
+    | Some map -> Fault.lower ~map ~prog:app.labeled.Label.prog plan
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "app %S has no node map; node-granular faults (%s) need one"
+           app.name (Fault.to_string plan))
+
 let production_run ?max_steps ?(faults = Fault.none) app ~seed =
-  run ?max_steps app (Fault.inject faults (World.random ~seed))
+  run ?max_steps app
+    (Fault.inject (lower_faults app faults) (World.random ~seed))

@@ -14,15 +14,28 @@ type t = {
   control_plane : string list;
       (** ground truth: function names that are control-plane (everything
           else is data-plane); empty when the app has no meaningful split *)
+  nodes : Node.map option;
+      (** the deployment topology: which node each thread root runs on.
+          [None] for single-process apps — node-granular faults and
+          sharded recording then do not apply *)
 }
 
 (** [run ?max_steps app world] executes the app and judges it with its own
     specification. *)
 val run : ?max_steps:int -> t -> World.t -> Interp.result
 
+(** [lower_faults app plan] desugars any node-granular faults in [plan]
+    against the app's node map ({!Mvm.Fault.lower}); plans without node
+    faults pass through untouched.
+
+    @raise Invalid_argument when the plan has node faults but the app has
+    no node map. *)
+val lower_faults : t -> Fault.plan -> Fault.plan
+
 (** [production_run app ~seed] is [run] under a seeded random world — the
     model of an uncontrolled production environment. [faults] (default
     {!Fault.none}) additionally injects an adversarial fault plan: lossy
-    channels, stalled threads, perturbed inputs. *)
+    channels, stalled threads, perturbed inputs — or node-granular faults
+    (partitions, node crashes), lowered via {!lower_faults} first. *)
 val production_run :
   ?max_steps:int -> ?faults:Fault.plan -> t -> seed:int -> Interp.result

@@ -47,4 +47,5 @@ let app () =
     spec = Spec.accept_all;
     catalog;
     control_plane = [];
+    nodes = None;
   }

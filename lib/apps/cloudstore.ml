@@ -320,4 +320,20 @@ let app ?(params = default_params) () =
     catalog = catalog params;
     control_plane =
       [ "main"; "startup_p"; "startup_s"; "pick_verify"; "pick_replica" ];
+    (* deployment: coordinator, the two replicas, one node per writer
+       client; helper functions live with whichever root calls them *)
+    nodes =
+      Some
+        (Mvm.Node.make
+           ~nodes:
+             ([ "coord"; "primary"; "secondary" ]
+             @ List.init params.n_writers (Printf.sprintf "client%d"))
+           ~assign:
+             ([
+                ("main", "coord");
+                ("primary", "primary");
+                ("secondary", "secondary");
+              ]
+             @ List.init params.n_writers (fun w ->
+                   (writer_name w, Printf.sprintf "client%d" w))));
   }

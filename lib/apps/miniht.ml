@@ -349,4 +349,7 @@ let app ?(params = default_params) () =
         "handle_ctl_1"; "shutdown_0"; "shutdown_1"; "dump_range0";
         "dump_range1";
       ];
+    (* clients share one root function, so a static thread-to-node
+       assignment is not expressible — miniht stays single-process *)
+    nodes = None;
   }

@@ -179,4 +179,16 @@ let app ?(params = default_params) () =
     spec;
     catalog;
     control_plane = [ "main" ];
+    (* deployment: the consuming server on one node, each producer on its
+       own — the topology node faults and sharded recording act on *)
+    nodes =
+      Some
+        (Mvm.Node.make
+           ~nodes:[ "server"; "p0"; "p1" ]
+           ~assign:
+             [
+               ("main", "server");
+               (producer_name 0, "p0");
+               (producer_name 1, "p1");
+             ]);
   }

@@ -89,17 +89,21 @@ let prepare ?(config = Config.default) model (app : App.t) =
     invariants = (if inv_used then Some (Lazy.force invariants) else None);
   }
 
-let record ?(faults = Fault.none) prepared ~seed =
+let governor_of prepared =
+  Option.map
+    (fun budget ->
+      Governor.create ~cost_model:prepared.config.Config.cost_model ~budget ())
+    prepared.config.Config.overhead_budget
+
+let record ?(faults = Fault.none) ?monitor prepared ~seed =
+  (* node-granular faults desugar against the app's topology before any
+     world exists; the *lowered* plan is also what ships with the log,
+     so replay re-creates the environment with no node knowledge *)
+  let faults = App.lower_faults prepared.app faults in
   let world = Fault.inject faults (World.random ~seed) in
-  let govern =
-    Option.map
-      (fun budget ->
-        Governor.create ~cost_model:prepared.config.Config.cost_model ~budget
-          ())
-      prepared.config.Config.overhead_budget
-  in
+  let govern = governor_of prepared in
   let original, log =
-    Recorder.record ?govern
+    Recorder.record ?govern ?monitor
       (prepared.make_recorder ?govern ())
       prepared.app.App.labeled ~spec:prepared.app.App.spec ~world
   in
@@ -107,6 +111,22 @@ let record ?(faults = Fault.none) prepared ~seed =
      environment the recording ran under *)
   if Fault.is_empty faults then (original, log)
   else (original, { log with Log.faults = Some faults })
+
+(* Distributed recording: same run, but a causal monitor rides along so
+   the log can be sharded per node with a cross-node manifest. *)
+let record_dist ?faults prepared ~seed =
+  let map =
+    match prepared.app.App.nodes with
+    | Some m -> m
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Session.record_dist: app %S has no node map"
+           prepared.app.App.name)
+  in
+  let main_fname = prepared.app.App.labeled.Label.prog.Ast.main in
+  let on_event, finish = Causal.monitor ~map ~main_fname () in
+  let original, log = record ?faults ~monitor:on_event prepared ~seed in
+  (original, log, finish ())
 
 (* Output-determinism inference enumerates input assignments exhaustively
    when the program is sequential (its only nondeterminism is inputs);
@@ -154,10 +174,23 @@ let replay ?budget ?checkpoint ?resume prepared log =
     let strict = match mode with Model.Code_based -> true | _ -> false in
     Replayer.rcse ~budget ~strict ~jobs ~tuning ?checkpoint ?resume labeled ~spec log
 
-let assess ?salvaged prepared ~original ~log outcome =
+(* Replay over a stitched shard merge. Complete evidence is the original
+   log reassembled exactly — the configured model's own replay applies.
+   Anything less degrades to partial-evidence search: surviving schedules
+   enforced, lost nodes searched. *)
+let replay_stitched ?budget ?checkpoint ?resume prepared (st : Stitch.t) =
+  if st.Stitch.complete then replay ?budget ?checkpoint ?resume prepared st.Stitch.log
+  else
+    let budget = Option.value ~default:prepared.config.Config.budget budget in
+    Replayer.stitched ~budget ~jobs:prepared.config.Config.jobs
+      ~tuning:prepared.config.Config.tuning ?checkpoint ?resume
+      prepared.app.App.labeled ~spec:prepared.app.App.spec st
+
+let assess ?salvaged ?evidence prepared ~original ~log outcome =
   let a =
     Ddet_metrics.Utility.assess ~cost_model:prepared.config.Config.cost_model
-      ?salvaged ~catalog:prepared.app.App.catalog ~original ~log outcome
+      ?salvaged ?evidence ~catalog:prepared.app.App.catalog ~original ~log
+      outcome
   in
   (* the replayer knows only its mechanism; name the configured model so
      RCSE variants stay distinguishable in reports *)

@@ -39,10 +39,27 @@ val prepare : ?config:Config.t -> Model.t -> App.t -> prepared
 
 (** [record prepared ~seed] executes one production run under the model's
     recorder and returns the judged run plus its log. With [faults] the
-    run executes under that adversarial fault plan, and the plan is
-    stamped into the log so replay can re-create the environment. *)
+    run executes under that adversarial fault plan — node-granular faults
+    are lowered against the app's node map first — and the (lowered) plan
+    is stamped into the log so replay can re-create the environment.
+    [monitor] attaches one extra event observer to the recording run. *)
 val record :
-  ?faults:Fault.plan -> prepared -> seed:int -> Interp.result * Log.t
+  ?faults:Fault.plan ->
+  ?monitor:(Event.t -> unit) ->
+  prepared ->
+  seed:int ->
+  Interp.result * Log.t
+
+(** [record_dist prepared ~seed] is {!record} with a {!Ddet_record.Causal}
+    monitor riding along: the returned causality is what
+    {!Ddet_record.Sharded_log.save_via} needs to shard the log per node.
+
+    @raise Invalid_argument when the app has no node map. *)
+val record_dist :
+  ?faults:Fault.plan ->
+  prepared ->
+  seed:int ->
+  Interp.result * Log.t * Ddet_record.Causal.t
 
 (** [replay ?budget prepared log] reconstructs an execution per the model's
     replay contract. [budget] overrides the config's inference budget (the
@@ -60,11 +77,27 @@ val replay :
   Log.t ->
   Ddet_replay.Replayer.outcome
 
+(** [replay_stitched prepared stitch] replays a stitched shard merge
+    ({!Ddet_replay.Stitch}). Complete evidence is the original log
+    reassembled exactly, so the configured model's own {!replay} runs;
+    partial evidence degrades to {!Ddet_replay.Replayer.stitched}
+    search — surviving schedules enforced, lost nodes searched. *)
+val replay_stitched :
+  ?budget:Ddet_replay.Search.budget ->
+  ?checkpoint:Ddet_replay.Checkpoint.sink ->
+  ?resume:Ddet_replay.Checkpoint.t ->
+  prepared ->
+  Ddet_replay.Stitch.t ->
+  Ddet_replay.Replayer.outcome
+
 (** [assess prepared ~original ~log outcome] computes the §3.2 metrics.
     [salvaged] marks a log recovered from a damaged file, capping a full
-    reproduction's DF at the 1/n floor — see {!Ddet_metrics.Utility.assess}. *)
+    reproduction's DF at the 1/n floor; [evidence] is per-node shard
+    evidence and populates the per-node DF report — see
+    {!Ddet_metrics.Utility.assess}. *)
 val assess :
   ?salvaged:bool ->
+  ?evidence:(string * Ddet_record.Sharded_log.shard_status) list ->
   prepared ->
   original:Interp.result ->
   log:Log.t ->

@@ -13,6 +13,8 @@ type assessment = {
   degraded : bool;
   governed_windows : int;
   df_floor : float option;
+  node_df : (string * float) list;
+  lost_nodes : string list;
 }
 
 (* Degraded accounting (the paper's "DF should fall to 1/n, not 0"):
@@ -23,8 +25,8 @@ type assessment = {
    - an exhausted search whose best partial candidate still reproduces
      the failure scores the floor outright, and its inference work is
      priced into DE exactly like a successful search. *)
-let assess ?(cost_model = Cost_model.default) ?(salvaged = false) ~catalog
-    ~original ~log (outcome : Ddet_replay.Replayer.outcome) =
+let assess ?(cost_model = Cost_model.default) ?(salvaged = false) ?(evidence = [])
+    ~catalog ~original ~log (outcome : Ddet_replay.Replayer.outcome) =
   let df_full, original_cause, replay_cause =
     Fidelity.explain ~catalog ~original ~replay:outcome.result
   in
@@ -57,6 +59,42 @@ let assess ?(cost_model = Cost_model.default) ?(salvaged = false) ~catalog
   let df_floor =
     if governed_windows > 0 then Some (Fidelity.floor_df catalog) else None
   in
+  (* Per-node fidelity over shard evidence (distributed recordings): a
+     node whose log survived intact backs the measured DF; a salvaged
+     shard backs at most the 1/n floor; a lost node backs only "the
+     failure reproduces" — the floor when it did, zero otherwise. The
+     combined claim can never exceed its weakest surviving evidence, so
+     any non-intact shard both flags the assessment degraded and pins
+     the guaranteed floor — never an all-or-nothing failure. *)
+  let floor = Fidelity.floor_df catalog in
+  let node_df =
+    List.map
+      (fun (node, status) ->
+        ( node,
+          match status with
+          | Sharded_log.Intact -> df
+          | Sharded_log.Salvaged _ -> if df > 0. then Float.min df floor else 0.
+          | Sharded_log.Missing | Sharded_log.Corrupt _ ->
+            if df > 0. then floor else 0. ))
+      evidence
+  in
+  let lost_nodes =
+    List.filter_map
+      (fun (node, status) ->
+        match status with
+        | Sharded_log.Missing | Sharded_log.Corrupt _ -> Some node
+        | Sharded_log.Intact | Sharded_log.Salvaged _ -> None)
+      evidence
+  in
+  let evidence_degraded =
+    List.exists (fun (_, st) -> st <> Sharded_log.Intact) evidence
+  in
+  let degraded = degraded || evidence_degraded in
+  let df_floor =
+    if evidence_degraded then
+      Some (match df_floor with Some f -> Float.min f floor | None -> floor)
+    else df_floor
+  in
   let de =
     if df > 0. then
       Efficiency.ratio ~original ~inference_steps:outcome.total_steps
@@ -75,6 +113,8 @@ let assess ?(cost_model = Cost_model.default) ?(salvaged = false) ~catalog
     degraded;
     governed_windows;
     df_floor;
+    node_df;
+    lost_nodes;
   }
 
 let pp ppf a =
@@ -85,8 +125,17 @@ let pp ppf a =
     (Option.value ~default:"-" a.replay_cause)
     a.attempts
     (if a.degraded then "  [degraded]" else "");
-  match a.df_floor with
-  | Some floor ->
+  (match a.df_floor with
+  | Some floor when a.governed_windows > 0 ->
     Format.fprintf ppf "  [governed: %d window(s), DF floor %.2f]"
       a.governed_windows floor
-  | None -> ()
+  | Some floor -> Format.fprintf ppf "  [DF floor %.2f]" floor
+  | None -> ());
+  if a.node_df <> [] then begin
+    Format.fprintf ppf "@   per-node DF:";
+    List.iter
+      (fun (n, d) ->
+        Format.fprintf ppf " %s=%.2f%s" n d
+          (if List.mem n a.lost_nodes then "(lost)" else ""))
+      a.node_df
+  end

@@ -23,10 +23,18 @@ type assessment = {
       (** how many windows the overhead governor degraded fidelity in
           during recording (0 for ungoverned logs) *)
   df_floor : float option;
-      (** for governed logs, the honest guaranteed fidelity: the 1/n
-          floor. The measured [df] is reported as-is — a search that
+      (** the honest guaranteed fidelity when evidence is incomplete (a
+          governed log, or shard evidence with non-intact members): the
+          1/n floor. The measured [df] is reported as-is — a search that
           lands the true root cause has landed it — but no stronger
-          fidelity can be {e guaranteed} once windows are missing. *)
+          fidelity can be {e guaranteed} once windows or shards are
+          missing. *)
+  node_df : (string * float) list;
+      (** per-node fidelity over shard evidence (empty for monolithic
+          logs): intact nodes back the measured DF, salvaged nodes at
+          most the floor, lost nodes the floor when the failure
+          reproduced and 0 otherwise *)
+  lost_nodes : string list;  (** nodes whose shards contributed nothing *)
 }
 
 (** [assess ?cost_model ?salvaged ~catalog ~original ~log outcome]
@@ -37,10 +45,17 @@ type assessment = {
     missing entries void any root-cause claim. Independently, when the
     search failed but its best partial candidate reproduces the failure,
     DF degrades to the 1/n floor (instead of 0) and DE prices the
-    inference work spent getting there. *)
+    inference work spent getting there.
+
+    [evidence] (default empty) is the per-node shard evidence of a
+    distributed recording (from {!Ddet_replay.Stitch.t.evidence});
+    supplying it populates [node_df]/[lost_nodes] and, when any shard
+    is not intact, flags the assessment degraded with the combined
+    floor in [df_floor]. *)
 val assess :
   ?cost_model:Cost_model.t ->
   ?salvaged:bool ->
+  ?evidence:(string * Sharded_log.shard_status) list ->
   catalog:Root_cause.catalog ->
   original:Interp.result ->
   log:Log.t ->

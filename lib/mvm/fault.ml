@@ -8,6 +8,11 @@ type fault =
   | Stall of { tid : int; from_step : int; until_step : int }
   | Crash of { tid : int; at_step : int }
   | Perturb of { chan : string; prob : float }
+  (* node-granular faults: sugar over the thread/channel primitives,
+     desugared by [lower] against a Node.map before injection *)
+  | Partition of { groups : string list list; from_step : int; until_step : int }
+  | Node_crash of { node : string; at_step : int }
+  | Node_restart of { node : string; from_step : int; until_step : int }
 
 type plan = { seed : int; faults : fault list }
 
@@ -22,6 +27,20 @@ let delay ~chan ~from_step ~until_step =
 let stall ~tid ~from_step ~until_step = Stall { tid; from_step; until_step }
 let crash ~tid ~at_step = Crash { tid; at_step }
 let perturb ?(prob = 0.1) chan = Perturb { chan; prob }
+
+let partition ~groups ~from_step ~until_step =
+  Partition { groups; from_step; until_step }
+
+let node_crash ~node ~at_step = Node_crash { node; at_step }
+
+let node_restart ~node ~from_step ~until_step =
+  Node_restart { node; from_step; until_step }
+
+let is_node_fault = function
+  | Partition _ | Node_crash _ | Node_restart _ -> true
+  | Chan _ | Stall _ | Crash _ | Perturb _ -> false
+
+let has_node_faults plan = List.exists is_node_fault plan.faults
 
 (* ------------------------------------------------------------------ *)
 (* deterministic coins
@@ -70,6 +89,13 @@ let fault_to_string = function
     Printf.sprintf "stall:%d:%d-%d" tid from_step until_step
   | Crash { tid; at_step } -> Printf.sprintf "crash:%d:%d" tid at_step
   | Perturb { chan; prob } -> Printf.sprintf "perturb:%s:%g" chan prob
+  | Partition { groups; from_step; until_step } ->
+    Printf.sprintf "partition:%s:%d-%d"
+      (String.concat "|" (List.map (String.concat "+") groups))
+      from_step until_step
+  | Node_crash { node; at_step } -> Printf.sprintf "nodecrash:%s:%d" node at_step
+  | Node_restart { node; from_step; until_step } ->
+    Printf.sprintf "noderestart:%s:%d-%d" node from_step until_step
 
 let to_string plan =
   String.concat ","
@@ -119,6 +145,26 @@ let parse_clause clause =
   | [ "perturb"; chan; p ] ->
     let* prob = parse_prob clause p in
     Ok (`Fault (Perturb { chan; prob }))
+  | [ "partition"; groups; range ] ->
+    let groups =
+      String.split_on_char '|' groups
+      |> List.map (fun g ->
+             String.split_on_char '+' g |> List.filter (fun n -> n <> ""))
+      |> List.filter (fun g -> g <> [])
+    in
+    if List.length groups < 2 then
+      Error
+        (Printf.sprintf
+           "partition needs at least two groups (A+B|C) in clause %S" clause)
+    else
+      let* from_step, until_step = parse_range clause range in
+      Ok (`Fault (Partition { groups; from_step; until_step }))
+  | [ "nodecrash"; node; at ] ->
+    let* at_step = parse_int clause at in
+    Ok (`Fault (Node_crash { node; at_step }))
+  | [ "noderestart"; node; range ] ->
+    let* from_step, until_step = parse_range clause range in
+    Ok (`Fault (Node_restart { node; from_step; until_step }))
   | [ kv ] when String.length kv > 5 && String.sub kv 0 5 = "seed=" ->
     let* seed = parse_int clause (String.sub kv 5 (String.length kv - 5)) in
     Ok (`Seed seed)
@@ -139,6 +185,33 @@ let of_string s =
       | Error e -> Error e)
   in
   go 0 [] clauses
+
+(* ------------------------------------------------------------------ *)
+(* lowering node faults to thread/channel primitives
+
+   Node faults are sugar, not a new mechanism: a partition is a Delay on
+   every channel whose users span two groups, a node crash is a Crash of
+   every member thread, a node restart a Stall (the node is out for the
+   window; its memory survives — process restart with intact state, the
+   simplification DESIGN §11 documents). Lowering is a pure function of
+   (plan, node map, program), so the *lowered* plan is what ships in the
+   log and replay needs no node knowledge at all. *)
+
+let lower ~map ~prog plan =
+  let lower_fault = function
+    | Partition { groups; from_step; until_step } ->
+      List.map
+        (fun chan -> Chan { chan; action = Delay { from_step; until_step } })
+        (Node.cut_channels map prog ~groups)
+    | Node_crash { node; at_step } ->
+      List.map (fun tid -> Crash { tid; at_step }) (Node.members map prog node)
+    | Node_restart { node; from_step; until_step } ->
+      List.map
+        (fun tid -> Stall { tid; from_step; until_step })
+        (Node.members map prog node)
+    | (Chan _ | Stall _ | Crash _ | Perturb _) as f -> [ f ]
+  in
+  { plan with faults = List.concat_map lower_fault plan.faults }
 
 (* ------------------------------------------------------------------ *)
 (* injection *)
@@ -169,7 +242,8 @@ let descheduled plan ~step tid =
       | Stall { tid = t; from_step; until_step } ->
         t = tid && step >= from_step && step < until_step
       | Crash { tid = t; at_step } -> t = tid && step >= at_step
-      | Chan _ | Perturb _ -> false)
+      | Chan _ | Perturb _ | Partition _ | Node_crash _ | Node_restart _ ->
+        false)
     plan.faults
 
 let perturb_prob plan chan =
@@ -180,6 +254,12 @@ let perturb_prob plan chan =
     0. plan.faults
 
 let inject plan (w : World.t) =
+  if has_node_faults plan then
+    invalid_arg
+      (Printf.sprintf
+         "Fault.inject: plan %S contains node-granular faults; lower it \
+          against the app's node map first (Fault.lower)"
+         (to_string plan));
   if is_empty plan then w
   else
     (* last message delivered per channel, for Duplicate. Mutated only in

@@ -34,7 +34,20 @@
       degrades the schedule but never wedges the VM; a genuine deadlock
       must come from the program.
     - [Perturb p] — with probability [p] an input consumes a
-      hash-selected domain value instead of the world's choice. *)
+      hash-selected domain value instead of the world's choice.
+
+    {b Node-granular faults.} Programs with a {!Node.map} can express
+    faults against the deployment topology: [Partition] (deliveries on
+    any channel whose users span two groups fail for the window),
+    [Node_crash] (every thread of the node dies at a step) and
+    [Node_restart] (every thread of the node stalls for a window — the
+    process is down but restarts with its memory intact). These are
+    {e sugar}: {!lower} desugars them into the [Delay]/[Crash]/[Stall]
+    primitives above, deterministically, and the lowered plan is what a
+    recorder stamps into the log — so replay re-creates a partitioned
+    run with no node knowledge at all, and node faults add no new
+    nondeterminism beyond the primitives they expand to. {!inject}
+    refuses an un-lowered plan rather than guessing a topology. *)
 
 type chan_action =
   | Drop of float  (** each delivery attempt fails with this probability *)
@@ -53,6 +66,14 @@ type fault =
   | Perturb of { chan : string; prob : float }
       (** input channel delivers a hash-chosen domain value with this
           probability *)
+  | Partition of { groups : string list list; from_step : int; until_step : int }
+      (** cross-group deliveries fail inside [\[from_step, until_step)];
+          nodes absent from every group are unaffected *)
+  | Node_crash of { node : string; at_step : int }
+      (** every thread of the node descheduled from [at_step] on *)
+  | Node_restart of { node : string; from_step : int; until_step : int }
+      (** the node is down for the window; its threads resume with state
+          intact *)
 
 type plan = { seed : int; faults : fault list }
 
@@ -70,14 +91,42 @@ val delay : chan:string -> from_step:int -> until_step:int -> fault
 val stall : tid:int -> from_step:int -> until_step:int -> fault
 val crash : tid:int -> at_step:int -> fault
 val perturb : ?prob:float -> string -> fault
+val partition : groups:string list list -> from_step:int -> until_step:int -> fault
+val node_crash : node:string -> at_step:int -> fault
+val node_restart : node:string -> from_step:int -> until_step:int -> fault
+
+(** [is_node_fault f] / [has_node_faults plan] — does the fault (plan)
+    involve the node-granular constructors, which need {!lower}? *)
+val is_node_fault : fault -> bool
+
+val has_node_faults : plan -> bool
+
+(** [lower ~map ~prog plan] desugars every node-granular fault into the
+    thread/channel primitives it stands for, against [prog]'s topology:
+    [Partition] becomes a [Delay] on each {!Node.cut_channels} channel,
+    [Node_crash] a [Crash] of each {!Node.members} tid, [Node_restart] a
+    [Stall] likewise. Primitive faults pass through unchanged, in order.
+    Deterministic: the same (plan, map, program) always lowers to the
+    same plan, which is what makes the lowered plan a faithful stand-in
+    for the node plan inside a recorded log.
+
+    @raise Invalid_argument when the map cannot place a thread (see
+    {!Node.static_tids}). *)
+val lower : map:Node.map -> prog:Ast.program -> plan -> plan
 
 (** [inject plan w] wraps [w] so it runs under the plan's adversity.
-    [inject none w == w]. *)
+    [inject none w == w].
+
+    @raise Invalid_argument when [plan] still contains node-granular
+    faults — {!lower} it first; injection has no topology to interpret
+    them against. *)
 val inject : plan -> World.t -> World.t
 
 (** [to_string plan] renders the compact comma-separated syntax accepted
     by {!of_string}, e.g.
-    ["seed=7,drop:ack_0:0.25,dup:repl:0.1,delay:resp_0:100-400,stall:2:50-90,crash:1:500,perturb:net:0.5"].
+    ["seed=7,drop:ack_0:0.25,dup:repl:0.1,delay:resp_0:100-400,stall:2:50-90,crash:1:500,perturb:net:0.5"]
+    — node clauses render as ["partition:a+b|c:100-400"],
+    ["nodecrash:primary:500"] and ["noderestart:p1:100-300"].
     [of_string (to_string p) = Ok p]. *)
 val to_string : plan -> string
 

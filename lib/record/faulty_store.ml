@@ -64,55 +64,100 @@ let parse_frac clause s =
   | Some f when f >= 0. && f <= 1. -> Ok f
   | _ -> Error (Printf.sprintf "bad fraction %S in io-fault clause %S" s clause)
 
+(* Every legal clause shape, quoted verbatim in the unknown-name error:
+   a mistyped clause must fail loudly with the whole vocabulary in view,
+   never be skipped or folded into a vague message. *)
+let valid_clauses =
+  [
+    "enospc:BYTES";
+    "torn:OP[:KEEP]";
+    "fsyncfail:OP[:t]";
+    "renamefail:OP[:t]";
+    "flaky:PROB";
+    "slow:FROM-TO:MS";
+    "seed=N";
+  ]
+
 let parse_clause clause =
   let ( let* ) = Result.bind in
+  let malformed () =
+    Error
+      (Printf.sprintf "malformed io-fault clause %S (expected forms: %s)"
+         clause
+         (String.concat ", " valid_clauses))
+  in
   match String.split_on_char ':' clause with
-  | [ "enospc"; n ] ->
-    let* after_bytes = parse_num clause n in
-    Ok (`Fault (Disk_full { after_bytes }))
-  | [ "torn"; k ] ->
-    let* at_op = parse_num clause k in
-    Ok (`Fault (Torn { at_op; keep = 0.5 }))
-  | [ "torn"; k; f ] ->
-    let* at_op = parse_num clause k in
-    let* keep = parse_frac clause f in
-    Ok (`Fault (Torn { at_op; keep }))
-  | [ "fsyncfail"; k ] ->
-    let* at_op = parse_num clause k in
-    Ok (`Fault (Fsync_fail { at_op; transient = false }))
-  | [ "fsyncfail"; k; "t" ] ->
-    let* at_op = parse_num clause k in
-    Ok (`Fault (Fsync_fail { at_op; transient = true }))
-  | [ "renamefail"; k ] ->
-    let* at_op = parse_num clause k in
-    Ok (`Fault (Rename_fail { at_op; transient = false }))
-  | [ "renamefail"; k; "t" ] ->
-    let* at_op = parse_num clause k in
-    Ok (`Fault (Rename_fail { at_op; transient = true }))
-  | [ "flaky"; p ] ->
-    let* prob = parse_frac clause p in
-    Ok (`Fault (Flaky { prob }))
-  | [ "slow"; range; ms ] -> (
-    let* ms =
-      match float_of_string_opt ms with
-      | Some f when f >= 0. -> Ok f
-      | _ ->
-        Error (Printf.sprintf "bad latency %S in io-fault clause %S" ms clause)
-    in
-    match String.index_opt range '-' with
-    | Some k ->
-      let* from_op = parse_num clause (String.sub range 0 k) in
-      let* until_op =
-        parse_num clause (String.sub range (k + 1) (String.length range - k - 1))
+  | "enospc" :: rest -> (
+    match rest with
+    | [ n ] ->
+      let* after_bytes = parse_num clause n in
+      Ok (`Fault (Disk_full { after_bytes }))
+    | _ -> malformed ())
+  | "torn" :: rest -> (
+    match rest with
+    | [ k ] ->
+      let* at_op = parse_num clause k in
+      Ok (`Fault (Torn { at_op; keep = 0.5 }))
+    | [ k; f ] ->
+      let* at_op = parse_num clause k in
+      let* keep = parse_frac clause f in
+      Ok (`Fault (Torn { at_op; keep }))
+    | _ -> malformed ())
+  | "fsyncfail" :: rest -> (
+    match rest with
+    | [ k ] ->
+      let* at_op = parse_num clause k in
+      Ok (`Fault (Fsync_fail { at_op; transient = false }))
+    | [ k; "t" ] ->
+      let* at_op = parse_num clause k in
+      Ok (`Fault (Fsync_fail { at_op; transient = true }))
+    | _ -> malformed ())
+  | "renamefail" :: rest -> (
+    match rest with
+    | [ k ] ->
+      let* at_op = parse_num clause k in
+      Ok (`Fault (Rename_fail { at_op; transient = false }))
+    | [ k; "t" ] ->
+      let* at_op = parse_num clause k in
+      Ok (`Fault (Rename_fail { at_op; transient = true }))
+    | _ -> malformed ())
+  | "flaky" :: rest -> (
+    match rest with
+    | [ p ] ->
+      let* prob = parse_frac clause p in
+      Ok (`Fault (Flaky { prob }))
+    | _ -> malformed ())
+  | "slow" :: rest -> (
+    match rest with
+    | [ range; ms ] -> (
+      let* ms =
+        match float_of_string_opt ms with
+        | Some f when f >= 0. -> Ok f
+        | _ ->
+          Error
+            (Printf.sprintf "bad latency %S in io-fault clause %S" ms clause)
       in
-      Ok (`Fault (Slow { from_op; until_op; ms }))
-    | None ->
-      let* at = parse_num clause range in
-      Ok (`Fault (Slow { from_op = at; until_op = at; ms })))
+      match String.index_opt range '-' with
+      | Some k ->
+        let* from_op = parse_num clause (String.sub range 0 k) in
+        let* until_op =
+          parse_num clause
+            (String.sub range (k + 1) (String.length range - k - 1))
+        in
+        Ok (`Fault (Slow { from_op; until_op; ms }))
+      | None ->
+        let* at = parse_num clause range in
+        Ok (`Fault (Slow { from_op = at; until_op = at; ms })))
+    | _ -> malformed ())
   | [ kv ] when String.length kv > 5 && String.sub kv 0 5 = "seed=" ->
     let* seed = parse_num clause (String.sub kv 5 (String.length kv - 5)) in
     Ok (`Seed seed)
-  | _ -> Error (Printf.sprintf "unrecognised io-fault clause %S" clause)
+  | name :: _ ->
+    Error
+      (Printf.sprintf "unknown io-fault clause %S in %S; valid clauses: %s"
+         name clause
+         (String.concat ", " valid_clauses))
+  | [] -> malformed ()
 
 let of_string s =
   let clauses =

@@ -32,7 +32,11 @@ val is_empty : plan -> bool
     [seed=7,enospc:4096,torn:3:0.5,fsyncfail:2:t,renamefail:1,flaky:0.1,slow:10-20:5] *)
 val to_string : plan -> string
 
+(** [of_string s] parses the clause grammar. An unknown clause name is a
+    hard error whose message lists every valid clause form — a typo in an
+    injection plan must never silently weaken the test. *)
 val of_string : string -> (plan, string) result
+
 val pp : Format.formatter -> plan -> unit
 
 type stats = {

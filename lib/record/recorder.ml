@@ -31,13 +31,15 @@ let accumulator ~name ?govern () =
   in
   (add, finalize)
 
-let record ?max_steps ?govern recorder labeled ~spec ~world =
+let record ?max_steps ?govern ?monitor recorder labeled ~spec ~world =
   (* the governor's monitor runs first, so its step clock and pressure
-     are current by the time the recorder's admission gate consults it *)
+     are current by the time the recorder's admission gate consults it;
+     an extra monitor (e.g. the causal monitor) slots in next so it sees
+     the stream the recorder is about to gate *)
   let monitors =
-    match govern with
-    | Some g -> [ Governor.on_event g; recorder.on_event ]
-    | None -> [ recorder.on_event ]
+    (match govern with Some g -> [ Governor.on_event g ] | None -> [])
+    @ (match monitor with Some m -> [ m ] | None -> [])
+    @ [ recorder.on_event ]
   in
   let result = Interp.run ?max_steps ~monitors labeled world in
   let result = Spec.apply spec result in

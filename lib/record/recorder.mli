@@ -26,10 +26,13 @@ val make :
     world is typically {!Mvm.World.random}. When [govern] is given, its
     monitor is attached ahead of the recorder's so overhead pressure is
     current when the recorder's admission gate consults it — pass the
-    {e same} governor the recorder was created with. *)
+    {e same} governor the recorder was created with. [monitor] attaches
+    one extra observer (e.g. {!Causal.monitor}) between the governor's
+    and the recorder's — it sees the full, ungated event stream. *)
 val record :
   ?max_steps:int ->
   ?govern:Governor.t ->
+  ?monitor:(Event.t -> unit) ->
   t ->
   Label.labeled ->
   spec:Spec.t ->

@@ -360,6 +360,63 @@ let sync ~seed log =
   in
   { world; abort; violated = (fun () -> !violated_set) }
 
+(* Partial-evidence replay over a stitched shard merge. The merged log
+   is dense for surviving threads (a perfect recorder logs every one of
+   their steps), so the subsequence scheduler above would starve them:
+   all their sites are "pending", only lost-node threads ever look safe,
+   and one stalled head wedges the run. Instead the partial oracle
+   steers softly — when the merged order's head is an eligible
+   candidate it runs, otherwise the pick is uniform over ALL candidates
+   — and the cursor simply stops advancing past a head the execution
+   never reaches (the lost node's altered timing makes that legitimate,
+   not divergence, so there is no abort). Surviving threads' inputs are
+   fed back per thread; lost threads fall back to seeded-random domain
+   picks: the lost evidence is exactly the search dimension. *)
+let partial ~seed log =
+  let rng = Prng.create seed in
+  let remaining = ref (Log.sched_points log) in
+  let inputs = input_queues log `All in
+  let advance (e : Event.t) =
+    match e.Event.kind with
+    | Event.Step -> (
+      match !remaining with
+      | (t, s) :: tl when t = e.Event.tid && s = e.Event.sid -> remaining := tl
+      | _ -> ())
+    | _ -> ()
+  in
+  let abort e =
+    advance e;
+    None
+  in
+  let world =
+    {
+      World.name = Printf.sprintf "replay:partial(seed=%d)" seed;
+      pick_thread =
+        (fun ~step:_ cands ->
+          match !remaining with
+          | (t, s) :: _ -> (
+            match
+              List.find_opt
+                (fun c -> c.World.tid = t && c.World.sid = s)
+                cands
+            with
+            | Some c -> c.World.tid
+            | None -> (Prng.pick rng cands).World.tid)
+          | [] -> (Prng.pick rng cands).World.tid);
+      pick_input =
+        (fun ~step:_ ~tid ~chan:_ ~domain ->
+          match pop inputs tid with
+          | Some v -> v
+          | None -> (
+            match domain with [] -> Value.unit | _ -> Prng.pick rng domain));
+      on_read = (fun ~step:_ ~tid:_ ~sid:_ ~region:_ ~index:_ ~actual -> actual);
+      on_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ ~actual -> actual);
+      on_try_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ -> World.Default);
+      passive_try_recv = true;
+    }
+  in
+  { world; abort; violated = (fun () -> false) }
+
 let free ~seed =
   let never = ref false in
   {

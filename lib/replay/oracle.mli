@@ -54,6 +54,18 @@ val rcse : ?strict:bool -> seed:int -> Log.t -> handle
     outcomes remain free — they are what inference must fill in. *)
 val sync : seed:int -> Log.t -> handle
 
+(** [partial ~seed log] replays a stitched partial-evidence merge
+    ({!Stitch}): the merged order steers scheduling — the cursor's head
+    runs whenever it is an eligible candidate, everything else is a
+    seeded-random pick over all candidates — and surviving threads'
+    inputs are fed back per thread, while threads of lost nodes sample
+    their inputs from the domain: the lost evidence is the search
+    dimension. Never aborts: the lost node's altered timing legitimately
+    shifts how surviving threads interleave, so a stalled cursor is
+    expected, not divergence — acceptance and closeness scoring judge
+    each attempt instead. *)
+val partial : seed:int -> Log.t -> handle
+
 (** [free ~seed] is an unconstrained seeded-random world in handle form —
     the search world for output- and failure-determinism inference. *)
 val free : seed:int -> handle

@@ -194,6 +194,27 @@ let governed ?(budget = Search.default_budget) ?(jobs = 1) ?tuning ?checkpoint
     labeled
   |> of_search "governed"
 
+(* Partial-evidence replay over a stitched shard merge. When the stitch
+   is complete this is never the right driver (use the model's own); when
+   evidence is missing, the merged order and surviving inputs steer each
+   attempt through Oracle.partial, the lost nodes' threads and inputs
+   are searched by random restarts under the recorded fault plan, and
+   acceptance is the recorded failure — reproduced from partial
+   evidence. *)
+let stitched ?(budget = Search.default_budget) ?(jobs = 1) ?tuning ?checkpoint
+    ?resume labeled ~spec (st : Stitch.t) =
+  let log = st.Stitch.log in
+  Par_search.random_restarts ~jobs ?tuning ?est_attempt_steps:(est_of log)
+    ?checkpoint ?resume budget
+    ~score:(Constraints.closeness log)
+    ~make:(fun ~attempt ->
+      let handle = Oracle.partial ~seed:(budget.base_seed + attempt) log in
+      (env_world log handle.Oracle.world, Some handle.Oracle.abort))
+    ~spec
+    ~accept:(Constraints.failure_matches log)
+    labeled
+  |> of_search "stitched"
+
 let pp_outcome ppf o =
   Format.fprintf ppf "%s: %s after %d attempt(s), %d inference steps" o.model
     (match o.result with Some _ -> "replayed" | None -> "NOT replayed")

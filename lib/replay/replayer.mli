@@ -151,6 +151,29 @@ val governed :
   Log.t ->
   outcome
 
+(** Partial-evidence replay over a stitched shard merge ({!Stitch}):
+    surviving nodes' merged order and inputs steer each attempt via
+    {!Oracle.partial}, lost nodes' schedule and inputs are searched by
+    random restarts under the recorded fault plan, accepted when the
+    recorded failure reproduces.
+
+    The exit-code contract extends to shard evidence: a reproduction
+    from a shard set with missing or salvaged members still exits
+    [exit_ok] — missing evidence honestly searched around is a success,
+    reported as degraded DF, not an error; exhaustion with a best
+    partial candidate is [exit_partial]; an all-shards-lost set (no
+    evidence at all — [damaged]) is [exit_salvaged]. *)
+val stitched :
+  ?budget:Search.budget ->
+  ?jobs:int ->
+  ?tuning:Par_search.tuning ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
+  Label.labeled ->
+  spec:Spec.t ->
+  Stitch.t ->
+  outcome
+
 (** [pp_outcome] prints model, success, attempts and steps — plus the
     partial candidate's closeness when the replay degraded. *)
 val pp_outcome : Format.formatter -> outcome -> unit

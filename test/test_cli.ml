@@ -132,8 +132,6 @@ let test_segmented_roundtrip () =
     ([ ".header"; ".manifest" ]
     @ List.init 20 (Printf.sprintf ".%04d.seg"))
 
-(* static analysis subcommand: report shape and the lint exit contract *)
-
 let run_out fmt =
   Printf.ksprintf
     (fun args ->
@@ -154,6 +152,127 @@ let contains text needle =
   let n = String.length needle and h = String.length text in
   let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
   go 0
+
+(* sharded (per-node) recordings: the distributed-evidence exit contract.
+   Reproducing from partial shard evidence is a success (0) — missing
+   evidence honestly searched around, reported as degraded DF; budget
+   exhaustion with a best partial candidate is 3; an all-shards-lost set
+   is 4 (no evidence at all); --lose-node against a monolithic log is a
+   usage error (1). *)
+
+let dist_plan = "seed=5,partition:server+p0|p1:10-80"
+
+let record_sharded seed =
+  let base = Filename.temp_file "ddet_cli" ".dist" in
+  Sys.remove base;
+  check "sharded record saves shards + manifest" 0
+    (run "record -a msg_server -m perfect -s %d -o %s --shards --faults %s"
+       seed (Filename.quote base) (Filename.quote dist_plan));
+  base
+
+let rm_sharded base =
+  List.iter
+    (fun suffix ->
+      let p = base ^ suffix in
+      if Sys.file_exists p then Sys.remove p)
+    [ ".causal"; ".server.shard"; ".p0.shard"; ".p1.shard" ]
+
+(* parse "after N attempt(s)" from a replay's stdout *)
+let attempts_of text =
+  let rec find i =
+    if i + 6 > String.length text then None
+    else if String.sub text i 6 = "after " then
+      let j = ref (i + 6) in
+      let n = ref 0 in
+      let got = ref false in
+      while
+        !j < String.length text && text.[!j] >= '0' && text.[!j] <= '9'
+      do
+        n := (10 * !n) + (Char.code text.[!j] - Char.code '0');
+        got := true;
+        incr j
+      done;
+      if !got then Some !n else find (i + 1)
+    else find (i + 1)
+  in
+  find 0
+
+(* Scan (seed, lost node) combinations for one where the reproduction
+   needs >= 2 attempts: truncating the budget below that count then
+   leaves a best-partial candidate — the deterministic exit-3 case. *)
+let dist_scenario =
+  lazy
+    (let rec scan seed =
+       if seed > 12 then Alcotest.fail "no multi-attempt sharded scenario"
+       else
+         let base = record_sharded seed in
+         let hit =
+           List.find_map
+             (fun node ->
+               let code, text =
+                 run_out "replay -a msg_server -m perfect -i %s --lose-node %s"
+                   (Filename.quote base) node
+               in
+               match attempts_of text with
+               | Some n when code = 0 && n >= 2 -> Some (node, n)
+               | _ -> None)
+             [ "server"; "p0"; "p1" ]
+         in
+         match hit with
+         | Some (node, n) -> (base, node, n)
+         | None ->
+           rm_sharded base;
+           scan (seed + 1)
+     in
+     scan 1)
+
+let test_sharded_reproduced () =
+  let base, node, _ = Lazy.force dist_scenario in
+  check "complete shard set auto-detected: exit 0" 0
+    (run "replay -a msg_server -m perfect -i %s" (Filename.quote base));
+  check "reproduction from partial evidence: exit 0" 0
+    (run "replay -a msg_server -m perfect -i %s --lose-node %s"
+       (Filename.quote base) node)
+
+let test_sharded_partial () =
+  let base, node, attempts = Lazy.force dist_scenario in
+  check "budget below the hit leaves a best partial: exit 3" 3
+    (run "replay -a msg_server -m perfect -i %s --lose-node %s --attempts %d"
+       (Filename.quote base) node (attempts - 1))
+
+let test_sharded_all_lost () =
+  let base, _, _ = Lazy.force dist_scenario in
+  let code, text =
+    run_out
+      "replay -a msg_server -m perfect -i %s --lose-node server --lose-node \
+       p0 --lose-node p1"
+      (Filename.quote base)
+  in
+  check "every shard lost, no evidence: exit 4" 4 code;
+  Alcotest.(check bool) "says so" true (contains text "no evidence")
+
+let test_lose_node_needs_shards () =
+  let app, seed, _ = Lazy.force scenario in
+  let log = record_tmp app seed in
+  check "--lose-node on a monolithic log: exit 1" 1
+    (run "replay -a %s -m failure -i %s --lose-node p1" app.App.name
+       (Filename.quote log));
+  Sys.remove log
+
+(* --io-faults rejects unknown clause names with the valid list, at Arg
+   conversion time (cmdliner exit 124) *)
+let test_io_faults_unknown_clause () =
+  let code, text =
+    run_out "record -a adder -m failure -s 1 -o /dev/null --io-faults %s"
+      (Filename.quote "seed=1,fliprandom:3")
+  in
+  check "unknown io-fault clause: cmdliner usage error" 124 code;
+  Alcotest.(check bool) "names the offender" true
+    (contains text "unknown io-fault clause \"fliprandom\"");
+  Alcotest.(check bool) "lists valid clauses" true
+    (contains text "torn:OP[:KEEP]")
+
+(* static analysis subcommand: report shape and the lint exit contract *)
 
 let test_analyze_clean () =
   let code, text = run_out "analyze -a cloudstore" in
@@ -213,6 +332,18 @@ let () =
             test_checkpoint_resume;
           Alcotest.test_case "segmented record and replay" `Quick
             test_segmented_roundtrip;
+        ] );
+      ( "distributed",
+        [
+          Alcotest.test_case "0: reproduced from shards (full and partial)"
+            `Quick test_sharded_reproduced;
+          Alcotest.test_case "3: best partial from shards" `Quick
+            test_sharded_partial;
+          Alcotest.test_case "4: all shards lost" `Quick test_sharded_all_lost;
+          Alcotest.test_case "1: --lose-node needs a sharded recording" `Quick
+            test_lose_node_needs_shards;
+          Alcotest.test_case "124: unknown io-fault clause" `Quick
+            test_io_faults_unknown_clause;
         ] );
       ( "analyze",
         [

@@ -218,6 +218,79 @@ let prop_salvage_single_line_corruption =
       | Error _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* node-fault lowering *)
+
+(* Node-granular faults are sugar, not new nondeterminism: lowering a
+   merged plan (node faults + channel/thread primitives) yields exactly
+   the plan a human would write by hand against the node map — and
+   injecting either into the same world drives a step-for-step identical
+   execution. The law quantifies over partition shapes, fault windows,
+   which node faults ride along, and the production seed. *)
+let node_law_app = Ddet_apps.Msg_server.app ()
+
+let prop_node_faults_are_sugar =
+  QCheck2.Test.make ~name:"node faults lower to their thread-level spelling"
+    ~count:60
+    ~print:(fun (shape, from, len, flags, wseed) ->
+      Printf.sprintf "shape %d, window %d+%d, flags %d, world seed %d" shape
+        from len flags wseed)
+    QCheck2.Gen.(
+      tup5 (int_range 0 2) (int_range 0 200) (int_range 1 200) (int_range 0 7)
+        (int_range 1 1_000))
+    (fun (shape, from, len, flags, wseed) ->
+      let app = node_law_app in
+      let map = Option.get app.Ddet_apps.App.nodes in
+      let labeled = app.Ddet_apps.App.labeled in
+      let prog = labeled.Label.prog in
+      let groups =
+        match shape with
+        | 0 -> [ [ "server"; "p0" ]; [ "p1" ] ]
+        | 1 -> [ [ "server" ]; [ "p0"; "p1" ] ]
+        | _ -> [ [ "server" ]; [ "p0" ]; [ "p1" ] ]
+      in
+      let until = from + len in
+      let crash_node = [| "server"; "p0"; "p1" |].(flags mod 3) in
+      (* sugared spelling and its hand-desugared twin, built in lockstep:
+         each (fault, expansion) pair keeps the two plans aligned *)
+      let pieces =
+        [ ( Fault.partition ~groups ~from_step:from ~until_step:until,
+            List.map
+              (fun chan -> Fault.delay ~chan ~from_step:from ~until_step:until)
+              (Node.cut_channels map prog ~groups) ) ]
+        @ (if flags land 1 = 1 then
+             [ ( Fault.node_crash ~node:crash_node ~at_step:until,
+                 List.map
+                   (fun tid -> Fault.crash ~tid ~at_step:until)
+                   (Node.members map prog crash_node) ) ]
+           else [])
+        @ (if flags land 2 = 2 then
+             [ ( Fault.node_restart ~node:"p1" ~from_step:from ~until_step:until,
+                 List.map
+                   (fun tid -> Fault.stall ~tid ~from_step:from ~until_step:until)
+                   (Node.members map prog "p1") ) ]
+           else [])
+        (* a channel primitive merged in: lowering must pass it through *)
+        @ [ (Fault.drop ~prob:0.2 "done0", [ Fault.drop ~prob:0.2 "done0" ]) ]
+      in
+      let sugared = Fault.make ~seed:wseed (List.map fst pieces) in
+      let by_hand = Fault.make ~seed:wseed (List.concat_map snd pieces) in
+      let lowered = Fault.lower ~map ~prog sugared in
+      (* data identity: lowering IS the hand spelling *)
+      (not (Fault.has_node_faults lowered))
+      && Fault.to_string lowered = Fault.to_string by_hand
+      &&
+      (* behavioral identity, step for step *)
+      let run plan =
+        Interp.run ~max_steps:5_000 labeled
+          (Fault.inject plan (World.random ~seed:wseed))
+      in
+      let a = run lowered and b = run by_hand in
+      Trace.events a.Interp.trace = Trace.events b.Interp.trace
+      && a.Interp.outputs = b.Interp.outputs
+      && a.Interp.failure = b.Interp.failure
+      && a.Interp.steps = b.Interp.steps)
+
+(* ------------------------------------------------------------------ *)
 (* cost model algebra *)
 
 let entry_gen =
@@ -630,6 +703,7 @@ let () =
             prop_log_io_arbitrary_payloads;
             prop_salvage_single_line_corruption;
           ] );
+      ("node-faults", List.map to_alcotest [ prop_node_faults_are_sugar ]);
       ( "cost-model",
         List.map to_alcotest
           [ prop_cost_nonnegative; prop_overhead_lower_bound; prop_cost_additive ] );
