@@ -1124,6 +1124,129 @@ let static_bench ~tiny ~json () =
               string_of_int hat;
             ])
           priority_rows));
+  (* 4: the cross-node layer — message-flow analysis cost on the
+     node-mapped apps, and lost-node partial-evidence search with vs
+     without static steering (same stitched evidence, same budget) *)
+  let node_apps =
+    [
+      (msg, "seed=5,partition:server+p0|p1:10-80");
+      ( Cloudstore.app (),
+        "seed=2,partition:coord+primary+client0+client1|secondary:50-400" );
+    ]
+  in
+  let msgflow_rows =
+    List.map
+      (fun ((a : App.t), _) ->
+        let map = Option.get a.App.nodes in
+        let report = Static_report.analyze ~nodes:map a.App.labeled in
+        let _, wall =
+          time (fun () ->
+              for _ = 1 to reps do
+                ignore (Static_report.analyze ~nodes:map a.App.labeled)
+              done)
+        in
+        let flow = Option.get (Static_report.msgflow report) in
+        let comm_findings =
+          List.filter
+            (fun (f : Lint.finding) ->
+              String.length f.Lint.rule >= 5
+              && String.sub f.Lint.rule 0 5 = "comm-")
+            (Static_report.lints report)
+        in
+        ( a.App.name,
+          wall *. 1e3 /. float_of_int reps,
+          List.length (Msgflow.channels flow),
+          List.length (Msgflow.cross_edges flow),
+          List.length comm_findings ))
+      node_apps
+  in
+  Ddet_metrics.Report.print_section "STATIC cross-node analysis wall-time"
+    (Ddet_metrics.Report.table
+       ~headers:
+         [ "app"; "ms/analysis"; "channels"; "cross edges"; "comm findings" ]
+       (List.map
+          (fun (name, ms, chans, edges, comms) ->
+            [
+              name; Printf.sprintf "%.3f" ms; string_of_int chans;
+              string_of_int edges; string_of_int comms;
+            ])
+          msgflow_rows));
+  let steer_budget =
+    budget
+      { Search.max_attempts = 400; max_steps_per_attempt = 50_000;
+        base_seed = 1; deadline_s = None }
+      { Search.max_attempts = 60; max_steps_per_attempt = 20_000;
+        base_seed = 1; deadline_s = None }
+  in
+  let store = Ddet_record.Store.default () in
+  let steered_rows =
+    List.concat_map
+      (fun ((app : App.t), plan_s) ->
+        let plan =
+          match Fault.of_string plan_s with Ok p -> p | Error e -> invalid_arg e
+        in
+        let prepared = Session.prepare Model.Perfect app in
+        let report = Option.get (Session.static_report prepared) in
+        let rec scan seed =
+          if seed > 100 then invalid_arg ("no failing seed for " ^ app.App.name)
+          else
+            let original, log, causal =
+              Session.record_dist ~faults:plan prepared ~seed
+            in
+            if
+              original.Interp.failure <> None
+              && original.Interp.steps < 20_000
+            then (log, causal)
+            else scan (seed + 1)
+        in
+        let log, causal = scan 1 in
+        let base = Filename.temp_file "ddet_bench" ".steer" in
+        Sys.remove base;
+        ignore (Ddet_record.Sharded_log.save_via store ~base ~causal log);
+        List.map
+          (fun node ->
+            let loaded =
+              match Ddet_record.Sharded_log.load ~lose:[ node ] base with
+              | Ok l -> l
+              | Error e -> invalid_arg e
+            in
+            let st = Stitch.stitch loaded in
+            let run ?steer () =
+              Replayer.stitched ~budget:steer_budget ?steer app.App.labeled
+                ~spec:app.App.spec st
+            in
+            let plain = run () in
+            let h = Static_report.steer report ~lost:st.Stitch.lost in
+            let steer =
+              {
+                Oracle.lost_tids = h.Static_report.lost_tids;
+                hot_sids = h.Static_report.hot_sids;
+                cold_input_tids = h.Static_report.cold_input_tids;
+              }
+            in
+            let steered = run ~steer () in
+            ( app.App.name, node,
+              (plain.Replayer.result <> None, plain.Replayer.attempts),
+              (steered.Replayer.result <> None, steered.Replayer.attempts) ))
+          (Mvm.Node.nodes (Option.get app.App.nodes)))
+      node_apps
+  in
+  Ddet_metrics.Report.print_section "STATIC steered lost-node search"
+    (Ddet_metrics.Report.table
+       ~headers:
+         [ "app"; "lost"; "uninformed ok"; "uninformed attempts";
+           "steered ok"; "steered attempts" ]
+       (List.map
+          (fun (w, lost, (uok, uat), (sok, sat)) ->
+            [
+              w; lost; (if uok then "yes" else "NO"); string_of_int uat;
+              (if sok then "yes" else "NO"); string_of_int sat;
+            ])
+          steered_rows)
+     ^ "\n\nSame stitched partial evidence and search budget; the steered\n\
+        runs bias the lost nodes' free decision points toward the sites\n\
+        that statically reach a survivor (and pin inputs of threads that\n\
+        provably reach none).\n");
   if json || not tiny then begin
     let file = "BENCH_static.json" in
     let oc = open_out file in
@@ -1160,10 +1283,33 @@ let static_bench ~tiny ~json () =
                w sids uok uat hok hat)
            priority_rows)
     in
+    let msgflow_json =
+      String.concat ",\n"
+        (List.map
+           (fun (name, ms, chans, edges, comms) ->
+             Printf.sprintf
+               "    { \"app\": %S, \"ms_per_analysis\": %.4f, \
+                \"channels\": %d, \"cross_edges\": %d, \
+                \"comm_findings\": %d }"
+               name ms chans edges comms)
+           msgflow_rows)
+    in
+    let steered_json =
+      String.concat ",\n"
+        (List.map
+           (fun (w, lost, (uok, uat), (sok, sat)) ->
+             Printf.sprintf
+               "    { \"app\": %S, \"lost\": %S, \
+                \"uninformed_success\": %b, \"uninformed_attempts\": %d, \
+                \"steered_success\": %b, \"steered_attempts\": %d }"
+               w lost uok uat sok sat)
+           steered_rows)
+    in
     Printf.fprintf oc
       "{\n  \"tiny\": %b,\n  \"analysis\": [\n%s\n  ],\n\
-       \  \"overhead\": [\n%s\n  ],\n  \"priority_search\": [\n%s\n  ]\n}\n"
-      tiny analysis_json overhead_json priority_json;
+       \  \"overhead\": [\n%s\n  ],\n  \"priority_search\": [\n%s\n  ],\n\
+       \  \"msgflow\": [\n%s\n  ],\n  \"steered_search\": [\n%s\n  ]\n}\n"
+      tiny analysis_json overhead_json priority_json msgflow_json steered_json;
     close_out oc;
     Printf.printf "wrote %s\n" file
   end

@@ -220,6 +220,15 @@ let lose_node_arg =
                replay as partial evidence: the lost node's schedule and \
                inputs become search dimensions.")
 
+let static_steer_arg =
+  Arg.(value & flag & info [ "static-steer" ]
+         ~doc:"Bound the partial-evidence search with the static \
+               communication graph: only lost-node decision points that \
+               can statically reach a surviving node are explored, and \
+               inputs of lost threads with no static path to a survivor \
+               are pinned to a canonical value instead of searched. \
+               Sharded recordings only.")
+
 (* resume files and engine/seed mismatches surface as Invalid_argument
    from the search layer; turn them into diagnostics, not backtraces *)
 let guard f =
@@ -353,7 +362,12 @@ let cmd_record app model seed verbose out faults segments shards io_faults
     | Some causal ->
       (* one log per node plus the causal manifest; individual shard
          failures are survivable by design, so report and carry on *)
-      let report = Ddet_record.Sharded_log.save_via store ~base:path ~causal log in
+      (* static shard priority: the most diagnostic nodes' shards are
+         written first, so a store dying mid-save keeps them *)
+      let priority = Session.shard_priority prepared in
+      let report =
+        Ddet_record.Sharded_log.save_via ~priority store ~base:path ~causal log
+      in
       (match stats with
       | Some s ->
         Format.printf "io-faults: %a@." Ddet_record.Faulty_store.pp_stats (s ())
@@ -433,7 +447,7 @@ let load_any ~salvage file =
    evidence is a success, reported as degraded DF — exhaustion with a
    best partial is 3, and an all-shards-lost set is 4. *)
 let replay_sharded app model file lose jobs chunk spawn_cost deadline
-    checkpoint every resume attempts =
+    checkpoint every resume attempts static_steer =
   match Ddet_record.Sharded_log.load ~lose file with
   | Error msg ->
     Printf.eprintf "cannot load %s: %s\n" file msg;
@@ -456,7 +470,9 @@ let replay_sharded app model file lose jobs chunk spawn_cost deadline
           jobs
       in
       let prepared = Session.prepare ~config model app in
-      let outcome = Session.replay_stitched ?checkpoint ?resume prepared st in
+      let outcome =
+        Session.replay_stitched ?checkpoint ?resume ~static_steer prepared st
+      in
       Format.printf "%a@." Ddet_replay.Replayer.pp_outcome outcome;
       (match outcome.Ddet_replay.Replayer.result with
       | Some r ->
@@ -467,16 +483,21 @@ let replay_sharded app model file lose jobs chunk spawn_cost deadline
     end
 
 let cmd_replay app model file salvage lose jobs chunk spawn_cost deadline
-    checkpoint every resume attempts =
+    checkpoint every resume attempts static_steer =
   guard @@ fun () ->
   (* detection order: a monolithic file wins, then a shard set at the
      base path, then a segmented recording *)
   if (not (Sys.file_exists file)) && Ddet_record.Sharded_log.exists file then
     replay_sharded app model file lose jobs chunk spawn_cost deadline
-      checkpoint every resume attempts
+      checkpoint every resume attempts static_steer
   else if lose <> [] then begin
     Printf.eprintf
       "--lose-node applies to sharded recordings; %s is not one\n" file;
+    1
+  end
+  else if static_steer then begin
+    Printf.eprintf
+      "--static-steer applies to sharded recordings; %s is not one\n" file;
     1
   end
   else
@@ -507,7 +528,7 @@ let cmd_replay app model file salvage lose jobs chunk spawn_cost deadline
    survivors and search — the assessment then reports per-node DF and
    the honest floor. The shard set lives under a temp base, removed
    afterwards. *)
-let debug_sharded ~config ?faults app model seed lose =
+let debug_sharded ~config ?faults ~static_steer app model seed lose =
   let prepared = Session.prepare ~config model app in
   let original, log, causal = Session.record_dist ?faults prepared ~seed in
   let base = Filename.temp_file "ddreplay" ".dist" in
@@ -542,7 +563,7 @@ let debug_sharded ~config ?faults app model seed lose =
         Ddet_replay.Replayer.exit_salvaged
       end
       else begin
-        let outcome = Session.replay_stitched prepared st in
+        let outcome = Session.replay_stitched ~static_steer prepared st in
         let a =
           Session.assess ~evidence:st.Ddet_replay.Stitch.evidence prepared
             ~original ~log outcome
@@ -552,14 +573,18 @@ let debug_sharded ~config ?faults app model seed lose =
       end
 
 let cmd_debug app model seed replays faults jobs chunk spawn_cost deadline
-    checkpoint every resume overhead_budget shards lose =
+    checkpoint every resume overhead_budget shards lose static_steer =
   guard @@ fun () ->
   let config =
     config_with ?deadline ?overhead_budget ~tuning:(tuning_of chunk spawn_cost)
       jobs
   in
   if shards || lose <> [] then
-    debug_sharded ~config ?faults app model seed lose
+    debug_sharded ~config ?faults ~static_steer app model seed lose
+  else if static_steer then begin
+    Printf.eprintf "--static-steer requires --shards or --lose-node\n";
+    1
+  end
   else
   match (checkpoint, resume) with
   | None, None ->
@@ -624,27 +649,66 @@ let lint_demo () =
           ];
       ])
 
-let cmd_analyze app demo threshold =
+(* the distributed counterpart of lint_demo: three single-threaded nodes
+   in a static cross-node wait cycle — left waits for right's ping, right
+   waits for left's pong, main waits for left's done marker. Nothing is
+   ever sent, so `analyze --demo --nodes` must exit 1 on comm-deadlock. *)
+let dist_demo () =
+  let labeled =
+    Mvm.Dsl.(
+      program ~name:"dist-deadlock-demo" ~regions:[] ~inputs:[] ~main:"main"
+        [
+          func "main" []
+            [ spawn "left" []; spawn "right" []; recv "x" "done0" ];
+          func "left" []
+            [ recv "p" "ping"; send "pong" (i 1); send "done0" (i 1) ];
+          func "right" [] [ recv "q" "pong"; send "ping" (i 1) ];
+        ])
+  in
+  let map =
+    Mvm.Node.make
+      ~nodes:[ "a"; "b"; "c" ]
+      ~assign:[ ("main", "a"); ("left", "b"); ("right", "c") ]
+  in
+  (labeled, map)
+
+let cmd_analyze app demo threshold nodes json =
   let target =
-    if demo then Ok (lint_demo (), "lint-demo", [])
+    if demo then
+      if nodes then
+        let labeled, map = dist_demo () in
+        Ok (labeled, Some map, [])
+      else Ok (lint_demo (), None, [])
     else
       match app with
-      | Some a -> Ok (a.App.labeled, a.App.name, a.App.control_plane)
+      | Some a ->
+        if nodes then (
+          match a.App.nodes with
+          | Some m -> Ok (a.App.labeled, Some m, a.App.control_plane)
+          | None ->
+            Error
+              (Printf.sprintf "analyze --nodes: app %s has no node map"
+                 a.App.name))
+        else Ok (a.App.labeled, None, a.App.control_plane)
       | None -> Error "analyze: pass --app APP or --demo"
   in
   match target with
   | Error e ->
     prerr_endline e;
     1
-  | Ok (labeled, _name, truth) ->
+  | Ok (labeled, nmap, truth) ->
     let report =
-      Ddet_static.Static_report.analyze ~threshold_bytes:threshold labeled
+      Ddet_static.Static_report.analyze ~threshold_bytes:threshold ?nodes:nmap
+        labeled
     in
-    Format.printf "%a@." Ddet_static.Static_report.pp report;
-    (match truth with
-    | [] -> ()
-    | t ->
-      Printf.printf "ground truth control plane: %s\n" (String.concat ", " t));
+    if json then print_endline (Ddet_static.Static_report.to_json report)
+    else begin
+      Format.printf "%a@." Ddet_static.Static_report.pp report;
+      match truth with
+      | [] -> ()
+      | t ->
+        Printf.printf "ground truth control plane: %s\n" (String.concat ", " t)
+    end;
     if Ddet_static.Static_report.has_lint_errors report then 1 else 0
 
 let cmd_invariants app =
@@ -716,7 +780,7 @@ let replay_cmd =
     Term.(const cmd_replay $ app_arg $ model_arg $ in_arg $ salvage_arg
           $ lose_node_arg $ jobs_arg $ chunk_arg $ spawn_cost_arg
           $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
-          $ attempts_arg)
+          $ attempts_arg $ static_steer_arg)
 
 let debug_cmd =
   Cmd.v
@@ -725,7 +789,8 @@ let debug_cmd =
     Term.(const cmd_debug $ app_arg $ model_arg $ seed_arg $ replays_arg
           $ faults_arg $ jobs_arg $ chunk_arg $ spawn_cost_arg $ deadline_arg
           $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
-          $ overhead_budget_arg $ shards_arg $ lose_node_arg)
+          $ overhead_budget_arg $ shards_arg $ lose_node_arg
+          $ static_steer_arg)
 
 let classify_cmd =
   Cmd.v
@@ -755,13 +820,29 @@ let threshold_arg =
                  whose heaviest input-derived value strictly exceeds it are \
                  data-plane.")
 
+let nodes_flag_arg =
+  Arg.(value & flag & info [ "nodes" ]
+         ~doc:"Run the cross-node analysis against the app's node map: \
+               placement-refined race candidates, per-node views, shard \
+               write priority and the communication lint (static \
+               deadlock/orphan detection). With $(b,--demo), analyzes a \
+               built-in cross-node deadlock instead.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the report as one JSON object (races, planes, lints, \
+               per-node views) instead of text.")
+
 let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~exits
        ~doc:"Static analysis report: lockset race candidates, training-free \
-             control/data-plane classification and lint findings. Exits \
-             nonzero when the linter finds errors.")
-    Term.(const cmd_analyze $ analyze_app_arg $ demo_arg $ threshold_arg)
+             control/data-plane classification and lint findings — with \
+             $(b,--nodes), refined by deployment placement and extended \
+             with the cross-node communication lint. Exits nonzero when \
+             the linter finds errors (including static deadlocks).")
+    Term.(const cmd_analyze $ analyze_app_arg $ demo_arg $ threshold_arg
+          $ nodes_flag_arg $ json_arg)
 
 let () =
   let info =

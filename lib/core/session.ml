@@ -174,16 +174,47 @@ let replay ?budget ?checkpoint ?resume prepared log =
     let strict = match mode with Model.Code_based -> true | _ -> false in
     Replayer.rcse ~budget ~strict ~jobs ~tuning ?checkpoint ?resume labeled ~spec log
 
+(* The app's distributed static report (None for single-node apps).
+   Computed per call: analysis cost is a few graph walks, and sessions
+   touch it at most once per replay. *)
+let static_report prepared =
+  Option.map
+    (fun map ->
+      Ddet_static.Static_report.analyze ~nodes:map prepared.app.App.labeled)
+    prepared.app.App.nodes
+
+let shard_priority prepared =
+  match static_report prepared with
+  | None -> []
+  | Some report -> Ddet_static.Static_report.shard_priority report
+
+(* Static steering hints for a stitched partial replay, converted to the
+   replay layer's plain record (ddet_replay cannot depend on the static
+   library). *)
+let steer_of prepared (st : Stitch.t) =
+  match static_report prepared with
+  | None -> None
+  | Some report ->
+    let h = Ddet_static.Static_report.steer report ~lost:st.Stitch.lost in
+    Some
+      {
+        Ddet_replay.Oracle.lost_tids = h.Ddet_static.Static_report.lost_tids;
+        hot_sids = h.Ddet_static.Static_report.hot_sids;
+        cold_input_tids = h.Ddet_static.Static_report.cold_input_tids;
+      }
+
 (* Replay over a stitched shard merge. Complete evidence is the original
    log reassembled exactly — the configured model's own replay applies.
    Anything less degrades to partial-evidence search: surviving schedules
-   enforced, lost nodes searched. *)
-let replay_stitched ?budget ?checkpoint ?resume prepared (st : Stitch.t) =
+   enforced, lost nodes searched (statically bounded when asked). *)
+let replay_stitched ?budget ?checkpoint ?resume ?(static_steer = false)
+    prepared (st : Stitch.t) =
   if st.Stitch.complete then replay ?budget ?checkpoint ?resume prepared st.Stitch.log
   else
     let budget = Option.value ~default:prepared.config.Config.budget budget in
+    let steer = if static_steer then steer_of prepared st else None in
     Replayer.stitched ~budget ~jobs:prepared.config.Config.jobs
-      ~tuning:prepared.config.Config.tuning ?checkpoint ?resume
+      ~tuning:prepared.config.Config.tuning ?checkpoint ?resume ?steer
       prepared.app.App.labeled ~spec:prepared.app.App.spec st
 
 let assess ?salvaged ?evidence prepared ~original ~log outcome =

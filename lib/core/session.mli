@@ -81,14 +81,32 @@ val replay :
     ({!Ddet_replay.Stitch}). Complete evidence is the original log
     reassembled exactly, so the configured model's own {!replay} runs;
     partial evidence degrades to {!Ddet_replay.Replayer.stitched}
-    search — surviving schedules enforced, lost nodes searched. *)
+    search — surviving schedules enforced, lost nodes searched.
+
+    [static_steer] (default false) runs the cross-node static analysis
+    on the app's node map and hands the resulting hints to the partial
+    oracle: the search only perturbs lost-node decision points that can
+    statically reach a survivor, and pins inputs of lost threads with no
+    such path. A no-op for apps without a node map or when the stitch is
+    complete. *)
 val replay_stitched :
   ?budget:Ddet_replay.Search.budget ->
   ?checkpoint:Ddet_replay.Checkpoint.sink ->
   ?resume:Ddet_replay.Checkpoint.t ->
+  ?static_steer:bool ->
   prepared ->
   Ddet_replay.Stitch.t ->
   Ddet_replay.Replayer.outcome
+
+(** The app's distributed static report ([None] without a node map) —
+    race candidates tightened by placement, communication lint, per-node
+    views. See {!Ddet_static.Static_report}. *)
+val static_report : prepared -> Ddet_static.Static_report.t option
+
+(** Shard write priority from the static report (empty without a node
+    map) — pass to {!Ddet_record.Sharded_log.save_via} so the most
+    diagnostic shards are persisted first. *)
+val shard_priority : prepared -> string list
 
 (** [assess prepared ~original ~log outcome] computes the §3.2 metrics.
     [salvaged] marks a log recovered from a damaged file, capping a full

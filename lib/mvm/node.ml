@@ -156,6 +156,22 @@ let chan_nodes map (prog : Ast.program) =
   Hashtbl.fold (fun c r acc -> (c, List.sort compare !r) :: acc) uses []
   |> List.sort compare
 
+let fname_nodes map (prog : Ast.program) =
+  let roots = prog.Ast.main :: spawns_in_tree prog prog.Ast.main in
+  let tbl : (string, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun root ->
+      let node = node_of_exn map root in
+      Hashtbl.iter
+        (fun fname () ->
+          match Hashtbl.find_opt tbl fname with
+          | Some r -> if not (List.mem node !r) then r := node :: !r
+          | None -> Hashtbl.replace tbl fname (ref [ node ]))
+        (reachable prog root))
+    (List.sort_uniq compare roots);
+  Hashtbl.fold (fun f r acc -> (f, List.sort compare !r) :: acc) tbl []
+  |> List.sort compare
+
 let cut_channels map prog ~groups =
   let group_of node =
     let rec go i = function

@@ -60,6 +60,14 @@ val members : map -> Ast.program -> string -> int list
     sorted by name. *)
 val chan_nodes : map -> Ast.program -> (string * string list) list
 
+(** [fname_nodes map prog] maps every function reachable from a thread
+    root to the sorted nodes whose threads may execute it (a helper
+    called from two roots belongs to both roots' nodes). Functions no
+    root reaches are absent. Sorted by function name.
+
+    @raise Invalid_argument when a thread root has no node assignment. *)
+val fname_nodes : map -> Ast.program -> (string * string list) list
+
 (** [cut_channels map prog ~groups] is the channels a partition into
     [groups] severs: those whose user nodes land in two different groups.
     A node absent from every group is unaffected (still connected to

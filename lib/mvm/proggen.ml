@@ -107,3 +107,17 @@ let generate cfg rng =
     ~inputs:[ ("in0", List.init 5 Value.int) ]
     ~main:"main"
     (func "main" [] main_body :: workers)
+
+let generate_nodes ?(n_nodes = 3) cfg rng =
+  let labeled = generate cfg rng in
+  let n_nodes = max 1 n_nodes in
+  let node k = Printf.sprintf "n%d" k in
+  let map =
+    Node.make
+      ~nodes:(List.init n_nodes node)
+      ~assign:
+        (("main", node 0)
+        :: List.init cfg.n_threads (fun k ->
+               (Printf.sprintf "worker%d" k, node ((k + 1) mod n_nodes))))
+  in
+  (labeled, map)

@@ -23,3 +23,11 @@ val default : config
     never crash (indices are taken modulo the array length, divisions
     guarded). *)
 val generate : config -> Prng.t -> Label.labeled
+
+(** [generate_nodes ?n_nodes cfg prng] is {!generate} plus a deterministic
+    node map spreading the threads over [n_nodes] (default 3) nodes named
+    [n0..]: [main] on [n0], worker [k] on [n{(k+1) mod n_nodes}]. Workers
+    never spawn, so the map is always {!Node.static_tids}-safe. Used by
+    the distributed property suites (static soundness laws, shard
+    round-trips). *)
+val generate_nodes : ?n_nodes:int -> config -> Prng.t -> Label.labeled * Node.map

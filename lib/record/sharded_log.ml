@@ -268,7 +268,7 @@ let scan_shards base =
            else None)
     |> List.sort compare
 
-let save_via store ~base ~(causal : Causal.t) (log : Log.t) =
+let save_via ?(priority = []) store ~base ~(causal : Causal.t) (log : Log.t) =
   (* stale shards of a previous recording under this base would be
      mistaken for lost-and-found evidence: clear them first *)
   List.iter
@@ -276,13 +276,31 @@ let save_via store ~base ~(causal : Causal.t) (log : Log.t) =
     (scan_shards base);
   store.Store.remove (manifest_path base);
   let shards = split ~causal log in
+  (* write order: prioritized nodes first (in the order given), the rest
+     in node order — under a store that dies mid-save, the shards the
+     caller deems most diagnostic are the ones most likely on disk *)
+  let write_order =
+    let prioritized =
+      List.filter_map
+        (fun n -> List.find_opt (fun (m, _) -> String.equal m n) shards)
+        priority
+    in
+    prioritized
+    @ List.filter
+        (fun (n, _) -> not (List.mem n priority))
+        shards
+  in
   (* every shard is written even when an earlier one fails: shards are
      independent evidence, and partial persistence is the useful case *)
-  let shard_results =
+  let written =
     List.map
       (fun (node, slog) ->
         (node, store.Store.write (shard_path base node) (Log_io.to_string slog)))
-      shards
+      write_order
+  in
+  (* report stays in node order regardless of write order *)
+  let shard_results =
+    List.map (fun (node, _) -> (node, List.assoc node written)) shards
   in
   let manifest_result =
     Store.atomic_write store (manifest_path base)

@@ -84,13 +84,24 @@ val pp_save_report : Format.formatter -> save_report -> unit
     full header (recorder, base steps, failure, faults). *)
 val split : causal:Causal.t -> Log.t -> (string * Log.t) list
 
-(** [save_via store ~base ~causal log] writes every shard (continuing
-    past individual failures — shards fail independently, that is the
-    point) and then the manifest. The manifest records the CRC of what
-    each shard {e should} contain, so a torn shard write is detected at
-    load time even though the save carried on. *)
+(** [save_via ?priority store ~base ~causal log] writes every shard
+    (continuing past individual failures — shards fail independently,
+    that is the point) and then the manifest. The manifest records the
+    CRC of what each shard {e should} contain, so a torn shard write is
+    detected at load time even though the save carried on.
+
+    [priority] names nodes whose shards are written {e first}, in the
+    order given (unknown names ignored; the rest follow in node order) —
+    static analysis ranks the most diagnostic shards so a store dying
+    mid-save is most likely to have persisted them. [shard_results]
+    stays in node order regardless. *)
 val save_via :
-  Store.t -> base:string -> causal:Causal.t -> Log.t -> save_report
+  ?priority:string list ->
+  Store.t ->
+  base:string ->
+  causal:Causal.t ->
+  Log.t ->
+  save_report
 
 (** [load ?lose base] reads the shard set back. [lose] names nodes whose
     shards are treated as missing without touching the files — the CLI's

@@ -372,10 +372,40 @@ let sync ~seed log =
    not divergence, so there is no abort). Surviving threads' inputs are
    fed back per thread; lost threads fall back to seeded-random domain
    picks: the lost evidence is exactly the search dimension. *)
-let partial ~seed log =
+type steer = {
+  lost_tids : int list;
+  hot_sids : int list;
+  cold_input_tids : int list;
+}
+
+let no_steer = { lost_tids = []; hot_sids = []; cold_input_tids = [] }
+
+let partial ?(steer = no_steer) ~seed log =
   let rng = Prng.create seed in
   let remaining = ref (Log.sched_points log) in
   let inputs = input_queues log `All in
+  let mem_tbl xs =
+    let t = Hashtbl.create (List.length xs + 1) in
+    List.iter (fun x -> Hashtbl.replace t x ()) xs;
+    t
+  in
+  let lost = mem_tbl steer.lost_tids in
+  let hot = mem_tbl steer.hot_sids in
+  let cold = mem_tbl steer.cold_input_tids in
+  (* on a cursor stall, prefer a lost thread sitting at a statically hot
+     site: those are the only decision points whose order the search
+     actually needs to explore *)
+  let pick_free cands =
+    let hot_cands =
+      List.filter
+        (fun (c : World.cand) ->
+          Hashtbl.mem lost c.World.tid && Hashtbl.mem hot c.World.sid)
+        cands
+    in
+    match hot_cands with
+    | [] -> (Prng.pick rng cands).World.tid
+    | hc -> (Prng.pick rng hc).World.tid
+  in
   let advance (e : Event.t) =
     match e.Event.kind with
     | Event.Step -> (
@@ -401,14 +431,20 @@ let partial ~seed log =
                 cands
             with
             | Some c -> c.World.tid
-            | None -> (Prng.pick rng cands).World.tid)
-          | [] -> (Prng.pick rng cands).World.tid);
+            | None -> pick_free cands)
+          | [] -> pick_free cands);
       pick_input =
         (fun ~step:_ ~tid ~chan:_ ~domain ->
           match pop inputs tid with
           | Some v -> v
           | None -> (
-            match domain with [] -> Value.unit | _ -> Prng.pick rng domain));
+            match domain with
+            | [] -> Value.unit
+            | v :: _ when Hashtbl.mem cold tid ->
+              (* statically cold: this thread's inputs provably never
+                 reached a survivor, so pin them instead of searching *)
+              v
+            | _ -> Prng.pick rng domain));
       on_read = (fun ~step:_ ~tid:_ ~sid:_ ~region:_ ~index:_ ~actual -> actual);
       on_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ ~actual -> actual);
       on_try_recv = (fun ~step:_ ~tid:_ ~sid:_ ~chan:_ -> World.Default);

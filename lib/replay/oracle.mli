@@ -54,7 +54,21 @@ val rcse : ?strict:bool -> seed:int -> Log.t -> handle
     outcomes remain free — they are what inference must fill in. *)
 val sync : seed:int -> Log.t -> handle
 
-(** [partial ~seed log] replays a stitched partial-evidence merge
+(** Static steering hints for partial-evidence search, produced by the
+    static layer (plain data so the replay library needs no dependency on
+    it). [lost_tids]/[hot_sids] name the lost threads and the statically
+    interesting decision points; [cold_input_tids] the lost threads whose
+    inputs provably never influenced surviving evidence. *)
+type steer = {
+  lost_tids : int list;
+  hot_sids : int list;
+  cold_input_tids : int list;
+}
+
+(** The empty hint set: [partial] with it behaves exactly as without. *)
+val no_steer : steer
+
+(** [partial ?steer ~seed log] replays a stitched partial-evidence merge
     ({!Stitch}): the merged order steers scheduling — the cursor's head
     runs whenever it is an eligible candidate, everything else is a
     seeded-random pick over all candidates — and surviving threads'
@@ -63,8 +77,14 @@ val sync : seed:int -> Log.t -> handle
     dimension. Never aborts: the lost node's altered timing legitimately
     shifts how surviving threads interleave, so a stalled cursor is
     expected, not divergence — acceptance and closeness scoring judge
-    each attempt instead. *)
-val partial : seed:int -> Log.t -> handle
+    each attempt instead.
+
+    With [steer], a free pick takes a lost thread sitting at a hot site
+    whenever one is eligible (falling back to the uniform pick
+    otherwise), and cold threads' unlogged inputs are pinned to the
+    domain head instead of sampled — shrinking the search space to the
+    dimensions the static communication graph says can matter. *)
+val partial : ?steer:steer -> seed:int -> Log.t -> handle
 
 (** [free ~seed] is an unconstrained seeded-random world in handle form —
     the search world for output- and failure-determinism inference. *)

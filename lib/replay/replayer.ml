@@ -202,13 +202,19 @@ let governed ?(budget = Search.default_budget) ?(jobs = 1) ?tuning ?checkpoint
    acceptance is the recorded failure — reproduced from partial
    evidence. *)
 let stitched ?(budget = Search.default_budget) ?(jobs = 1) ?tuning ?checkpoint
-    ?resume labeled ~spec (st : Stitch.t) =
+    ?resume ?steer labeled ~spec (st : Stitch.t) =
   let log = st.Stitch.log in
   Par_search.random_restarts ~jobs ?tuning ?est_attempt_steps:(est_of log)
     ?checkpoint ?resume budget
     ~score:(Constraints.closeness log)
     ~make:(fun ~attempt ->
-      let handle = Oracle.partial ~seed:(budget.base_seed + attempt) log in
+      (* the first attempt replays the surviving projection unbiased —
+         identical to the uninformed search — so steering can only speed
+         up later shots, never cost a first-try reproduction *)
+      let steer = if attempt <= 2 then None else steer in
+      let handle =
+        Oracle.partial ?steer ~seed:(budget.base_seed + attempt) log
+      in
       (env_world log handle.Oracle.world, Some handle.Oracle.abort))
     ~spec
     ~accept:(Constraints.failure_matches log)

@@ -162,13 +162,22 @@ val governed :
     [exit_ok] — missing evidence honestly searched around is a success,
     reported as degraded DF, not an error; exhaustion with a best
     partial candidate is [exit_partial]; an all-shards-lost set (no
-    evidence at all — [damaged]) is [exit_salvaged]. *)
+    evidence at all — [damaged]) is [exit_salvaged].
+
+    [steer] passes static communication hints ({!Oracle.steer}) to the
+    attempts' partial oracles, bounding the search to the lost-node
+    decision points that can statically reach surviving evidence. The
+    first two attempts always run unsteered — byte-identical to the
+    uninformed search — so a failure the projection reproduces on the
+    first shots costs the same with or without hints; steering only
+    redirects the shots that would otherwise wander. *)
 val stitched :
   ?budget:Search.budget ->
   ?jobs:int ->
   ?tuning:Par_search.tuning ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.t ->
+  ?steer:Oracle.steer ->
   Label.labeled ->
   spec:Spec.t ->
   Stitch.t ->

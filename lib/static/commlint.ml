@@ -1,0 +1,181 @@
+open Mvm
+module SS = Callgraph.SS
+
+(* Node-aware communication lint over the Msgflow graph. Three rules,
+   all reported as ordinary Lint findings so Static_report can splice
+   them into the one findings stream:
+
+   - comm-orphan-send [Warning]: a channel someone sends on but nobody
+     anywhere can receive — the message is silently lost;
+   - comm-unreachable-sender [Error]: a blocking recv whose only
+     possible senders are sequenced after it in its own thread — the
+     thread waits for a message only its own future could produce;
+   - comm-deadlock [Error]: a cross-node wait cycle — every node in a
+     set blocks on a receive before sending anything, and every
+     possible sender of what it waits for is in the same set. No
+     message can ever enter the cycle, so the nodes are statically
+     wedged.
+
+   The deadlock rule is a must-analysis: a node only qualifies when its
+   sole thread unconditionally reaches the blocking receive (top-level
+   statement, not in a loop) having provably sent nothing first (no
+   send site — in the root or any callee — sequenced before it). That
+   keeps request/response protocols clean: a client that sends its
+   request before blocking on the reply has produced something, so it
+   breaks any would-be cycle through the server. *)
+
+let finding severity ~sid ~fname rule msg =
+  { Lint.severity; sid = Some sid; fname = Some fname; rule; msg }
+
+(* the node's one thread blocks at this top-level receive having sent
+   nothing on any channel first: (recv site, channel) *)
+let first_blocking_wait flow graph root =
+  let labeled = Callgraph.labeled graph in
+  let body =
+    match Ast.find_func labeled.Label.prog root with
+    | Some f -> f.Ast.body
+    | None -> []
+  in
+  (* sends anywhere in the thread's call tree that are NOT in the root
+     body itself make "sent nothing yet" undecidable here: bail *)
+  let reach = Callgraph.reachable graph root in
+  let callee_sends =
+    List.exists
+      (fun (s : Msgflow.site) ->
+        s.Msgflow.kind = Msgflow.Send
+        && s.Msgflow.fname <> root
+        && SS.mem s.Msgflow.fname reach)
+      (Msgflow.sites flow)
+  in
+  if callee_sends then None
+  else
+    let root_send_sids =
+      List.filter_map
+        (fun (s : Msgflow.site) ->
+          if s.Msgflow.kind = Msgflow.Send && s.Msgflow.fname = root then
+            Some s.Msgflow.sid
+          else None)
+        (Msgflow.sites flow)
+    in
+    List.find_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.node with
+        | Ast.Recv (_, c) ->
+          if
+            List.for_all
+              (fun send ->
+                not (Msgflow.precedes flow ~fname:root send s.Ast.sid))
+              root_send_sids
+          then Some (s.Ast.sid, c)
+          else None
+        | _ -> None)
+      body
+
+let run ~map (labeled : Label.labeled) =
+  let graph = Callgraph.build labeled in
+  let flow = Msgflow.analyze ~map labeled in
+  let out = ref [] in
+  let add f = out := f :: !out in
+  (* --- comm-orphan-send ------------------------------------------- *)
+  List.iter
+    (fun c ->
+      if Msgflow.receivers flow c = [] then
+        List.iter
+          (fun (s : Msgflow.site) ->
+            add
+              (finding Lint.Warning ~sid:s.Msgflow.sid ~fname:s.Msgflow.fname
+                 "comm-orphan-send"
+                 (Printf.sprintf
+                    "send on %s: no node has a receive site for it" c)))
+          (Msgflow.senders flow c))
+    (Msgflow.channels flow);
+  (* --- comm-unreachable-sender ------------------------------------ *)
+  let sole_single fname =
+    match Callgraph.entries_reaching graph fname with
+    | [ e ] -> e.Callgraph.mult = Callgraph.Single && e.Callgraph.entry = fname
+    | _ -> false
+  in
+  List.iter
+    (fun (r : Msgflow.site) ->
+      match (r.Msgflow.kind, Msgflow.senders flow r.Msgflow.chan) with
+      | Msgflow.Recv, (_ :: _ as senders)
+        when sole_single r.Msgflow.fname
+             && not (Msgflow.in_loop flow r.Msgflow.sid) ->
+        let own_and_later (s : Msgflow.site) =
+          s.Msgflow.fname = r.Msgflow.fname
+          && not
+               (Msgflow.precedes flow ~fname:r.Msgflow.fname s.Msgflow.sid
+                  r.Msgflow.sid)
+        in
+        if List.for_all own_and_later senders then
+          add
+            (finding Lint.Error ~sid:r.Msgflow.sid ~fname:r.Msgflow.fname
+               "comm-unreachable-sender"
+               (Printf.sprintf
+                  "recv on %s blocks before its only senders (this thread's \
+                   own, sequenced after it) could run"
+                  r.Msgflow.chan))
+      | _ -> ())
+    (Msgflow.sites flow);
+  (* --- comm-deadlock ---------------------------------------------- *)
+  let single_root node =
+    let hosted =
+      List.filter
+        (fun (e : Callgraph.entry) ->
+          Node.node_of_fname map e.Callgraph.entry = Some node)
+        (Callgraph.entries graph)
+    in
+    match hosted with
+    | [ e ] when e.Callgraph.mult = Callgraph.Single -> Some e.Callgraph.entry
+    | _ -> None
+  in
+  let waits =
+    List.filter_map
+      (fun node ->
+        match single_root node with
+        | None -> None
+        | Some root ->
+          Option.map
+            (fun (sid, chan) -> (node, root, sid, chan))
+            (first_blocking_wait flow graph root))
+      (Node.nodes map)
+  in
+  let sender_nodes chan =
+    List.concat_map (fun (s : Msgflow.site) -> s.Msgflow.nodes)
+      (Msgflow.senders flow chan)
+    |> List.sort_uniq compare
+  in
+  let stuck = ref (List.map (fun (n, _, _, _) -> n) waits) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (node, _, _, chan) ->
+        if List.mem node !stuck then
+          let senders = sender_nodes chan in
+          if
+            senders = []
+            || List.exists (fun s -> not (List.mem s !stuck)) senders
+          then begin
+            (* an empty sender set is the plain linter's recv-never-sent;
+               a free sender can eventually feed the cycle *)
+            stuck := List.filter (fun n -> n <> node) !stuck;
+            changed := true
+          end)
+      waits
+  done;
+  List.iter
+    (fun (node, root, sid, chan) ->
+      if List.mem node !stuck then
+        add
+          (finding Lint.Error ~sid ~fname:root "comm-deadlock"
+             (Printf.sprintf
+                "node %s blocks on %s before sending anything; every sender \
+                 (%s) is wedged the same way — static cross-node wait cycle"
+                node chan
+                (String.concat ", " (sender_nodes chan)))))
+    waits;
+  List.rev !out
+
+let has_deadlock findings =
+  List.exists (fun (f : Lint.finding) -> f.Lint.rule = "comm-deadlock") findings

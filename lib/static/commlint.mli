@@ -1,0 +1,26 @@
+(** Node-aware static communication lint over the {!Msgflow} graph.
+
+    Rules (reported as {!Lint.finding}s so they splice into the one
+    findings stream):
+
+    - [comm-orphan-send] — a send on a channel no node can receive; the
+      message is silently lost [Warning].
+    - [comm-unreachable-sender] — a blocking [recv] whose only possible
+      senders are this same thread's own sends sequenced after it: the
+      thread waits on its own future [Error].
+    - [comm-deadlock] — a cross-node wait cycle: every node in a set
+      blocks on a receive before sending anything, and every possible
+      sender of the awaited channel is in the same set, so no message
+      can ever enter the cycle [Error]. A must-analysis: nodes qualify
+      only when their sole thread unconditionally blocks (top-level
+      receive, nothing sent first anywhere in the call tree), which
+      keeps send-then-wait request/response protocols clean. *)
+
+open Mvm
+
+(** @raise Invalid_argument when a thread root has no node assignment. *)
+val run : map:Node.map -> Label.labeled -> Lint.finding list
+
+(** Any [comm-deadlock] finding present? (The CLI's [analyze --nodes]
+    exit-1 condition, alongside ordinary lint errors.) *)
+val has_deadlock : Lint.finding list -> bool

@@ -46,7 +46,12 @@ let opt_equal a b =
   | Some a, Some b -> SS.equal a b
   | _ -> false
 
-let analyze graph =
+let analyze ?mhp graph =
+  let conc =
+    match mhp with
+    | None -> Callgraph.concurrent graph
+    | Some m -> Mhp.concurrent m
+  in
   let labeled = Callgraph.labeled graph in
   let prog = labeled.Label.prog in
   (* locks each function's body releases, for the call-effect summary *)
@@ -165,7 +170,7 @@ let analyze graph =
         && (a.Callgraph.write || b.Callgraph.write)
         && (i <> j || a.Callgraph.write)
         && index_compatible a b
-        && Callgraph.concurrent graph a b
+        && conc a b
       then begin
         let la = Hashtbl.find locksets a.Callgraph.sid in
         let lb = Hashtbl.find locksets b.Callgraph.sid in

@@ -22,7 +22,12 @@ type candidate = {
 
 type result
 
-val analyze : Callgraph.t -> result
+(** [analyze ?mhp graph] — when [mhp] is given, condition (3) uses the
+    node-aware {!Mhp.concurrent} instead of {!Callgraph.concurrent},
+    dropping pairs that deployment placement provably orders. Since
+    [Mhp.concurrent ⊆ Callgraph.concurrent], the candidate set only
+    shrinks. *)
+val analyze : ?mhp:Mhp.t -> Callgraph.t -> result
 
 (** Candidates sorted by (region, sid pair), deduplicated per pair. *)
 val candidates : result -> candidate list

@@ -1,13 +1,37 @@
 (** The aggregate static-analysis report: lockset race candidates, the
     static plane map, and lint findings, plus the RCSE hooks derived from
-    them (a suspect-site trigger, a training-free code selector). *)
+    them (a suspect-site trigger, a training-free code selector).
+
+    With a node map ([analyze ~nodes]) the report goes distributed: race
+    candidates are tightened by the node-aware {!Mhp} relation, the
+    {!Commlint} communication rules join the findings, and a per-node
+    view (threads, suspect sites, channels, outgoing may-send edges)
+    feeds per-node recording selectors, shard write priority, and the
+    partial-evidence steering hints. *)
 
 open Mvm
 module P = Ddet_analysis.Plane
 
 type t
 
-val analyze : ?threshold_bytes:int -> Label.labeled -> t
+(** One node's slice of the analysis. *)
+type node_view = {
+  node : string;
+  tids : int list;  (** static thread ids hosted here *)
+  fnames : string list;  (** functions this node's threads may execute *)
+  suspects : int list;  (** race-suspect sids in those functions *)
+  channels : string list;  (** channels with a site on this node *)
+  edges_out : Msgflow.edge list;  (** cross-node may-send edges leaving *)
+}
+
+(** [analyze ?threshold_bytes ?nodes labeled]. When [nodes] is given the
+    lockset pass runs against {!Mhp.concurrent} (placement-refined, so
+    the candidate set only shrinks), {!Commlint.run} findings are
+    appended to the lints, and the per-node views are populated.
+
+    @raise Invalid_argument when [nodes] is given and a thread root has
+    no node assignment. *)
+val analyze : ?threshold_bytes:int -> ?nodes:Node.map -> Label.labeled -> t
 
 val races : t -> Lockset.candidate list
 
@@ -16,6 +40,15 @@ val suspect_sids : t -> int list
 
 val lints : t -> Lint.finding list
 val has_lint_errors : t -> bool
+
+(** The channel-communication graph; [None] without [~nodes]. *)
+val msgflow : t -> Msgflow.t option
+
+(** The node-aware MHP relation; [None] without [~nodes]. *)
+val mhp : t -> Mhp.t option
+
+(** Per-node views in node declaration order; empty without [~nodes]. *)
+val node_views : t -> node_view list
 
 (** (fname, plane, site weight in bytes), sorted by name. *)
 val plane_map : t -> P.map
@@ -36,9 +69,44 @@ val trigger_selector :
     accesses. *)
 val site_selector : t -> Ddet_record.Fidelity_level.selector
 
+(** [node_site_selector t ~node]: the {!site_selector} restricted to the
+    suspect sites that can execute on [node] — what that node's recorder
+    should run, cheaper than the global selector whenever the races
+    cluster elsewhere. Selects nothing for an unknown node or without
+    [~nodes]. *)
+val node_site_selector : t -> node:string -> Ddet_record.Fidelity_level.selector
+
 (** The static code-based selector: high fidelity in statically
     control-plane functions, no training runs. *)
 val code_selector : t -> Ddet_record.Fidelity_level.selector
 
-(** The full human-readable report (races, planes, lints, suspects). *)
+(** Shard write order for {!Ddet_record.Sharded_log.save_via}: nodes
+    carrying more suspect sites first (map order breaks ties), so under
+    a hostile store the most diagnostic shard has the fewest writes in
+    front of it. Empty without [~nodes]. *)
+val shard_priority : t -> string list
+
+(** Static steering hints for partial-evidence replay after losing
+    nodes. *)
+type steer_hint = {
+  lost_tids : int list;  (** tids of all lost-node threads *)
+  hot_sids : int list;
+      (** lost-node decision points worth searching: sends on channels
+          that may still land on a survivor, plus race-suspect sites *)
+  cold_input_tids : int list;
+      (** lost threads on nodes with no static path to any survivor —
+          their inputs provably never influenced surviving evidence, so
+          the search pins them instead of enumerating *)
+}
+
+(** [steer t ~lost] derives the hints from the {!Msgflow} reachability
+    closure. All-empty without [~nodes]. *)
+val steer : t -> lost:string list -> steer_hint
+
+(** The whole report as one JSON object: program, races, suspect sids,
+    planes, lints, per-node views ([nodes] is [[]] without [~nodes]). *)
+val to_json : t -> string
+
+(** The full human-readable report (races, planes, lints, suspects, and
+    the per-node section when distributed). *)
 val pp : Format.formatter -> t -> unit

@@ -306,6 +306,45 @@ let test_analyze_lint_failing () =
 let test_analyze_no_target () =
   check "no app and no demo: exit 1" 1 (run "analyze")
 
+(* --json emits the machine-readable report; the single-node adder's is
+   small enough to pin byte-for-byte *)
+let test_analyze_json_golden () =
+  let code, text = run_out "analyze -a adder --json" in
+  check "json report: exit 0" 0 code;
+  Alcotest.(check string) "golden adder json"
+    ("{\"program\":\"adder\",\"threshold_bytes\":32,\"races\":[],\
+      \"suspect_sids\":[],\"planes\":[{\"fname\":\"main\",\
+      \"plane\":\"control\",\"weight\":8}],\"lints\":[],\"nodes\":[]}\n")
+    text
+
+(* --nodes turns on the cross-node layer: the demo's three-node wait
+   cycle is a static deadlock (exit 1), the shipped topology is clean *)
+let test_analyze_nodes_deadlock () =
+  let code, text = run_out "analyze --demo --nodes" in
+  check "static cross-node deadlock: exit 1" 1 code;
+  Alcotest.(check bool) "names the rule" true (contains text "comm-deadlock");
+  Alcotest.(check bool) "names the wedged channel" true
+    (contains text "blocks on ping")
+
+let test_analyze_nodes_clean () =
+  let code, text = run_out "analyze -a msg_server --nodes" in
+  check "msg_server topology clean: exit 0" 0 code;
+  Alcotest.(check bool) "per-node sections" true
+    (contains text "p0 (tids 1):");
+  Alcotest.(check bool) "shard priority ranked by suspects" true
+    (contains text "shard priority: p0 > p1 > server")
+
+let test_analyze_nodes_json () =
+  let code, text = run_out "analyze -a msg_server --nodes --json" in
+  check "nodes json: exit 0" 0 code;
+  Alcotest.(check bool) "node views present" true
+    (contains text "\"nodes\":[{\"node\":\"server\"")
+
+let test_analyze_nodes_no_map () =
+  let code, text = run_out "analyze -a adder --nodes" in
+  check "--nodes without a node map: exit 1" 1 code;
+  Alcotest.(check bool) "explains the miss" true (contains text "no node map")
+
 let () =
   if Array.length Sys.argv < 2 then begin
     prerr_endline "usage: test_cli.exe <path-to-ddreplay.exe>";
@@ -354,5 +393,15 @@ let () =
             test_analyze_lint_failing;
           Alcotest.test_case "missing target is an error" `Quick
             test_analyze_no_target;
+          Alcotest.test_case "--json golden report" `Quick
+            test_analyze_json_golden;
+          Alcotest.test_case "--nodes flags the demo deadlock" `Quick
+            test_analyze_nodes_deadlock;
+          Alcotest.test_case "--nodes clean topology" `Quick
+            test_analyze_nodes_clean;
+          Alcotest.test_case "--nodes json views" `Quick
+            test_analyze_nodes_json;
+          Alcotest.test_case "--nodes needs a node map" `Quick
+            test_analyze_nodes_no_map;
         ] );
     ]

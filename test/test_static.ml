@@ -152,6 +152,228 @@ let test_app_candidates () =
        msg)
 
 (* ------------------------------------------------------------------ *)
+(* index compatibility: Const_idx i pairs only with Const_idx i; Var_idx
+   pairs with everything, including itself across thread instances *)
+
+let two_writers idx0 idx1 =
+  Dsl.(
+    program ~name:"indexed"
+      ~regions:[ array "arr" 4 (Value.int 0) ]
+      ~inputs:[] ~main:"main"
+      [
+        func "main" [] [ spawn "w0" []; spawn "w1" [] ];
+        func "w0" [] [ assign "k" (i 1); store "arr" idx0 (i 1) ];
+        func "w1" [] [ assign "k" (i 2); store "arr" idx1 (i 2) ];
+      ])
+
+let test_index_compat () =
+  let n a b = List.length (candidates_of (two_writers a b)) in
+  Alcotest.(check int) "distinct constant indices never pair" 0
+    (n Dsl.(i 0) Dsl.(i 1));
+  Alcotest.(check bool) "equal constant indices pair" true
+    (n Dsl.(i 2) Dsl.(i 2) > 0);
+  Alcotest.(check bool) "variable index pairs with a constant" true
+    (n Dsl.(v "k") Dsl.(i 3) > 0);
+  Alcotest.(check bool) "variable index pairs with a variable" true
+    (n Dsl.(v "k") Dsl.(v "k") > 0);
+  (* a twice-spawned writer with a variable index races with itself *)
+  let self =
+    Dsl.(
+      program ~name:"self"
+        ~regions:[ array "arr" 4 (Value.int 0) ]
+        ~inputs:[] ~main:"main"
+        [
+          func "main" [] [ spawn "w" []; spawn "w" [] ];
+          func "w" [] [ assign "k" (i 1); store "arr" (v "k") (i 1) ];
+        ])
+  in
+  Alcotest.(check bool) "variable-indexed store self-races" true
+    (List.exists
+       (fun (c : Lockset.candidate) -> c.a.Callgraph.sid = c.b.Callgraph.sid)
+       (candidates_of self))
+
+let prop_index_compat =
+  QCheck2.Test.make
+    ~name:"no candidate ever pairs two distinct constant indices" ~count:60
+    ~print:(fun p -> Printf.sprintf "program seed %d" p)
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun pseed ->
+      let labeled = Proggen.generate Proggen.default (Prng.create pseed) in
+      List.for_all
+        (fun (c : Lockset.candidate) ->
+          match (c.a.Callgraph.index, c.b.Callgraph.index) with
+          | Callgraph.Const_idx x, Callgraph.Const_idx y -> x = y
+          | _ -> true)
+        (candidates_of labeled))
+
+(* ------------------------------------------------------------------ *)
+(* node-aware MHP *)
+
+let fifo_prog =
+  Dsl.(
+    program ~name:"fifo" ~regions:[ scalar "c" (Value.int 0) ] ~inputs:[]
+      ~main:"main"
+      [
+        func "main" [] [ spawn "w" []; store_g "c" (i 1); send "go" (i 1) ];
+        func "w" [] [ recv "z" "go"; store_g "c" (i 2) ];
+      ])
+
+let fifo_map =
+  Node.make ~nodes:[ "n0"; "n1" ] ~assign:[ ("main", "n0"); ("w", "n1") ]
+
+let test_mhp_fifo_orders () =
+  let graph = Callgraph.build fifo_prog in
+  Alcotest.(check bool) "plain lockset pairs the stores" true
+    (Lockset.candidates (Lockset.analyze graph) <> []);
+  let mhp = Mhp.analyze ~map:fifo_map graph in
+  Alcotest.(check bool) "unique-message channel found" true
+    (Mhp.fifos mhp <> []);
+  Alcotest.(check int) "send->recv ordering kills the candidate" 0
+    (List.length (Lockset.candidates (Lockset.analyze ~mhp graph)))
+
+let test_mhp_loop_defeats_order () =
+  (* the send re-executes in a loop: the one-message argument is gone,
+     so nothing may be ordered and the candidate must survive *)
+  let prog =
+    Dsl.(
+      program ~name:"fifo-loop" ~regions:[ scalar "c" (Value.int 0) ]
+        ~inputs:[] ~main:"main"
+        [
+          func "main" []
+            [
+              spawn "w" []; store_g "c" (i 1);
+              while_ (g "c" <: i 2) [ send "go" (i 1) ];
+            ];
+          func "w" [] [ recv "z" "go"; store_g "c" (i 2) ];
+        ])
+  in
+  let graph = Callgraph.build prog in
+  let mhp = Mhp.analyze ~map:fifo_map graph in
+  Alcotest.(check bool) "no fifo claimed" true (Mhp.fifos mhp = []);
+  Alcotest.(check int) "refined = plain"
+    (List.length (Lockset.candidates (Lockset.analyze graph)))
+    (List.length (Lockset.candidates (Lockset.analyze ~mhp graph)))
+
+let test_mhp_try_recv_defeats_order () =
+  (* a competing try_recv can steal the one message, so the blocking
+     recv's ordering cannot be trusted *)
+  let prog =
+    Dsl.(
+      program ~name:"fifo-steal" ~regions:[ scalar "c" (Value.int 0) ]
+        ~inputs:[] ~main:"main"
+        [
+          func "main" [] [ spawn "w" []; store_g "c" (i 1); send "go" (i 1) ];
+          func "w" []
+            [ try_recv "ok" "z" "go"; recv "z" "go"; store_g "c" (i 2) ];
+        ])
+  in
+  let mhp = Mhp.analyze ~map:fifo_map (Callgraph.build prog) in
+  Alcotest.(check bool) "no fifo claimed" true (Mhp.fifos mhp = [])
+
+let test_mhp_subset_law_unit () =
+  let graph = Callgraph.build fifo_prog in
+  let mhp = Mhp.analyze ~map:fifo_map graph in
+  let accs = Callgraph.accesses graph in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if Mhp.concurrent mhp a b then
+            Alcotest.(check bool) "mhp-concurrent implies cg-concurrent" true
+              (Callgraph.concurrent graph a b))
+        accs)
+    accs
+
+(* ------------------------------------------------------------------ *)
+(* communication lint *)
+
+let comm_rules ~map labeled =
+  List.map
+    (fun (f : Lint.finding) -> (f.Lint.severity, f.Lint.rule))
+    (Commlint.run ~map labeled)
+
+let test_comm_deadlock () =
+  (* three single-threaded nodes in a static wait cycle: nobody has sent
+     anything when everybody blocks *)
+  let labeled =
+    Dsl.(
+      program ~name:"cycle" ~regions:[] ~inputs:[] ~main:"main"
+        [
+          func "main" []
+            [ spawn "left" []; spawn "right" []; recv "x" "done0" ];
+          func "left" []
+            [ recv "p" "ping"; send "pong" (i 1); send "done0" (i 1) ];
+          func "right" [] [ recv "q" "pong"; send "ping" (i 1) ];
+        ])
+  in
+  let map =
+    Node.make
+      ~nodes:[ "a"; "b"; "c" ]
+      ~assign:[ ("main", "a"); ("left", "b"); ("right", "c") ]
+  in
+  let fs = Commlint.run ~map labeled in
+  Alcotest.(check bool) "deadlock found" true (Commlint.has_deadlock fs);
+  Alcotest.(check int) "all three nodes reported" 3
+    (List.length
+       (List.filter (fun (f : Lint.finding) -> f.Lint.rule = "comm-deadlock") fs));
+  Alcotest.(check bool) "reported as errors" true
+    (List.for_all
+       (fun (f : Lint.finding) -> f.Lint.severity = Lint.Error)
+       (List.filter (fun (f : Lint.finding) -> f.Lint.rule = "comm-deadlock") fs))
+
+let test_comm_rpc_clean () =
+  (* send-then-wait request/response: the client produced its request
+     before blocking, so no wait cycle exists *)
+  let labeled =
+    Dsl.(
+      program ~name:"rpc" ~regions:[] ~inputs:[] ~main:"main"
+        [
+          func "main" [] [ spawn "srv" []; send "req" (i 1); recv "x" "resp" ];
+          func "srv" [] [ recv "y" "req"; send "resp" (v "y") ];
+        ])
+  in
+  let map =
+    Node.make ~nodes:[ "a"; "b" ] ~assign:[ ("main", "a"); ("srv", "b") ]
+  in
+  Alcotest.(check int) "no findings" 0 (List.length (comm_rules ~map labeled))
+
+let test_comm_orphan_send () =
+  let labeled =
+    Dsl.(
+      program ~name:"orphan" ~regions:[] ~inputs:[] ~main:"main"
+        [ func "main" [] [ send "nowhere" (i 1) ] ])
+  in
+  let map = Node.make ~nodes:[ "a" ] ~assign:[ ("main", "a") ] in
+  Alcotest.(check bool) "orphan send is a warning" true
+    (List.mem (Lint.Warning, "comm-orphan-send") (comm_rules ~map labeled))
+
+let test_comm_unreachable_sender () =
+  (* the thread waits for a message only its own later statement could
+     send — statically wedged even on one node *)
+  let labeled =
+    Dsl.(
+      program ~name:"self-wait" ~regions:[] ~inputs:[] ~main:"main"
+        [ func "main" [] [ recv "x" "ch"; send "ch" (i 1) ] ])
+  in
+  let map = Node.make ~nodes:[ "a" ] ~assign:[ ("main", "a") ] in
+  Alcotest.(check bool) "unreachable sender is an error" true
+    (List.mem (Lint.Error, "comm-unreachable-sender") (comm_rules ~map labeled))
+
+let test_comm_apps_clean () =
+  List.iter
+    (fun (a : Ddet_apps.App.t) ->
+      match a.Ddet_apps.App.nodes with
+      | None -> ()
+      | Some map ->
+        Alcotest.(check (list string))
+          (a.name ^ " comm-lints clean")
+          []
+          (List.map
+             (fun (f : Lint.finding) -> Fmt.str "%a" Lint.pp_finding f)
+             (Commlint.run ~map a.labeled)))
+    (apps ())
+
+(* ------------------------------------------------------------------ *)
 (* static plane classification *)
 
 let test_plane_ground_truth () =
@@ -456,6 +678,30 @@ let () =
             test_locked_counter;
           Alcotest.test_case "app candidates match the known bugs" `Quick
             test_app_candidates;
+          Alcotest.test_case "index compatibility" `Quick test_index_compat;
+        ] );
+      ( "mhp",
+        [
+          Alcotest.test_case "unique message orders send before recv" `Quick
+            test_mhp_fifo_orders;
+          Alcotest.test_case "looped send defeats ordering" `Quick
+            test_mhp_loop_defeats_order;
+          Alcotest.test_case "competing try_recv defeats ordering" `Quick
+            test_mhp_try_recv_defeats_order;
+          Alcotest.test_case "mhp refines callgraph concurrency" `Quick
+            test_mhp_subset_law_unit;
+        ] );
+      ( "commlint",
+        [
+          Alcotest.test_case "three-node wait cycle deadlocks" `Quick
+            test_comm_deadlock;
+          Alcotest.test_case "send-then-wait rpc is clean" `Quick
+            test_comm_rpc_clean;
+          Alcotest.test_case "orphan send warns" `Quick test_comm_orphan_send;
+          Alcotest.test_case "self-only sender errors" `Quick
+            test_comm_unreachable_sender;
+          Alcotest.test_case "shipped node apps are clean" `Quick
+            test_comm_apps_clean;
         ] );
       ( "splane",
         [
@@ -487,6 +733,7 @@ let () =
       ( "laws",
         [
           qc prop_soundness;
+          qc prop_index_compat;
           Alcotest.test_case "precision on the corpus" `Slow test_precision;
         ] );
     ]
