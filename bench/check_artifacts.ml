@@ -1,0 +1,46 @@
+(* Artifact tripwire for the bench-smoke alias.
+
+   Every bench section that produces a BENCH_*.json is expected to have
+   that artifact committed at the repo root — the JSON is the evaluation
+   evidence CI tracks, not a scratch file. A section that starts writing
+   a new artifact without committing a reference copy silently breaks
+   that contract (BENCH_dist.json went missing this way: the dist
+   section wrote it on every run, but no committed copy ever existed).
+
+   Usage: check_artifacts.exe <committed-dir>
+
+   Scans the working directory (where the smoke run just wrote its
+   artifacts) for BENCH_*.json and fails if any of them has no
+   counterpart in <committed-dir>. *)
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: check_artifacts.exe <committed-dir>";
+    exit 2
+  end;
+  let committed_dir = Sys.argv.(1) in
+  let is_bench name =
+    String.length name > 6
+    && String.sub name 0 6 = "BENCH_"
+    && Filename.check_suffix name ".json"
+  in
+  let written =
+    Sys.readdir "." |> Array.to_list |> List.filter is_bench
+    |> List.sort compare
+  in
+  let missing =
+    List.filter
+      (fun name -> not (Sys.file_exists (Filename.concat committed_dir name)))
+      written
+  in
+  if missing = [] then
+    Printf.printf "bench artifacts ok (%d checked: %s)\n" (List.length written)
+      (String.concat ", " written)
+  else begin
+    List.iter
+      (Printf.eprintf
+         "bench wrote %s but no committed copy exists at the repo root —\n\
+          regenerate it (main.exe <section>) and commit the artifact\n")
+      missing;
+    exit 1
+  end

@@ -2,7 +2,7 @@
    (Fig. 1, Fig. 2, the Sec. 2 narratives, plus the RCSE and budget
    ablations) and runs Bechamel microbenchmarks of the actual recorders.
 
-   Usage: main.exe [fig1|fig2|sec2|ablation|budget|flight|race|search|sanity|crash|governor|static|dist|open|micro|all]
+   Usage: main.exe [fig1|fig2|sec2|ablation|budget|flight|race|search|sanity|crash|governor|static|dist|obs|open|micro|all]
                    [--tiny] [--jobs N] [--json]
 
    --tiny   shrinks every budget so the command finishes in seconds (used
@@ -1500,6 +1500,127 @@ let dist_bench ~tiny ~json:_ () =
   Printf.printf "wrote %s\n" file
 
 (* ------------------------------------------------------------------ *)
+(* OBS: the tracer's own cost. The same session pipeline runs with the
+   ambient tracer absent and installed; the preallocated ring and the
+   one-ref-read disabled path exist precisely so the enabled figure
+   stays within 5% of wall time — the number this section measures and
+   records in BENCH_obs.json. Off/on trials are interleaved so clock
+   noise and GC phase hit both variants alike. *)
+
+type obs_row = {
+  ob_workload : string;
+  ob_reps : int;
+  ob_off_s : float;
+  ob_on_s : float;
+  ob_events : int;  (** ring occupancy after the traced trials *)
+  ob_dropped : int;
+}
+
+let obs_overhead r = (r.ob_on_s /. r.ob_off_s) -. 1.
+
+let obs_bench ~tiny ~json:_ () =
+  let open Ddet_replay in
+  let reps = if tiny then 50 else 200 in
+  let trials = if tiny then 3 else 5 in
+  let budget =
+    { Search.max_attempts = 40; max_steps_per_attempt = 10_000;
+      base_seed = 1; deadline_s = None }
+  in
+  let config = { Config.default with Config.budget } in
+  let failing_seed (app : App.t) =
+    let rec scan seed =
+      if seed > 200 then invalid_arg ("no failing seed for " ^ app.App.name)
+      else
+        let r = App.production_run app ~seed in
+        if r.Mvm.Interp.failure <> None && r.Mvm.Interp.steps < 10_000 then seed
+        else scan (seed + 1)
+    in
+    scan 1
+  in
+  let cases =
+    [
+      (* deterministic oracle replay: recording dominates, spans and the
+         per-entry accumulator tally are the cost *)
+      (Msg_server.app (), Model.Perfect, failing_seed (Msg_server.app ()));
+      (* failure-directed search: counter bumps on the hot attempt loop *)
+      (Miniht.app (), Model.Failure_det, failing_seed (Miniht.app ()));
+    ]
+  in
+  let session prepared seed () =
+    for _ = 1 to reps do
+      let original, log = Session.record prepared ~seed in
+      let outcome = Session.replay prepared log in
+      ignore (Session.assess prepared ~original ~log outcome)
+    done
+  in
+  let rows =
+    List.map
+      (fun ((app : App.t), model, seed) ->
+        let prepared = Session.prepare ~config model app in
+        let run = session prepared seed in
+        (* warm both paths once: training runs, lazy plane maps *)
+        run ();
+        let t = Ddet_obs.Tracer.create () in
+        let off = ref infinity and on = ref infinity in
+        let measure_off () =
+          Ddet_obs.Tracer.set_current None;
+          let _, s = time run in
+          if s < !off then off := s
+        and measure_on () =
+          let _, s = time (fun () -> Ddet_obs.Tracer.with_current t run) in
+          if s < !on then on := s
+        in
+        (* alternate the order across trials: a fixed order lets one
+           variant absorb the GC debt the other just ran up *)
+        for i = 1 to trials do
+          if i land 1 = 0 then begin measure_on (); measure_off () end
+          else begin measure_off (); measure_on () end
+        done;
+        {
+          ob_workload = Printf.sprintf "%s/%s" app.App.name (Model.name model);
+          ob_reps = reps;
+          ob_off_s = !off;
+          ob_on_s = !on;
+          ob_events = Ddet_obs.Tracer.length t;
+          ob_dropped = Ddet_obs.Tracer.dropped t;
+        })
+      cases
+  in
+  Printf.printf "tracer overhead (%d sessions per trial, min of %d)\n\n" reps
+    trials;
+  Printf.printf "%-24s %12s %12s %10s\n" "workload" "off ms" "on ms" "overhead";
+  List.iter
+    (fun r ->
+      Printf.printf "%-24s %12.3f %12.3f %9.2f%%\n" r.ob_workload
+        (r.ob_off_s *. 1e3) (r.ob_on_s *. 1e3)
+        (100. *. obs_overhead r))
+    rows;
+  let worst =
+    List.fold_left (fun acc r -> Float.max acc (obs_overhead r)) neg_infinity
+      rows
+  in
+  Printf.printf "\nworst overhead %.2f%% (budget 5%%)%s\n" (100. *. worst)
+    (if worst <= 0.05 then "" else "  ** OVER BUDGET **");
+  let file = "BENCH_obs.json" in
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"tiny\": %b,\n  \"rows\": [\n%s\n  ],\n\
+                    \  \"worst_overhead\": %.4f,\n  \"budget\": 0.05\n}\n"
+    tiny
+    (String.concat ",\n"
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              "    {\"workload\": \"%s\", \"reps\": %d, \"off_s\": %.6f, \
+               \"on_s\": %.6f, \"overhead\": %.4f, \"events\": %d, \
+               \"dropped\": %d}"
+              r.ob_workload r.ob_reps r.ob_off_s r.ob_on_s (obs_overhead r)
+              r.ob_events r.ob_dropped)
+          rows))
+    worst;
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+(* ------------------------------------------------------------------ *)
 
 let tiny_config =
   {
@@ -1551,6 +1672,7 @@ let () =
   | "sanity" -> sanity ()
   | "governor" -> governor_bench ~tiny ~json ()
   | "dist" -> dist_bench ~tiny ~json ()
+  | "obs" -> obs_bench ~tiny ~json ()
   | "static" -> static_bench ~tiny ~json ()
   | "open" ->
     print (Explore.experiment ());
@@ -1563,6 +1685,6 @@ let () =
     micro ()
   | other ->
     Printf.eprintf
-      "unknown command %S (expected fig1|fig2|sec2|ablation|budget|flight|race|search|sanity|crash|open|micro|all)\n"
+      "unknown command %S (expected fig1|fig2|sec2|ablation|budget|flight|race|search|sanity|crash|governor|static|dist|obs|open|micro|all)\n"
       other;
     exit 2

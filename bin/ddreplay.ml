@@ -7,6 +7,7 @@
      record      record a production run under a model, show the log
      replay      replay a previously saved log under its model
      debug       full record/replay/assess experiment
+     report      one traced session, profiled: spans, counters, --trace
      classify    train and show the control/data-plane classification
      analyze     static analysis: races, planes, lints (no runs at all)
      invariants  train and show the dynamic invariants                *)
@@ -229,11 +230,15 @@ let static_steer_arg =
                are pinned to a canonical value instead of searched. \
                Sharded recordings only.")
 
+(* every diagnostic goes through here, so stderr is uniformly greppable
+   for the tool name — asserted by test_cli *)
+let err fmt = Printf.eprintf ("ddreplay: " ^^ fmt ^^ "\n")
+
 (* resume files and engine/seed mismatches surface as Invalid_argument
    from the search layer; turn them into diagnostics, not backtraces *)
 let guard f =
   try f () with Invalid_argument msg ->
-    Printf.eprintf "ddreplay: %s\n" msg;
+    err "%s" msg;
     1
 
 let with_resume resume k =
@@ -243,7 +248,7 @@ let with_resume resume k =
     match Ddet_replay.Checkpoint.load path with
     | Ok c -> k (Some c)
     | Error msg ->
-      Printf.eprintf "cannot resume from %s: %s\n" path msg;
+      err "cannot resume from %s: %s" path msg;
       1)
 
 (* ------------------------------------------------------------------ *)
@@ -310,14 +315,14 @@ let cmd_find app cause exclusive faults jobs chunk spawn_cost checkpoint every
     describe_run app r;
     0
   | None ->
-    Printf.eprintf "no failing seed found in the scanned range\n";
+    err "no failing seed found in the scanned range";
     Ddet_replay.Replayer.exit_deadline
 
 let cmd_record app model seed verbose out faults segments shards io_faults
     overhead_budget =
   guard @@ fun () ->
   if shards && segments <> None then begin
-    Printf.eprintf "--shards and --segments are mutually exclusive\n";
+    err "--shards and --segments are mutually exclusive";
     1
   end
   else
@@ -379,9 +384,9 @@ let cmd_record app model seed verbose out faults segments shards io_faults
         0
       end
       else begin
-        Printf.eprintf
+        err
           "sharded save incomplete; surviving shards replay as partial \
-           evidence\n";
+           evidence";
         Ddet_replay.Replayer.exit_salvaged
       end
     | None ->
@@ -405,13 +410,12 @@ let cmd_record app model seed verbose out faults segments shards io_faults
       | None -> Printf.printf "saved to %s\n" path);
       0
     | Error e ->
-      Printf.eprintf "save failed: %s\n"
-        (Ddet_record.Store.error_to_string e);
+      err "save failed: %s" (Ddet_record.Store.error_to_string e);
       (match segments with
       | Some _ ->
-        Printf.eprintf
+        err
           "segments sealed before the failure remain at %s; \
-           replay recovers that prefix automatically\n"
+           replay recovers that prefix automatically"
           path
       | None -> ());
       Ddet_replay.Replayer.exit_salvaged)
@@ -450,14 +454,13 @@ let replay_sharded app model file lose jobs chunk spawn_cost deadline
     checkpoint every resume attempts static_steer =
   match Ddet_record.Sharded_log.load ~lose file with
   | Error msg ->
-    Printf.eprintf "cannot load %s: %s\n" file msg;
+    err "cannot load %s: %s" file msg;
     1
   | Ok loaded ->
     let st = Ddet_replay.Stitch.stitch loaded in
     Format.printf "@[<v>%a@]@." Ddet_replay.Stitch.pp st;
     if Ddet_record.Sharded_log.all_lost loaded then begin
-      Printf.eprintf
-        "every shard is lost or corrupt: no evidence left to replay\n";
+      err "every shard is lost or corrupt: no evidence left to replay";
       Ddet_replay.Replayer.exit_salvaged
     end
     else begin
@@ -491,19 +494,17 @@ let cmd_replay app model file salvage lose jobs chunk spawn_cost deadline
     replay_sharded app model file lose jobs chunk spawn_cost deadline
       checkpoint every resume attempts static_steer
   else if lose <> [] then begin
-    Printf.eprintf
-      "--lose-node applies to sharded recordings; %s is not one\n" file;
+    err "--lose-node applies to sharded recordings; %s is not one" file;
     1
   end
   else if static_steer then begin
-    Printf.eprintf
-      "--static-steer applies to sharded recordings; %s is not one\n" file;
+    err "--static-steer applies to sharded recordings; %s is not one" file;
     1
   end
   else
   match load_any ~salvage file with
   | Error msg ->
-    Printf.eprintf "cannot load %s: %s\n" file msg;
+    err "cannot load %s: %s" file msg;
     1
   | Ok (log, damaged) ->
     let checkpoint =
@@ -546,20 +547,20 @@ let debug_sharded ~config ?faults ~static_steer app model seed lose =
       ~causal log
   in
   if not (Ddet_record.Sharded_log.save_ok report) then begin
+    err "sharded save failed:";
     Format.eprintf "@[<v>%a@]@." Ddet_record.Sharded_log.pp_save_report report;
     1
   end
   else
     match Ddet_record.Sharded_log.load ~lose base with
     | Error msg ->
-      Printf.eprintf "cannot reload shard set: %s\n" msg;
+      err "cannot reload shard set: %s" msg;
       1
     | Ok loaded ->
       let st = Ddet_replay.Stitch.stitch loaded in
       Format.printf "@[<v>%a@]@." Ddet_replay.Stitch.pp st;
       if Ddet_record.Sharded_log.all_lost loaded then begin
-        Printf.eprintf
-          "every shard is lost or corrupt: no evidence left to replay\n";
+        err "every shard is lost or corrupt: no evidence left to replay";
         Ddet_replay.Replayer.exit_salvaged
       end
       else begin
@@ -582,7 +583,7 @@ let cmd_debug app model seed replays faults jobs chunk spawn_cost deadline
   if shards || lose <> [] then
     debug_sharded ~config ?faults ~static_steer app model seed lose
   else if static_steer then begin
-    Printf.eprintf "--static-steer requires --shards or --lose-node\n";
+    err "--static-steer requires --shards or --lose-node";
     1
   end
   else
@@ -694,7 +695,7 @@ let cmd_analyze app demo threshold nodes json =
   in
   match target with
   | Error e ->
-    prerr_endline e;
+    err "%s" e;
     1
   | Ok (labeled, nmap, truth) ->
     let report =
@@ -717,6 +718,160 @@ let cmd_invariants app =
   Format.printf "invariants from %d passing training runs:@.%a@."
     (List.length training) Ddet_analysis.Invariants.pp inv;
   0
+
+(* ------------------------------------------------------------------ *)
+(* report: run one fully traced session — record, replay, assess — and
+   print its profile. The tracer is the product here: spans time the
+   phases, counters expose what each layer did, and the exports are the
+   human table, --json, and --trace (Chrome trace-event JSON). *)
+
+(* Pre-register the standard counter set so every report exposes the
+   same schema: a counter nothing bumped reads 0 instead of vanishing
+   from the output. *)
+let standard_counters =
+  [
+    "record.entries.sched"; "record.entries.value"; "record.entries.sync";
+    "record.entries.book"; "govern.transitions"; "govern.dropped";
+    "search.attempts"; "search.steps"; "search.pruned";
+    "search.deadline_hits"; "search.incidents"; "stitch.edges_enforced";
+    "stitch.edges_dropped"; "store.retries"; "store.give_ups";
+    "oracle.cursor_stalls"; "oracle.steer_hot_picks"; "oracle.cold_pins";
+  ]
+
+(* the debug flow without its prints: every phase runs under the ambient
+   tracer, and the outcome comes back for the report header *)
+let run_traced ~config ?faults ~static_steer app model seed lose shards =
+  let prepared = Session.prepare ~config model app in
+  if shards || lose <> [] then begin
+    let original, log, causal = Session.record_dist ?faults prepared ~seed in
+    let base = Filename.temp_file "ddreplay" ".report" in
+    let cleanup () =
+      let dir = Filename.dirname base and name = Filename.basename base in
+      Array.iter
+        (fun f ->
+          if String.starts_with ~prefix:name f then
+            try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir)
+    in
+    Fun.protect ~finally:cleanup @@ fun () ->
+    let report =
+      Ddet_record.Sharded_log.save_via (Ddet_record.Store.default ()) ~base
+        ~causal log
+    in
+    if not (Ddet_record.Sharded_log.save_ok report) then
+      Error "sharded save failed"
+    else
+      match Ddet_record.Sharded_log.load ~lose base with
+      | Error msg -> Error msg
+      | Ok loaded ->
+        if Ddet_record.Sharded_log.all_lost loaded then
+          Error "every shard is lost or corrupt: no evidence left to replay"
+        else begin
+          let st = Ddet_replay.Stitch.stitch loaded in
+          let outcome = Session.replay_stitched ~static_steer prepared st in
+          ignore
+            (Session.assess ~evidence:st.Ddet_replay.Stitch.evidence prepared
+               ~original ~log outcome);
+          Ok outcome
+        end
+  end
+  else begin
+    let original, log = Session.record ?faults prepared ~seed in
+    let outcome = Session.replay prepared log in
+    ignore (Session.assess prepared ~original ~log outcome);
+    Ok outcome
+  end
+
+let wall_counter name =
+  let l = String.length name in
+  l >= 3 && String.equal (String.sub name (l - 3) 3) "_ns"
+
+let report_json ~mask ~app ~model outcome t =
+  let module T = Ddet_obs.Tracer in
+  let b = Buffer.create 4096 in
+  let ns v = if mask then "null" else Int64.to_string v in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":1,\"app\":\"%s\",\"model\":\"%s\",\"reproduced\":%b,\"attempts\":%d,\n"
+       app.App.name (Model.name model)
+       (outcome.Ddet_replay.Replayer.result <> None)
+       outcome.Ddet_replay.Replayer.attempts);
+  Buffer.add_string b " \"spans\":[";
+  List.iteri
+    (fun i (s : T.span_stat) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n  {\"name\":\"%s\",\"calls\":%d,\"total_ns\":%s}"
+           s.T.sname s.T.calls (ns s.T.total_ns)))
+    (T.profile t);
+  Buffer.add_string b "],\n \"counters\":[";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n  {\"name\":\"%s\",\"value\":%s}" name
+           (if mask && wall_counter name then "null" else string_of_int v)))
+    (T.counters t);
+  Buffer.add_string b
+    (Printf.sprintf "],\n \"events\":%d,\"dropped\":%d}\n" (T.length t)
+       (T.dropped t));
+  Buffer.contents b
+
+let report_human ~app ~model outcome t =
+  let module T = Ddet_obs.Tracer in
+  Printf.printf "session: %s under %s — %s, %d attempt(s)\n\n" app.App.name
+    (Model.name model)
+    (match outcome.Ddet_replay.Replayer.result with
+    | Some _ -> "reproduced"
+    | None -> "not reproduced")
+    outcome.Ddet_replay.Replayer.attempts;
+  let prof =
+    List.sort
+      (fun (a : T.span_stat) b -> Int64.compare b.T.total_ns a.T.total_ns)
+      (T.profile t)
+  in
+  Printf.printf "%-28s %8s %12s\n" "phase" "calls" "total ms";
+  List.iter
+    (fun (s : T.span_stat) ->
+      Printf.printf "%-28s %8d %12.3f\n" s.T.sname s.T.calls
+        (Int64.to_float s.T.total_ns /. 1e6))
+    prof;
+  Printf.printf "\n%-28s %12s\n" "counter" "value";
+  List.iter
+    (fun (name, v) ->
+      if wall_counter name then
+        Printf.printf "%-28s %9.3f ms\n" name (float_of_int v /. 1e6)
+      else Printf.printf "%-28s %12d\n" name v)
+    (T.counters t);
+  Printf.printf "\nevents: %d (%d dropped)\n" (T.length t) (T.dropped t)
+
+let cmd_report app model seed faults jobs chunk spawn_cost overhead_budget
+    shards lose static_steer json mask trace =
+  guard @@ fun () ->
+  let config =
+    config_with ?overhead_budget ~tuning:(tuning_of chunk spawn_cost) jobs
+  in
+  let module T = Ddet_obs.Tracer in
+  let t = T.create () in
+  List.iter (fun n -> ignore (T.counter t n)) standard_counters;
+  let res =
+    T.with_current t @@ fun () ->
+    run_traced ~config ?faults ~static_steer app model seed lose shards
+  in
+  match res with
+  | Error msg ->
+    err "%s" msg;
+    1
+  | Ok outcome ->
+    (match trace with
+    | Some file ->
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc (T.to_chrome_json t));
+      if not json then Printf.printf "trace: %s\n" file
+    | None -> ());
+    if json then print_string (report_json ~mask ~app ~model outcome t)
+    else report_human ~app ~model outcome t;
+    0
 
 (* ------------------------------------------------------------------ *)
 (* command wiring *)
@@ -833,6 +988,37 @@ let json_arg =
          ~doc:"Emit the report as one JSON object (races, planes, lints, \
                per-node views) instead of text.")
 
+let report_json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the profile as one JSON object (spans, counters, event \
+               and drop totals) instead of the table.")
+
+let mask_arg =
+  Arg.(value & flag & info [ "mask" ]
+         ~doc:"Mask wall-time quantities (span durations, *_ns counters) in \
+               the output: what remains is deterministic for a given seed, \
+               byte-for-byte — the trace-as-evidence contract.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Also write the session's trace to $(docv) as Chrome \
+               trace-event JSON: open it in about:tracing or Perfetto.")
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report" ~exits
+       ~doc:"Run one fully traced session (record, replay, assess) and \
+             print its observability profile: phase spans, per-layer \
+             counters — recorder fidelity tiers, governor ladder moves, \
+             store retries, search attempts/prunes, stitcher verdicts, \
+             oracle steering — and drop accounting. With $(b,--shards) or \
+             $(b,--lose-node), the session is distributed and the profile \
+             covers the stitch phase too.")
+    Term.(const cmd_report $ app_arg $ model_arg $ seed_arg $ faults_arg
+          $ jobs_arg $ chunk_arg $ spawn_cost_arg $ overhead_budget_arg
+          $ shards_arg $ lose_node_arg $ static_steer_arg $ report_json_arg
+          $ mask_arg $ trace_arg)
+
 let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~exits
@@ -853,4 +1039,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; run_cmd; find_cmd; record_cmd; replay_cmd; debug_cmd;
-            classify_cmd; analyze_cmd; invariants_cmd ]))
+            report_cmd; classify_cmd; analyze_cmd; invariants_cmd ]))

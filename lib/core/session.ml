@@ -96,6 +96,9 @@ let governor_of prepared =
     prepared.config.Config.overhead_budget
 
 let record ?(faults = Fault.none) ?monitor prepared ~seed =
+  Ddet_obs.Tracer.span_ "session.record"
+    ~args:[ ("seed", Ddet_obs.Tracer.Count seed) ]
+  @@ fun () ->
   (* node-granular faults desugar against the app's topology before any
      world exists; the *lowered* plan is also what ships with the log,
      so replay re-creates the environment with no node knowledge *)
@@ -124,6 +127,7 @@ let record_dist ?faults prepared ~seed =
            prepared.app.App.name)
   in
   let main_fname = prepared.app.App.labeled.Label.prog.Ast.main in
+  Ddet_obs.Tracer.span_ "session.record_dist" @@ fun () ->
   let on_event, finish = Causal.monitor ~map ~main_fname () in
   let original, log = record ?faults ~monitor:on_event prepared ~seed in
   (original, log, finish ())
@@ -137,6 +141,12 @@ let has_spawn labeled =
     false labeled.Label.prog
 
 let replay ?budget ?checkpoint ?resume prepared log =
+  Ddet_obs.Tracer.span_ "session.replay"
+    ~args:
+      [
+        ("governed", Ddet_obs.Tracer.Count (if Log.governed log then 1 else 0));
+      ]
+  @@ fun () ->
   let labeled = prepared.app.App.labeled in
   let spec = prepared.app.App.spec in
   let budget = Option.value ~default:prepared.config.Config.budget budget in
@@ -211,6 +221,10 @@ let replay_stitched ?budget ?checkpoint ?resume ?(static_steer = false)
     prepared (st : Stitch.t) =
   if st.Stitch.complete then replay ?budget ?checkpoint ?resume prepared st.Stitch.log
   else
+    Ddet_obs.Tracer.span_ "session.replay_stitched"
+      ~args:
+        [ ("lost", Ddet_obs.Tracer.Count (List.length st.Stitch.lost)) ]
+    @@ fun () ->
     let budget = Option.value ~default:prepared.config.Config.budget budget in
     let steer = if static_steer then steer_of prepared st else None in
     Replayer.stitched ~budget ~jobs:prepared.config.Config.jobs
@@ -218,6 +232,7 @@ let replay_stitched ?budget ?checkpoint ?resume ?(static_steer = false)
       prepared.app.App.labeled ~spec:prepared.app.App.spec st
 
 let assess ?salvaged ?evidence prepared ~original ~log outcome =
+  Ddet_obs.Tracer.span_ "session.assess" @@ fun () ->
   let a =
     Ddet_metrics.Utility.assess ~cost_model:prepared.config.Config.cost_model
       ?salvaged ?evidence ~catalog:prepared.app.App.catalog ~original ~log

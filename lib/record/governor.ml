@@ -86,6 +86,16 @@ let overhead g =
 
 let transition g level reason =
   g.pending <- g.pending @ [ Log.Govern { step = g.cur_step; level; reason } ];
+  (* the ladder move is part of the session's observable story: the
+     trace shows when and to what level fidelity degraded *)
+  Ddet_obs.Tracer.count "govern.transitions" 1;
+  Ddet_obs.Tracer.instant_ "govern.transition"
+    ~args:
+      [
+        ("from", Ddet_obs.Tracer.Count g.level);
+        ("to", Ddet_obs.Tracer.Count level);
+        ("step", Ddet_obs.Tracer.Count g.cur_step);
+      ];
   g.level <- level;
   g.last_transition <- g.cur_step;
   g.transitions <- g.transitions + 1
@@ -123,7 +133,10 @@ let is_trigger_mark = function
 let admit g entry =
   if is_trigger_mark entry then boost g "trigger fired";
   let kept = admits g.level entry in
-  if not kept then g.dropped <- g.dropped + 1;
+  if not kept then begin
+    g.dropped <- g.dropped + 1;
+    Ddet_obs.Tracer.count "govern.dropped" 1
+  end;
   let out = g.pending @ (if kept then [ entry ] else []) in
   g.pending <- [];
   List.iter

@@ -15,6 +15,34 @@ let accumulator ~name ?govern () =
     | None -> Vec.push entries e
     | Some g -> List.iter (Vec.push entries) (Governor.admit g e)
   in
+  (* per-fidelity-tier entry tallies, named by the governor ladder tier
+     that would shed them: sched (level 1 drops), value (level 2), sync
+     (level 3); bookkeeping always survives *)
+  let tally entries =
+    let module T = Ddet_obs.Tracer in
+    match T.current () with
+    | None -> ()
+    | Some t ->
+      (* classify locally, bump each counter once: finalize sits on the
+         session's critical path, and one atomic add per log entry is
+         measurable on entry-heavy recordings *)
+      let sched = ref 0 and value = ref 0 and sync = ref 0 and book = ref 0 in
+      List.iter
+        (fun (e : Log.entry) ->
+          incr
+            (match e with
+            | Log.Sched _ | Log.Cp_sched _ -> sched
+            | Log.Input _ | Log.Read_val _ | Log.Cp_input _ | Log.Output _ ->
+              value
+            | Log.Sync _ -> sync
+            | Log.Failure_desc _ | Log.Flight_note _ | Log.Mark _
+            | Log.Govern _ -> book))
+        entries;
+      T.bump (Some (T.counter t "record.entries.sched")) !sched;
+      T.bump (Some (T.counter t "record.entries.value")) !value;
+      T.bump (Some (T.counter t "record.entries.sync")) !sync;
+      T.bump (Some (T.counter t "record.entries.book")) !book
+  in
   let finalize (r : Interp.result) =
     (* drain any queued Govern transition before assembling: a level
        change with no later admitted entry must still reach the log *)
@@ -27,6 +55,7 @@ let accumulator ~name ?govern () =
       | Some f -> entries @ [ Log.Failure_desc f ]
       | None -> entries
     in
+    tally entries;
     Log.make ~recorder:name ~entries ~base_steps:r.steps ~failure:r.failure ()
   in
   (add, finalize)

@@ -38,9 +38,11 @@ let run ?(policy = default) f =
     | Ok v -> Ok v
     | Error (e : Store.error) when e.transient && attempt <= policy.max_retries
       ->
+      Ddet_obs.Tracer.count "store.retries" 1;
       if backoff > 0. then Unix.sleepf (Float.min backoff policy.max_backoff_s);
       go (attempt + 1) (backoff *. policy.multiplier)
     | Error e ->
+      Ddet_obs.Tracer.count "store.give_ups" 1;
       Error { error = e; attempts = attempt; gave_up = e.Store.transient }
   in
   go 1 policy.backoff_s

@@ -392,10 +392,19 @@ let partial ?(steer = no_steer) ~seed log =
   let lost = mem_tbl steer.lost_tids in
   let hot = mem_tbl steer.hot_sids in
   let cold = mem_tbl steer.cold_input_tids in
+  (* handles resolved once per oracle; picks may run on worker domains,
+     where only atomic counter bumps are allowed (no ring writes) *)
+  let c_stalls = Ddet_obs.Tracer.handle "oracle.cursor_stalls" in
+  let c_hot = Ddet_obs.Tracer.handle "oracle.steer_hot_picks" in
+  let c_cold = Ddet_obs.Tracer.handle "oracle.cold_pins" in
   (* on a cursor stall, prefer a lost thread sitting at a statically hot
      site: those are the only decision points whose order the search
      actually needs to explore *)
-  let pick_free cands =
+  let pick_free ~stalled cands =
+    (* a stall (merged-order head present but not eligible) is expected
+       under partial evidence, not divergence — but its frequency is
+       exactly the cost of the lost node, so the trace counts it *)
+    if stalled then Ddet_obs.Tracer.bump c_stalls 1;
     let hot_cands =
       List.filter
         (fun (c : World.cand) ->
@@ -404,7 +413,9 @@ let partial ?(steer = no_steer) ~seed log =
     in
     match hot_cands with
     | [] -> (Prng.pick rng cands).World.tid
-    | hc -> (Prng.pick rng hc).World.tid
+    | hc ->
+      Ddet_obs.Tracer.bump c_hot 1;
+      (Prng.pick rng hc).World.tid
   in
   let advance (e : Event.t) =
     match e.Event.kind with
@@ -431,8 +442,8 @@ let partial ?(steer = no_steer) ~seed log =
                 cands
             with
             | Some c -> c.World.tid
-            | None -> pick_free cands)
-          | [] -> pick_free cands);
+            | None -> pick_free ~stalled:true cands)
+          | [] -> pick_free ~stalled:false cands);
       pick_input =
         (fun ~step:_ ~tid ~chan:_ ~domain ->
           match pop inputs tid with
@@ -443,6 +454,7 @@ let partial ?(steer = no_steer) ~seed log =
             | v :: _ when Hashtbl.mem cold tid ->
               (* statically cold: this thread's inputs provably never
                  reached a survivor, so pin them instead of searching *)
+              Ddet_obs.Tracer.bump c_cold 1;
               v
             | _ -> Prng.pick rng domain));
       on_read = (fun ~step:_ ~tid:_ ~sid:_ ~region:_ ~index:_ ~actual -> actual);

@@ -135,6 +135,16 @@ let attempt_job ~attempt ~worker f =
 let backoff spins =
   if spins < 64 then Domain.cpu_relax () else Unix.sleepf 0.000_05
 
+(* traced variant: charge the wait to an idle-time counter (wall time,
+   [_ns]-suffixed so the tracer masks it in deterministic renderings) *)
+let idle_backoff idle spins =
+  match idle with
+  | None -> backoff spins
+  | Some _ ->
+    let t0 = Ddet_obs.Clock.now () in
+    backoff spins;
+    Ddet_obs.Tracer.bump idle (Int64.to_int (Ddet_obs.Clock.elapsed_ns t0))
+
 (* ------------------------------------------------------------------ *)
 
 let indexed_pool ?(tuning = default_tuning) ~jobs ~first ~last ~make_exec
@@ -160,6 +170,11 @@ let indexed_pool ?(tuning = default_tuning) ~jobs ~first ~last ~make_exec
   let next_claim = Atomic.make first in
   let next_proc = Atomic.make first in
   let stop = Atomic.make false in
+  (* counter handles resolved once on the reducer thread, before any
+     domain spawns; workers bump the atomics lock-free *)
+  let c_claims = Ddet_obs.Tracer.handle "par.chunk_claims" in
+  let c_widle = Ddet_obs.Tracer.handle "par.worker_idle_ns" in
+  let c_ridle = Ddet_obs.Tracer.handle "par.reducer_idle_ns" in
   let worker w () =
     let exec = make_exec w in
     let cancel () = Atomic.get stop in
@@ -170,12 +185,15 @@ let indexed_pool ?(tuning = default_tuning) ~jobs ~first ~last ~make_exec
         let lo = Atomic.get next_claim in
         if lo > last then None
         else if lo >= Atomic.get next_proc + window then begin
-          backoff spins;
+          idle_backoff c_widle spins;
           claim (spins + 1)
         end
         else
           let hi = min (lo + chunk - 1) last in
-          if Atomic.compare_and_set next_claim lo (hi + 1) then Some (lo, hi)
+          if Atomic.compare_and_set next_claim lo (hi + 1) then begin
+            Ddet_obs.Tracer.bump c_claims 1;
+            Some (lo, hi)
+          end
           else claim 0
     in
     let rec run () =
@@ -209,7 +227,7 @@ let indexed_pool ?(tuning = default_tuning) ~jobs ~first ~last ~make_exec
       let cell = slots.(i land mask) in
       match Atomic.get cell with
       | None ->
-        backoff spins;
+        idle_backoff c_ridle spins;
         reduce (spins + 1)
       | Some r -> (
         (* clear before advancing — the ring-safety argument above *)
@@ -244,6 +262,7 @@ let chain_pool ?(tuning = default_tuning) ?(init_prefix = [||]) ~jobs
   let spec_hi = ref 1 in
   let guess : int list ref = ref [] in
   let window = window_of tuning jobs in
+  let c_misspec = Ddet_obs.Tracer.handle "par.chain_misspec" in
   Hashtbl.replace chain 0 { prefix = init_prefix; st = Pending };
   (* speculative generation: extend the chain with the reducer's best
      guess of successor prefixes (advance under the last authoritative
@@ -335,6 +354,7 @@ let chain_pool ?(tuning = default_tuning) ?(init_prefix = [||]) ~jobs
         | _ ->
           (* misspeculation: drop the chain suffix; stale in-flight runs
              see the version bump and cancel themselves *)
+          Ddet_obs.Tracer.bump c_misspec 1;
           Atomic.incr version;
           let rec drop i =
             if Hashtbl.mem chain i then begin

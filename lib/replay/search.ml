@@ -55,23 +55,31 @@ type outcome = {
    engine converts it to an absolute instant once at start. Between
    attempts the check is a plain comparison; inside an attempt it rides
    the interpreter's coarse [cancel] poll (every 128 steps), so a single
-   long run cannot blow through the deadline unchecked. *)
+   long run cannot blow through the deadline unchecked.
+
+   The instant is monotonic (Obs.Clock, ns), not gettimeofday: an NTP
+   step or a suspend would otherwise fire every pending deadline at
+   once — or starve them forever if the clock stepped back. *)
 
 let deadline_reason = "deadline"
 
 let deadline_of budget =
-  Option.map (fun s -> Unix.gettimeofday () +. s) budget.deadline_s
+  Option.map
+    (fun s -> Int64.add (Ddet_obs.Clock.now ()) (Ddet_obs.Clock.ns_of_s s))
+    budget.deadline_s
 
 let deadline_passed = function
   | None -> false
-  | Some t -> Unix.gettimeofday () >= t
+  | Some t -> Int64.compare (Ddet_obs.Clock.now ()) t >= 0
 
 let wall_cancel = function
   | None -> None
   | Some t ->
     Some
       (fun () ->
-        if Unix.gettimeofday () >= t then Some deadline_reason else None)
+        if Int64.compare (Ddet_obs.Clock.now ()) t >= 0 then
+          Some deadline_reason
+        else None)
 
 (* ------------------------------------------------------------------ *)
 (* Best-effort tracking: when no attempt is accepted, the outcome still
@@ -125,23 +133,41 @@ let track_best (type k) ?stored ~(rerun : k -> Interp.result) score =
   in
   (note, get, peek)
 
+(* every engine — sequential or parallel — funnels its outcome through
+   these two constructors on the reducer thread, so this is the one
+   place the tracer learns what a search cost *)
+let observe (st : stats) =
+  let module T = Ddet_obs.Tracer in
+  match T.current () with
+  | None -> ()
+  | Some t ->
+    T.bump (Some (T.counter t "search.attempts")) st.attempts;
+    T.bump (Some (T.counter t "search.steps")) st.total_steps;
+    T.bump (Some (T.counter t "search.pruned")) st.pruned;
+    T.bump (Some (T.counter t "search.incidents")) (List.length st.incidents);
+    if st.deadline_hit then T.bump (Some (T.counter t "search.deadline_hits")) 1;
+    T.instant t "search.done"
+      ~args:
+        [
+          ("attempts", T.Count st.attempts);
+          ("accepted", T.Count (if st.success then 1 else 0));
+        ]
+
 let exhausted ~attempts ~total_steps ?(pruned = 0) ?(deadline_hit = false)
     ?(incidents = []) best =
-  {
-    result = None;
-    partial = best ();
-    stats =
-      { attempts; total_steps; pruned; success = false; deadline_hit; incidents };
-  }
+  let stats =
+    { attempts; total_steps; pruned; success = false; deadline_hit; incidents }
+  in
+  observe stats;
+  { result = None; partial = best (); stats }
 
 let accepted ~attempts ~total_steps ?(pruned = 0) ?(deadline_hit = false)
     ?(incidents = []) r =
-  {
-    result = Some r;
-    partial = None;
-    stats =
-      { attempts; total_steps; pruned; success = true; deadline_hit; incidents };
-  }
+  let stats =
+    { attempts; total_steps; pruned; success = true; deadline_hit; incidents }
+  in
+  observe stats;
+  { result = Some r; partial = None; stats }
 
 let no_score : Interp.result -> float = fun _ -> 0.
 

@@ -213,10 +213,12 @@ val accepted :
   ?incidents:incident list -> Interp.result -> outcome
 val advance : int array -> int list -> int array option
 
+(* deadlines are absolute monotonic instants (Obs.Clock ns), immune to
+   wall-clock steps; tests drive them through Obs.Clock.set_source *)
 val deadline_reason : string
-val deadline_of : budget -> float option
-val deadline_passed : float option -> bool
-val wall_cancel : float option -> (unit -> string option) option
+val deadline_of : budget -> int64 option
+val deadline_passed : int64 option -> bool
+val wall_cancel : int64 option -> (unit -> string option) option
 
 val max_job_retries : int
 val supervised :

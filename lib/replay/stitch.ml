@@ -91,6 +91,19 @@ let stitch (l : Sharded_log.loaded) =
       ~entries ~base_steps:l.Sharded_log.base_steps
       ~failure:l.Sharded_log.failure ()
   in
+  let module T = Ddet_obs.Tracer in
+  List.iter
+    (fun (_, st) -> T.count ("stitch.shard." ^ Sharded_log.status_name st) 1)
+    evidence;
+  T.count "stitch.edges_enforced" (List.length edges_enforced);
+  T.count "stitch.edges_dropped" (List.length edges_dropped);
+  T.instant_ "stitch.done"
+    ~args:
+      [
+        ("nodes", T.Count (List.length evidence));
+        ("lost", T.Count (List.length lost));
+        ("complete", T.Count (if complete then 1 else 0));
+      ];
   {
     log;
     evidence;

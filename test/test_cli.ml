@@ -345,6 +345,92 @@ let test_analyze_nodes_no_map () =
   check "--nodes without a node map: exit 1" 1 code;
   Alcotest.(check bool) "explains the miss" true (contains text "no node map")
 
+(* ------------------------------------------------------------------ *)
+(* report: the session profile. With --mask every wall-time value is
+   elided, so the adder demo's JSON is fully deterministic — pin it
+   byte-for-byte, exactly like the analyze golden. *)
+
+let report_golden =
+  String.concat "\n"
+    [
+      "{\"schema\":1,\"app\":\"adder\",\"model\":\"value\",\
+       \"reproduced\":true,\"attempts\":1,";
+      " \"spans\":[";
+      "  {\"name\":\"session.assess\",\"calls\":1,\"total_ns\":null},";
+      "  {\"name\":\"session.record\",\"calls\":1,\"total_ns\":null},";
+      "  {\"name\":\"session.replay\",\"calls\":1,\"total_ns\":null}],";
+      " \"counters\":[";
+      "  {\"name\":\"govern.dropped\",\"value\":0},";
+      "  {\"name\":\"govern.transitions\",\"value\":0},";
+      "  {\"name\":\"oracle.cold_pins\",\"value\":0},";
+      "  {\"name\":\"oracle.cursor_stalls\",\"value\":0},";
+      "  {\"name\":\"oracle.steer_hot_picks\",\"value\":0},";
+      "  {\"name\":\"record.entries.book\",\"value\":0},";
+      "  {\"name\":\"record.entries.sched\",\"value\":0},";
+      "  {\"name\":\"record.entries.sync\",\"value\":0},";
+      "  {\"name\":\"record.entries.value\",\"value\":2},";
+      "  {\"name\":\"search.attempts\",\"value\":1},";
+      "  {\"name\":\"search.deadline_hits\",\"value\":0},";
+      "  {\"name\":\"search.incidents\",\"value\":0},";
+      "  {\"name\":\"search.pruned\",\"value\":0},";
+      "  {\"name\":\"search.steps\",\"value\":5},";
+      "  {\"name\":\"stitch.edges_dropped\",\"value\":0},";
+      "  {\"name\":\"stitch.edges_enforced\",\"value\":0},";
+      "  {\"name\":\"store.give_ups\",\"value\":0},";
+      "  {\"name\":\"store.retries\",\"value\":0}],";
+      " \"events\":7,\"dropped\":0}";
+      "";
+    ]
+
+let test_report_json_golden () =
+  let code, text = run_out "report -a adder -m value --json --mask" in
+  check "report json: exit 0" 0 code;
+  Alcotest.(check string) "golden adder report" report_golden text
+
+let test_report_human () =
+  let code, text = run_out "report -a adder -m value" in
+  check "report: exit 0" 0 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "profile shows %S" needle)
+        true (contains text needle))
+    [
+      "session: adder under value";
+      "session.record";
+      "session.replay";
+      "search.attempts";
+      "govern.transitions";
+      "stitch.edges_enforced";
+    ]
+
+let test_report_trace_export () =
+  let out = Filename.temp_file "ddet_cli" ".trace.json" in
+  let code, _ =
+    run_out "report -a adder -m value --trace %s" (Filename.quote out)
+  in
+  check "report --trace: exit 0" 0 code;
+  let ic = open_in_bin out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  Alcotest.(check bool) "chrome trace-event envelope" true
+    (contains text "{\"traceEvents\":[");
+  Alcotest.(check bool) "session span exported" true
+    (contains text "\"name\":\"session.record\"")
+
+(* every diagnostic goes through one helper, so the program name
+   prefixes each error line — greppable and attributable in CI logs *)
+let test_err_prefix () =
+  let code, text = run_out "replay -a adder -m value -i /nonexistent/x.log" in
+  check "load error: exit 1" 1 code;
+  Alcotest.(check bool) "error starts with \"ddreplay: \"" true
+    (String.length text >= 10 && String.sub text 0 10 = "ddreplay: ");
+  let code, text = run_out "debug -a adder -m value -s 1 --static-steer" in
+  check "usage error: exit 1" 1 code;
+  Alcotest.(check bool) "usage error carries the prefix too" true
+    (contains text "ddreplay: --static-steer requires")
+
 let () =
   if Array.length Sys.argv < 2 then begin
     prerr_endline "usage: test_cli.exe <path-to-ddreplay.exe>";
@@ -403,5 +489,16 @@ let () =
             test_analyze_nodes_json;
           Alcotest.test_case "--nodes needs a node map" `Quick
             test_analyze_nodes_no_map;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "--json --mask golden profile" `Quick
+            test_report_json_golden;
+          Alcotest.test_case "human profile covers the phases" `Quick
+            test_report_human;
+          Alcotest.test_case "--trace exports chrome json" `Quick
+            test_report_trace_export;
+          Alcotest.test_case "errors carry the ddreplay: prefix" `Quick
+            test_err_prefix;
         ] );
     ]

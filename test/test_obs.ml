@@ -1,0 +1,209 @@
+(* Observability layer: the ring's overflow accounting, the masked-trace
+   determinism law, and the monotonic-deadline regression (deadlines used
+   to read the wall clock, so an NTP step could fire them all at once). *)
+
+open Ddet
+open Ddet_apps
+module T = Ddet_obs.Tracer
+module Clock = Ddet_obs.Clock
+
+(* ------------------------------------------------------------------ *)
+(* ring buffer *)
+
+let test_ring_exact_fill () =
+  let t = T.create ~capacity:8 () in
+  for i = 1 to 8 do
+    T.instant t (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "full" 8 (T.length t);
+  Alcotest.(check int) "no drops at capacity" 0 (T.dropped t)
+
+let test_ring_wraparound () =
+  let t = T.create ~capacity:8 () in
+  for i = 1 to 13 do
+    T.instant t (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "len capped" 8 (T.length t);
+  Alcotest.(check int) "drops counted" 5 (T.dropped t);
+  let names = List.map (fun (e : T.ev) -> e.T.name) (T.events t) in
+  Alcotest.(check (list string))
+    "last capacity events survive, oldest first"
+    [ "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12"; "e13" ]
+    names
+
+let test_ring_drop_accuracy_qcheck =
+  QCheck.Test.make ~name:"dropped = pushes - capacity, contents = tail"
+    ~count:50
+    QCheck.(pair (int_range 2 32) (int_range 0 100))
+    (fun (cap, extra) ->
+      let t = T.create ~capacity:cap () in
+      let total = cap + extra in
+      for i = 1 to total do
+        T.instant t (string_of_int i)
+      done;
+      let names = List.map (fun (e : T.ev) -> e.T.name) (T.events t) in
+      let expect = List.init cap (fun k -> string_of_int (extra + k + 1)) in
+      T.length t = cap && T.dropped t = extra && names = expect)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_masking () =
+  let t = T.create ~capacity:16 () in
+  T.instant t ~args:[ ("wall", T.Ns 123456789L); ("n", T.Count 7) ] "tick";
+  T.bump (Some (T.counter t "io_wait_ns")) 424242;
+  T.bump (Some (T.counter t "io_ops")) 3;
+  let s = T.render_masked t in
+  Alcotest.(check bool) "Ns arg elided" false (contains s "123456789");
+  Alcotest.(check bool) "_ns counter elided" false (contains s "424242");
+  Alcotest.(check bool) "Count arg kept" true (contains s "n=7");
+  Alcotest.(check bool) "plain counter kept" true (contains s "io_ops 3")
+
+(* ------------------------------------------------------------------ *)
+(* determinism law: same seed, sequential session => identical masked
+   trace. The trace is only evidence if it is as reproducible as the
+   replay itself. *)
+
+let masked_session_trace model seed =
+  let t = T.create () in
+  T.with_current t (fun () ->
+      let app = Adder.app () in
+      let prepared = Session.prepare model app in
+      let original, log = Session.record prepared ~seed in
+      let outcome = Session.replay prepared log in
+      ignore (Session.assess prepared ~original ~log outcome));
+  T.render_masked t
+
+let test_trace_determinism_qcheck =
+  QCheck.Test.make ~name:"same seed => byte-identical masked trace"
+    ~count:10
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let a = masked_session_trace Model.Value seed in
+      let b = masked_session_trace Model.Value seed in
+      a = b)
+
+let test_trace_covers_phases () =
+  let s = masked_session_trace Model.Value 1 in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) (phase ^ " span present") true (contains s phase))
+    [ "session.record"; "session.replay"; "session.assess" ];
+  Alcotest.(check bool) "search counters present" true
+    (contains s "search.attempts")
+
+(* ------------------------------------------------------------------ *)
+(* monotonic deadlines (regression: deadline_of used to read
+   Unix.gettimeofday, so a wall-clock step moved every deadline) *)
+
+let fake_clock step =
+  let t = ref 0L in
+  fun () ->
+    t := Int64.add !t step;
+    !t
+
+let test_deadline_unit () =
+  let open Ddet_replay in
+  (* a frozen clock: deadlines convert but never fire *)
+  Clock.with_source
+    (fun () -> 5_000L)
+    (fun () ->
+      let budget = { Search.default_budget with Search.deadline_s = Some 2.0 } in
+      (match Search.deadline_of budget with
+      | Some d ->
+        Alcotest.(check int64) "absolute instant = now + allowance"
+          (Int64.add 5_000L 2_000_000_000L)
+          d
+      | None -> Alcotest.fail "deadline_of dropped the allowance");
+      Alcotest.(check bool) "no deadline never passes" false
+        (Search.deadline_passed (Search.deadline_of
+             { budget with Search.deadline_s = None }));
+      Alcotest.(check bool) "frozen clock: not passed" false
+        (Search.deadline_passed (Search.deadline_of budget));
+      Alcotest.(check bool) "no deadline, no cancel hook" true
+        (Search.wall_cancel None = None);
+      (* an already-expired instant cancels with the canonical reason *)
+      match Search.wall_cancel (Some 4_999L) with
+      | None -> Alcotest.fail "expired deadline must cancel"
+      | Some f ->
+        Alcotest.(check (option string))
+          "cancel names the deadline"
+          (Some Search.deadline_reason) (f ()))
+
+let test_deadline_fires_exactly_at_allowance () =
+  let open Ddet_replay in
+  (* hand-advanced clock: 0.3 s per read. deadline_of reads once (t0),
+     so the instant is t0 + 1 s; three more reads stay under it, the
+     next is past. *)
+  Clock.with_source
+    (fake_clock 300_000_000L)
+    (fun () ->
+      let budget =
+        { Search.default_budget with Search.deadline_s = Some 1.0 }
+      in
+      let d = Search.deadline_of budget in
+      (* t0 = 0.3; deadline = 1.3. reads at 0.6 / 0.9 / 1.2 hold... *)
+      Alcotest.(check bool) "0.6s: holds" false (Search.deadline_passed d);
+      Alcotest.(check bool) "0.9s: holds" false (Search.deadline_passed d);
+      Alcotest.(check bool) "1.2s: holds" false (Search.deadline_passed d);
+      (* ...and 1.5 is past the 1.3 instant *)
+      Alcotest.(check bool) "1.5s: fired" true (Search.deadline_passed d))
+
+let test_engine_deadline_no_sleep () =
+  let open Ddet_replay in
+  let app = Adder.app () in
+  (* every clock read burns 0.2 s of fake time; nothing sleeps. The
+     search must stop on the deadline long before its attempt budget. *)
+  Clock.with_source
+    (fake_clock 200_000_000L)
+    (fun () ->
+      let budget =
+        {
+          Search.max_attempts = 100_000;
+          max_steps_per_attempt = 400;
+          base_seed = 7;
+          deadline_s = Some 1.0;
+        }
+      in
+      let outcome =
+        Search.random_restarts budget
+          ~make:(fun ~attempt -> (Mvm.World.random ~seed:attempt, None))
+          ~spec:app.App.spec
+          ~accept:(fun _ -> false)
+          app.App.labeled
+      in
+      Alcotest.(check bool) "deadline ended the search" true
+        outcome.Search.stats.Search.deadline_hit;
+      Alcotest.(check bool) "well before the attempt budget" true
+        (outcome.Search.stats.Search.attempts < 100))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "exact fill, no drops" `Quick test_ring_exact_fill;
+          Alcotest.test_case "wraparound keeps the tail" `Quick
+            test_ring_wraparound;
+          QCheck_alcotest.to_alcotest test_ring_drop_accuracy_qcheck;
+          Alcotest.test_case "masked render elides wall time" `Quick
+            test_masking;
+        ] );
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest test_trace_determinism_qcheck;
+          Alcotest.test_case "trace covers the session phases" `Quick
+            test_trace_covers_phases;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "monotonic conversion and expiry" `Quick
+            test_deadline_unit;
+          Alcotest.test_case "fires exactly at the allowance" `Quick
+            test_deadline_fires_exactly_at_allowance;
+          Alcotest.test_case "engine stops on fake clock, no sleep" `Quick
+            test_engine_deadline_no_sleep;
+        ] );
+    ]
